@@ -1,0 +1,128 @@
+// Empirical approximation-ratio study (validates Theorem 3 / Corollary 3 /
+// Lemma 2 beyond the unit tests): TP against the exact tuple and star
+// optima on random small tables, plus the exact m = 2 matching comparison.
+
+#include <algorithm>
+#include <cstdio>
+
+#include "anonymity/eligibility.h"
+#include "anonymity/generalization.h"
+#include "common/rng.h"
+#include "common/text_table.h"
+#include "core/tp.h"
+#include "core/tp_plus.h"
+#include "hardness/exact_solver.h"
+#include "matching/exact_m2.h"
+
+namespace ldv {
+namespace {
+
+Table RandomTable(Rng& rng, std::size_t n, std::size_t m, std::vector<std::size_t> domains) {
+  std::vector<Attribute> qi;
+  for (std::size_t i = 0; i < domains.size(); ++i) {
+    qi.push_back(Attribute{"A" + std::to_string(i), domains[i]});
+  }
+  Table table(Schema(std::move(qi), Attribute{"B", m}));
+  std::vector<Value> row(domains.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t a = 0; a < domains.size(); ++a) {
+      row[a] = rng.Below(static_cast<std::uint32_t>(domains[a]));
+    }
+    table.AppendRow(row, rng.Below(static_cast<std::uint32_t>(m)));
+  }
+  return table;
+}
+
+}  // namespace
+}  // namespace ldv
+
+int main() {
+  using namespace ldv;
+  std::printf("=== Section 5: empirical approximation ratios on random tables ===\n\n");
+  Rng rng(7);
+
+  // ---- Tuple minimization: TP vs exact OPT ----
+  {
+    TextTable table({"l", "instances", "avg |R|/OPT", "max |R|/OPT", "bound l"});
+    for (std::uint32_t l = 2; l <= 4; ++l) {
+      double sum_ratio = 0, max_ratio = 0;
+      int instances = 0;
+      for (int trial = 0; trial < 200; ++trial) {
+        Table t = RandomTable(rng, 10 + rng.Below(5), l + 1 + rng.Below(3), {2, 3});
+        if (!IsTableEligible(t, l)) continue;
+        ExactTupleResult opt = ExactTupleMinimization(t, l);
+        TpResult tp = RunTp(t, l);
+        if (!opt.feasible || !tp.feasible || opt.removed == 0) continue;
+        double ratio =
+            static_cast<double>(tp.residue_rows.size()) / static_cast<double>(opt.removed);
+        sum_ratio += ratio;
+        max_ratio = std::max(max_ratio, ratio);
+        ++instances;
+      }
+      if (instances == 0) continue;
+      table.AddRow({std::to_string(l), std::to_string(instances),
+                    FormatDouble(sum_ratio / instances, 3), FormatDouble(max_ratio, 3),
+                    std::to_string(l)});
+    }
+    std::printf("Tuple minimization (Problem 2): TP vs exact optimum\n%s\n",
+                table.ToString().c_str());
+  }
+
+  // ---- Star minimization: TP and TP+ vs exact OPT ----
+  {
+    TextTable table({"l", "instances", "avg TP/OPT", "max TP/OPT", "avg TP+/OPT", "bound l*d"});
+    for (std::uint32_t l = 2; l <= 3; ++l) {
+      double sum_tp = 0, max_tp = 0, sum_tpp = 0;
+      int instances = 0;
+      for (int trial = 0; trial < 120; ++trial) {
+        Table t = RandomTable(rng, 9 + rng.Below(4), l + 1 + rng.Below(2), {2, 2});
+        if (!IsTableEligible(t, l)) continue;
+        ExactStarResult opt = ExactStarMinimization(t, l);
+        TpResult tp = RunTp(t, l);
+        TpPlusResult tpp = RunTpPlus(t, l);
+        if (!opt.feasible || !tp.feasible || opt.stars == 0) continue;
+        double rtp = static_cast<double>(PartitionStarCount(t, tp.ToPartition())) /
+                     static_cast<double>(opt.stars);
+        double rtpp = static_cast<double>(PartitionStarCount(t, tpp.partition)) /
+                      static_cast<double>(opt.stars);
+        sum_tp += rtp;
+        sum_tpp += rtpp;
+        max_tp = std::max(max_tp, rtp);
+        ++instances;
+      }
+      if (instances == 0) continue;
+      table.AddRow({std::to_string(l), std::to_string(instances),
+                    FormatDouble(sum_tp / instances, 3), FormatDouble(max_tp, 3),
+                    FormatDouble(sum_tpp / instances, 3), std::to_string(l * 2)});
+    }
+    std::printf("Star minimization (Problem 1): TP / TP+ vs exact optimum\n%s\n",
+                table.ToString().c_str());
+  }
+
+  // ---- m = 2: polynomial exact matching vs TP+ ----
+  {
+    TextTable table({"pairs", "matching stars", "TP+ stars", "TP+/exact"});
+    for (std::size_t pairs : {10u, 25u, 50u}) {
+      Schema schema({Attribute{"A0", 6}, Attribute{"A1", 6}}, Attribute{"B", 2});
+      Table t(schema);
+      std::vector<Value> row(2);
+      for (std::size_t i = 0; i < 2 * pairs; ++i) {
+        row[0] = rng.Below(6);
+        row[1] = rng.Below(6);
+        t.AppendRow(row, static_cast<SaValue>(i % 2));
+      }
+      ExactM2Result exact = SolveExactM2(t);
+      TpPlusResult tpp = RunTpPlus(t, 2);
+      if (!exact.feasible || !tpp.feasible) continue;
+      std::uint64_t tpp_stars = PartitionStarCount(t, tpp.partition);
+      table.AddRow({std::to_string(pairs), std::to_string(exact.stars),
+                    std::to_string(tpp_stars),
+                    exact.stars == 0 ? "-" : FormatDouble(static_cast<double>(tpp_stars) /
+                                                              static_cast<double>(exact.stars),
+                                                          3)});
+    }
+    std::printf("m = 2 special case (Section 4): exact matching vs TP+\n%s\n",
+                table.ToString().c_str());
+  }
+  return 0;
+}

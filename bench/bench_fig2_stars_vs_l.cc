@@ -1,0 +1,47 @@
+// Reproduces Figure 2: average number of stars vs l (SAL-4 and OCC-4) for
+// Hilbert, TP and TP+.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/text_table.h"
+#include "core/anonymizer.h"
+
+namespace ldv {
+namespace {
+
+void RunFamily(const char* name, const Table& source, const bench::BenchConfig& config) {
+  std::vector<Table> family = bench::Family(source, 4, config);
+  TextTable table({"l", "Hilbert", "TP", "TP+"});
+  for (std::uint32_t l = 2; l <= 10; ++l) {
+    double sums[3] = {0, 0, 0};
+    std::size_t feasible = 0;
+    for (const Table& t : family) {
+      AnonymizationOutcome hil = Anonymize(t, l, Algorithm::kHilbert);
+      AnonymizationOutcome tp = Anonymize(t, l, Algorithm::kTp);
+      AnonymizationOutcome tpp = Anonymize(t, l, Algorithm::kTpPlus);
+      if (!hil.feasible || !tp.feasible || !tpp.feasible) continue;
+      ++feasible;
+      sums[0] += static_cast<double>(hil.stars);
+      sums[1] += static_cast<double>(tp.stars);
+      sums[2] += static_cast<double>(tpp.stars);
+    }
+    if (feasible == 0) continue;
+    table.AddRow({FormatDouble(l, 0), FormatDouble(sums[0] / feasible, 0),
+                  FormatDouble(sums[1] / feasible, 0), FormatDouble(sums[2] / feasible, 0)});
+  }
+  std::printf("Figure 2 (%s-4): average number of stars vs l\n%s\n", name,
+              table.ToString().c_str());
+}
+
+}  // namespace
+}  // namespace ldv
+
+int main(int argc, char** argv) {
+  ldv::bench::BenchConfig config = ldv::bench::ParseConfig(argc, argv);
+  ldv::bench::PrintHeader("Figure 2: average number of stars vs l", config);
+  ldv::bench::Datasets data = ldv::bench::LoadDatasets(config);
+  ldv::RunFamily("SAL", data.sal, config);
+  ldv::RunFamily("OCC", data.occ, config);
+  return 0;
+}

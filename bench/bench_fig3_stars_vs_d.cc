@@ -1,0 +1,49 @@
+// Reproduces Figure 3: average number of stars vs the number d of QI
+// attributes (l = 6) for Hilbert, TP and TP+, including the TP-vs-Hilbert
+// crossover as d grows.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/text_table.h"
+#include "core/anonymizer.h"
+
+namespace ldv {
+namespace {
+
+void RunFamily(const char* name, const Table& source, const bench::BenchConfig& config) {
+  const std::uint32_t l = 6;
+  TextTable table({"d", "Hilbert", "TP", "TP+"});
+  for (std::size_t d = 1; d <= 7; ++d) {
+    double sums[3] = {0, 0, 0};
+    std::size_t feasible = 0;
+    for (const Table& t : bench::Family(source, d, config)) {
+      AnonymizationOutcome hil = Anonymize(t, l, Algorithm::kHilbert);
+      AnonymizationOutcome tp = Anonymize(t, l, Algorithm::kTp);
+      AnonymizationOutcome tpp = Anonymize(t, l, Algorithm::kTpPlus);
+      if (!hil.feasible || !tp.feasible || !tpp.feasible) continue;
+      ++feasible;
+      sums[0] += static_cast<double>(hil.stars);
+      sums[1] += static_cast<double>(tp.stars);
+      sums[2] += static_cast<double>(tpp.stars);
+    }
+    if (feasible == 0) continue;
+    table.AddRow({FormatDouble(static_cast<double>(d), 0),
+                  FormatDouble(sums[0] / feasible, 0), FormatDouble(sums[1] / feasible, 0),
+                  FormatDouble(sums[2] / feasible, 0)});
+  }
+  std::printf("Figure 3 (%s-d, l = 6): average number of stars vs d\n%s\n", name,
+              table.ToString().c_str());
+}
+
+}  // namespace
+}  // namespace ldv
+
+int main(int argc, char** argv) {
+  ldv::bench::BenchConfig config = ldv::bench::ParseConfig(argc, argv);
+  ldv::bench::PrintHeader("Figure 3: average number of stars vs d (l = 6)", config);
+  ldv::bench::Datasets data = ldv::bench::LoadDatasets(config);
+  ldv::RunFamily("SAL", data.sal, config);
+  ldv::RunFamily("OCC", data.occ, config);
+  return 0;
+}

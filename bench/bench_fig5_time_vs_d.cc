@@ -1,0 +1,47 @@
+// Reproduces Figure 5: computation time vs d (l = 4), log-scale in the
+// paper; we print the raw seconds.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/text_table.h"
+#include "core/anonymizer.h"
+
+namespace ldv {
+namespace {
+
+void RunFamily(const char* name, const Table& source, const bench::BenchConfig& config) {
+  const std::uint32_t l = 4;
+  TextTable table({"d", "Hilbert(s)", "TP(s)", "TP+(s)"});
+  for (std::size_t d = 1; d <= 7; ++d) {
+    double sums[3] = {0, 0, 0};
+    std::size_t feasible = 0;
+    for (const Table& t : bench::Family(source, d, config)) {
+      AnonymizationOutcome hil = Anonymize(t, l, Algorithm::kHilbert);
+      AnonymizationOutcome tp = Anonymize(t, l, Algorithm::kTp);
+      AnonymizationOutcome tpp = Anonymize(t, l, Algorithm::kTpPlus);
+      if (!hil.feasible || !tp.feasible || !tpp.feasible) continue;
+      ++feasible;
+      sums[0] += hil.seconds;
+      sums[1] += tp.seconds;
+      sums[2] += tpp.seconds;
+    }
+    if (feasible == 0) continue;
+    table.AddRow({FormatDouble(static_cast<double>(d), 0), FormatDouble(sums[0] / feasible, 4),
+                  FormatDouble(sums[1] / feasible, 4), FormatDouble(sums[2] / feasible, 4)});
+  }
+  std::printf("Figure 5 (%s-d, l = 4): computation time vs d\n%s\n", name,
+              table.ToString().c_str());
+}
+
+}  // namespace
+}  // namespace ldv
+
+int main(int argc, char** argv) {
+  ldv::bench::BenchConfig config = ldv::bench::ParseConfig(argc, argv);
+  ldv::bench::PrintHeader("Figure 5: computation time vs d (l = 4)", config);
+  ldv::bench::Datasets data = ldv::bench::LoadDatasets(config);
+  ldv::RunFamily("SAL", data.sal, config);
+  ldv::RunFamily("OCC", data.occ, config);
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Reproduces Figure 6: computation time vs dataset cardinality n (l = 6) on
+// samples of SAL-4 / OCC-4.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/rng.h"
+#include "common/text_table.h"
+#include "core/anonymizer.h"
+
+namespace ldv {
+namespace {
+
+void RunFamily(const char* name, const Table& source, const bench::BenchConfig& config) {
+  const std::uint32_t l = 6;
+  // The paper samples 100k..600k; at reduced scale we sweep six sample
+  // sizes up to the configured n.
+  std::vector<std::size_t> sizes;
+  for (int i = 1; i <= 6; ++i) sizes.push_back(config.n * i / 6);
+
+  std::vector<Table> family = bench::Family(source, 4, config);
+  if (family.size() > 3) family.erase(family.begin() + 3, family.end());  // time sweep; a few projections suffice
+
+  Rng rng(17);
+  TextTable table({"n", "Hilbert(s)", "TP(s)", "TP+(s)"});
+  for (std::size_t n : sizes) {
+    double sums[3] = {0, 0, 0};
+    std::size_t feasible = 0;
+    for (const Table& t : family) {
+      Table sample = t.SampleRows(n, rng);
+      AnonymizationOutcome hil = Anonymize(sample, l, Algorithm::kHilbert);
+      AnonymizationOutcome tp = Anonymize(sample, l, Algorithm::kTp);
+      AnonymizationOutcome tpp = Anonymize(sample, l, Algorithm::kTpPlus);
+      if (!hil.feasible || !tp.feasible || !tpp.feasible) continue;
+      ++feasible;
+      sums[0] += hil.seconds;
+      sums[1] += tp.seconds;
+      sums[2] += tpp.seconds;
+    }
+    if (feasible == 0) continue;
+    table.AddRow({std::to_string(n), FormatDouble(sums[0] / feasible, 4),
+                  FormatDouble(sums[1] / feasible, 4), FormatDouble(sums[2] / feasible, 4)});
+  }
+  std::printf("Figure 6 (%s-4, l = 6): computation time vs n\n%s\n", name,
+              table.ToString().c_str());
+}
+
+}  // namespace
+}  // namespace ldv
+
+int main(int argc, char** argv) {
+  ldv::bench::BenchConfig config = ldv::bench::ParseConfig(argc, argv);
+  ldv::bench::PrintHeader("Figure 6: computation time vs cardinality n (l = 6)", config);
+  ldv::bench::Datasets data = ldv::bench::LoadDatasets(config);
+  ldv::RunFamily("SAL", data.sal, config);
+  ldv::RunFamily("OCC", data.occ, config);
+  return 0;
+}

@@ -1,0 +1,138 @@
+// google-benchmark microbenchmarks of the building blocks, including the
+// DESIGN.md ablations: the Section 5.5 inverted list vs a naive O(m)
+// scanning multiset, grouped (multiset) processing vs the raw table, and
+// the greedy vs window-DP Hilbert splitters.
+
+#include <benchmark/benchmark.h>
+
+#include "common/grouped_table.h"
+#include "common/histogram.h"
+#include "common/rng.h"
+#include "core/pillar_index.h"
+#include "core/tp.h"
+#include "data/acs_generator.h"
+#include "data/acs_schema.h"
+#include "hilbert/hilbert_curve.h"
+#include "hilbert/hilbert_partitioner.h"
+
+namespace ldv {
+namespace {
+
+// ---- PillarIndex vs naive histogram scanning (ablation #2) ----
+
+void BM_PillarIndexChurn(benchmark::State& state) {
+  const std::size_t m = static_cast<std::size_t>(state.range(0));
+  Rng rng(1);
+  for (auto _ : state) {
+    PillarIndex idx = PillarIndex::DenseEmpty(m);
+    for (int i = 0; i < 4096; ++i) idx.Increment(rng.Below(static_cast<std::uint32_t>(m)));
+    std::uint64_t acc = 0;
+    for (int i = 0; i < 4096; ++i) {
+      acc += idx.PillarHeight();  // O(1)
+      idx.Decrement(idx.FirstPillarSlot());
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(state.iterations() * 8192);
+}
+BENCHMARK(BM_PillarIndexChurn)->Arg(8)->Arg(50)->Arg(256);
+
+void BM_NaiveHistogramChurn(benchmark::State& state) {
+  const std::size_t m = static_cast<std::size_t>(state.range(0));
+  Rng rng(1);
+  for (auto _ : state) {
+    SaHistogram h(m);
+    for (int i = 0; i < 4096; ++i) h.Add(rng.Below(static_cast<std::uint32_t>(m)));
+    std::uint64_t acc = 0;
+    for (int i = 0; i < 4096; ++i) {
+      acc += h.PillarHeight();  // O(m) scan each call
+      h.Remove(h.Pillars().front());
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(state.iterations() * 8192);
+}
+BENCHMARK(BM_NaiveHistogramChurn)->Arg(8)->Arg(50)->Arg(256);
+
+// ---- Grouping and end-to-end TP (ablation #1) ----
+
+const Table& CachedSal4() {
+  static const Table* table = [] {
+    Table sal = GenerateSal(50000, 1);
+    return new Table(sal.ProjectQi({kAge, kGender, kRace, kEducation}));
+  }();
+  return *table;
+}
+
+void BM_GroupedTableConstruction(benchmark::State& state) {
+  const Table& t = CachedSal4();
+  for (auto _ : state) {
+    GroupedTable grouped(t);
+    benchmark::DoNotOptimize(grouped.group_count());
+  }
+  state.SetItemsProcessed(state.iterations() * t.size());
+}
+BENCHMARK(BM_GroupedTableConstruction);
+
+void BM_TpSolveFromGroups(benchmark::State& state) {
+  const Table& t = CachedSal4();
+  GroupedTable grouped(t);
+  for (auto _ : state) {
+    TpResult result = RunTp(grouped, static_cast<std::uint32_t>(state.range(0)));
+    benchmark::DoNotOptimize(result.residue_rows.size());
+  }
+  state.SetItemsProcessed(state.iterations() * t.size());
+}
+BENCHMARK(BM_TpSolveFromGroups)->Arg(2)->Arg(6)->Arg(10);
+
+void BM_TpEndToEnd(benchmark::State& state) {
+  const Table& t = CachedSal4();
+  for (auto _ : state) {
+    TpResult result = RunTp(t, 6);
+    benchmark::DoNotOptimize(result.residue_rows.size());
+  }
+  state.SetItemsProcessed(state.iterations() * t.size());
+}
+BENCHMARK(BM_TpEndToEnd);
+
+// ---- Hilbert curve and splitters (ablation #3) ----
+
+void BM_HilbertEncode(benchmark::State& state) {
+  const std::uint32_t dims = static_cast<std::uint32_t>(state.range(0));
+  HilbertCurve curve(dims, 7);
+  Rng rng(3);
+  std::vector<std::uint32_t> coords(dims);
+  for (auto _ : state) {
+    for (std::uint32_t i = 0; i < dims; ++i) coords[i] = rng.Below(128);
+    benchmark::DoNotOptimize(curve.Encode(coords));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HilbertEncode)->Arg(2)->Arg(4)->Arg(7);
+
+void BM_HilbertPartitionGreedy(benchmark::State& state) {
+  const Table& t = CachedSal4();
+  for (auto _ : state) {
+    HilbertResult result = HilbertAnonymize(t, 6);
+    benchmark::DoNotOptimize(result.partition.group_count());
+  }
+  state.SetItemsProcessed(state.iterations() * t.size());
+}
+BENCHMARK(BM_HilbertPartitionGreedy);
+
+void BM_HilbertPartitionWindowDp(benchmark::State& state) {
+  const Table& t = CachedSal4();
+  HilbertOptions options;
+  options.splitter = HilbertOptions::Splitter::kWindowDp;
+  for (auto _ : state) {
+    HilbertResult result = HilbertAnonymize(t, 6, options);
+    benchmark::DoNotOptimize(result.partition.group_count());
+  }
+  state.SetItemsProcessed(state.iterations() * t.size());
+}
+BENCHMARK(BM_HilbertPartitionWindowDp);
+
+}  // namespace
+}  // namespace ldv
+
+BENCHMARK_MAIN();

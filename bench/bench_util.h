@@ -1,0 +1,76 @@
+#ifndef LDIV_BENCH_BENCH_UTIL_H_
+#define LDIV_BENCH_BENCH_UTIL_H_
+
+// Shared helpers for the per-figure benchmark binaries.
+//
+// Every binary prints the rows of one table/figure of the paper's Section 6
+// in plain text. Scale knobs (the paper used 600k-tuple tables and all 35
+// four-attribute projections; the defaults here are trimmed so the whole
+// harness finishes in minutes):
+//   --full              paper-scale run (600k tuples, all projections)
+//   LDIV_BENCH_N=<n>    override the table cardinality
+//   LDIV_BENCH_PROJ=<k> override the number of projections per family
+
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/table.h"
+#include "data/acs_generator.h"
+#include "data/workload.h"
+
+namespace ldv {
+namespace bench {
+
+struct BenchConfig {
+  std::size_t n = 60000;
+  std::size_t projections = 5;
+  bool full = false;
+};
+
+inline BenchConfig ParseConfig(int argc, char** argv) {
+  BenchConfig config;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--full") == 0) config.full = true;
+  }
+  if (const char* env = std::getenv("LDIV_FULL"); env && env[0] == '1') config.full = true;
+  if (config.full) {
+    config.n = 600000;
+    config.projections = static_cast<std::size_t>(-1);  // all of them
+  }
+  if (const char* env = std::getenv("LDIV_BENCH_N")) config.n = std::strtoull(env, nullptr, 10);
+  if (const char* env = std::getenv("LDIV_BENCH_PROJ")) {
+    config.projections = std::strtoull(env, nullptr, 10);
+  }
+  return config;
+}
+
+/// The two source datasets of Section 6.
+struct Datasets {
+  Table sal;
+  Table occ;
+};
+
+inline Datasets LoadDatasets(const BenchConfig& config) {
+  return Datasets{GenerateSal(config.n, 1), GenerateOcc(config.n, 2)};
+}
+
+/// The SAL-d / OCC-d projection family, capped per the config.
+inline std::vector<Table> Family(const Table& source, std::size_t d, const BenchConfig& config) {
+  return ProjectionFamily(source, d, config.projections);
+}
+
+inline void PrintHeader(const std::string& title, const BenchConfig& config) {
+  std::printf("=== %s ===\n", title.c_str());
+  std::printf("n = %zu tuples per table, %s projections per family%s\n\n", config.n,
+              config.projections == static_cast<std::size_t>(-1)
+                  ? "all"
+                  : std::to_string(config.projections).c_str(),
+              config.full ? " (paper scale)" : " (reduced scale; --full for paper scale)");
+}
+
+}  // namespace bench
+}  // namespace ldv
+
+#endif  // LDIV_BENCH_BENCH_UTIL_H_

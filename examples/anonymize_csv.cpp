@@ -1,0 +1,156 @@
+// Command-line anonymization tool: reads a coded CSV microdata file, runs
+// the chosen algorithm, and writes the l-diverse release (stars as '*').
+// The schema is given on the command line as the QI domain sizes plus the
+// SA domain size. With no input file, a demo dataset is generated.
+//
+//   build/examples/anonymize_csv --l 4 --algo tp+ \
+//       --schema 79,2,9,50 --input micro.csv --output release.csv
+//
+// Exit codes: 0 success, 1 usage error, 2 infeasible instance, 3 I/O error.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "anonymity/eligibility.h"
+#include "anonymity/generalization.h"
+#include "anonymity/release.h"
+#include "common/csv.h"
+#include "core/anonymizer.h"
+#include "data/acs_generator.h"
+#include "data/acs_schema.h"
+
+using namespace ldv;
+
+namespace {
+
+struct CliOptions {
+  std::uint32_t l = 2;
+  Algorithm algorithm = Algorithm::kTpPlus;
+  std::vector<std::size_t> domains;  // QI domains then SA domain
+  std::string input;
+  std::string output = "release.csv";
+};
+
+bool ParseUint(const char* s, std::uint64_t* out) {
+  if (s == nullptr || *s == '\0') return false;
+  std::uint64_t v = 0;
+  for (; *s; ++s) {
+    if (*s < '0' || *s > '9') return false;
+    v = v * 10 + static_cast<std::uint64_t>(*s - '0');
+  }
+  *out = v;
+  return true;
+}
+
+bool ParseArgs(int argc, char** argv, CliOptions* options) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> const char* { return i + 1 < argc ? argv[++i] : nullptr; };
+    if (arg == "--l") {
+      std::uint64_t v;
+      if (!ParseUint(next(), &v) || v == 0) return false;
+      options->l = static_cast<std::uint32_t>(v);
+    } else if (arg == "--algo") {
+      const char* a = next();
+      if (a == nullptr) return false;
+      if (std::strcmp(a, "tp") == 0) {
+        options->algorithm = Algorithm::kTp;
+      } else if (std::strcmp(a, "tp+") == 0) {
+        options->algorithm = Algorithm::kTpPlus;
+      } else if (std::strcmp(a, "hilbert") == 0) {
+        options->algorithm = Algorithm::kHilbert;
+      } else {
+        return false;
+      }
+    } else if (arg == "--schema") {
+      const char* spec = next();
+      if (spec == nullptr) return false;
+      options->domains.clear();
+      std::string token;
+      for (const char* p = spec;; ++p) {
+        if (*p == ',' || *p == '\0') {
+          std::uint64_t v;
+          if (!ParseUint(token.c_str(), &v) || v == 0) return false;
+          options->domains.push_back(static_cast<std::size_t>(v));
+          token.clear();
+          if (*p == '\0') break;
+        } else {
+          token.push_back(*p);
+        }
+      }
+      if (options->domains.size() < 2) return false;
+    } else if (arg == "--input") {
+      const char* p = next();
+      if (p == nullptr) return false;
+      options->input = p;
+    } else if (arg == "--output") {
+      const char* p = next();
+      if (p == nullptr) return false;
+      options->output = p;
+    } else {
+      return false;
+    }
+  }
+  return true;
+}
+
+Schema SchemaFromDomains(const std::vector<std::size_t>& domains) {
+  std::vector<Attribute> qi;
+  for (std::size_t i = 0; i + 1 < domains.size(); ++i) {
+    qi.push_back(Attribute{"Q" + std::to_string(i + 1), domains[i]});
+  }
+  return Schema(std::move(qi), Attribute{"S", domains.back()});
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliOptions options;
+  if (!ParseArgs(argc, argv, &options)) {
+    std::fprintf(stderr,
+                 "usage: %s [--l L] [--algo tp|tp+|hilbert] [--schema d1,d2,...,sa]\n"
+                 "          [--input micro.csv] [--output release.csv]\n",
+                 argv[0]);
+    return 1;
+  }
+
+  Table table = [&] {
+    if (!options.input.empty()) {
+      if (options.domains.empty()) {
+        std::fprintf(stderr, "--input requires --schema\n");
+        std::exit(1);
+      }
+      auto loaded = ReadTableCsv(SchemaFromDomains(options.domains), options.input);
+      if (!loaded) {
+        std::fprintf(stderr, "failed to read %s\n", options.input.c_str());
+        std::exit(3);
+      }
+      return std::move(*loaded);
+    }
+    std::fprintf(stderr, "no --input: generating a 10k-row demo extract (SAL-3)\n");
+    return GenerateSal(10000, 1).ProjectQi({kAge, kGender, kEducation});
+  }();
+
+  std::fprintf(stderr, "input: %zu rows, schema %s, max feasible l = %u\n", table.size(),
+               table.schema().ToString().c_str(), MaxFeasibleL(table));
+  AnonymizationOutcome outcome = Anonymize(table, options.l, options.algorithm);
+  if (!outcome.feasible) {
+    std::fprintf(stderr, "infeasible: the table is not %u-eligible\n", options.l);
+    return 2;
+  }
+  std::fprintf(stderr, "%s: %llu stars, %llu suppressed tuples, %zu QI-groups, %.3fs\n",
+               AlgorithmName(options.algorithm),
+               static_cast<unsigned long long>(outcome.stars),
+               static_cast<unsigned long long>(outcome.suppressed_tuples),
+               outcome.partition.group_count(), outcome.seconds);
+
+  GeneralizedTable generalized(table, outcome.partition);
+  if (!WriteReleaseCsv(table, generalized, options.output)) {
+    std::fprintf(stderr, "cannot write %s\n", options.output.c_str());
+    return 3;
+  }
+  std::fprintf(stderr, "wrote %s\n", options.output.c_str());
+  return 0;
+}

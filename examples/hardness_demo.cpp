@@ -1,0 +1,63 @@
+// Walks through the Section 4 NP-hardness reduction on the paper's own
+// Figure 1 example: builds the microdata table from the 3DM instance,
+// verifies its structural properties, solves the 3DM, and shows that the
+// induced generalization attains the 3n(d-1) star target -- while the
+// exhaustive solver confirms no 3-diverse generalization does better.
+//
+//   build/examples/hardness_demo
+
+#include <cstdio>
+
+#include "anonymity/eligibility.h"
+#include "anonymity/generalization.h"
+#include "hardness/exact_solver.h"
+#include "hardness/reduction.h"
+#include "hardness/three_dim_matching.h"
+
+using namespace ldv;
+
+int main() {
+  ThreeDmInstance instance = PaperFigure1Instance();
+  std::printf("3DM instance (Figure 1a): n = %u, %u points\n", instance.n, instance.d());
+  for (std::size_t i = 0; i < instance.points.size(); ++i) {
+    const Point3& p = instance.points[i];
+    std::printf("  p%zu = (%u, %u, %u)\n", i + 1, p.a + 1, p.b + 1, p.c + 1);
+  }
+
+  const std::uint32_t m = 8;
+  Table table = BuildReductionTable(instance, m);
+  std::printf("\nReduction table T (Figure 1b): %zu rows, %zu QI attributes, m = %u\n",
+              table.size(), table.qi_count(), m);
+  for (RowId r = 0; r < table.size(); ++r) {
+    std::printf("  row %2u: ", r + 1);
+    for (AttrId a = 0; a < table.qi_count(); ++a) std::printf("%u ", table.qi(r, a));
+    std::printf("| B = %u\n", table.sa(r) + 1);
+  }
+  std::printf("Structural properties hold: %s\n",
+              CheckReductionProperties(table, instance, m) ? "yes" : "NO");
+
+  auto matching = Solve3Dm(instance);
+  if (!matching) {
+    std::printf("3DM answer: no\n");
+    return 0;
+  }
+  std::printf("\n3DM answer: yes, matching = {");
+  for (std::uint32_t idx : *matching) std::printf(" p%u", idx + 1);
+  std::printf(" }\n");
+
+  Partition induced = PartitionFromMatching(instance, *matching);
+  std::uint64_t induced_stars = PartitionStarCount(table, induced);
+  std::uint64_t target = ReductionTargetStars(instance.n, instance.d());
+  std::printf("Induced 3-diverse generalization: %llu stars (target 3n(d-1) = %llu)\n",
+              static_cast<unsigned long long>(induced_stars),
+              static_cast<unsigned long long>(target));
+  std::printf("Induced partition is 3-diverse: %s\n",
+              IsLDiverse(table, induced, 3) ? "yes" : "NO");
+
+  ExactStarResult optimal = ExactStarMinimization(table, 3);
+  std::printf("Exhaustive optimum over all 3-diverse generalizations: %llu stars\n",
+              static_cast<unsigned long long>(optimal.stars));
+  std::printf("Lemma 3 verified: optimum %s the target exactly.\n",
+              optimal.stars == target ? "hits" : "MISSES");
+  return 0;
+}

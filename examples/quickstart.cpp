@@ -1,0 +1,59 @@
+// Quickstart: anonymize the paper's running example (Table 1) with every
+// algorithm and print the generalized tables.
+//
+//   build/examples/quickstart
+
+#include <cstdio>
+
+#include "anonymity/eligibility.h"
+#include "anonymity/generalization.h"
+#include "core/anonymizer.h"
+
+using namespace ldv;
+
+namespace {
+
+// The paper's Table 1: 10 hospital records.
+// Age {<30, 30-49, >=50}, Gender {M, F}, Education {Master, Bachelor,
+// HighSchool}; Disease {HIV, pneumonia, bronchitis, dyspepsia}.
+Table HospitalMicrodata() {
+  Schema schema({Attribute{"Age", 3}, Attribute{"Gender", 2}, Attribute{"Education", 3}},
+                Attribute{"Disease", 4});
+  Table table(schema);
+  const Value rows[10][4] = {
+      {0, 0, 0, 0}, {0, 0, 0, 0}, {0, 0, 1, 1}, {1, 0, 1, 2}, {1, 1, 1, 1},
+      {1, 1, 1, 2}, {1, 1, 1, 2}, {1, 1, 1, 1}, {2, 1, 2, 3}, {2, 1, 2, 1},
+  };
+  for (const auto& row : rows) {
+    std::vector<Value> qi(row, row + 3);
+    table.AppendRow(qi, row[3]);
+  }
+  return table;
+}
+
+}  // namespace
+
+int main() {
+  Table microdata = HospitalMicrodata();
+  const std::uint32_t l = 2;
+
+  std::printf("Microdata: n = %zu, d = %zu, m = %zu distinct diseases\n", microdata.size(),
+              microdata.qi_count(), microdata.DistinctSaCount());
+  std::printf("Max feasible l: %u\n\n", MaxFeasibleL(microdata));
+
+  for (Algorithm algorithm : {Algorithm::kTp, Algorithm::kTpPlus, Algorithm::kHilbert}) {
+    AnonymizationOutcome outcome = Anonymize(microdata, l, algorithm);
+    if (!outcome.feasible) {
+      std::printf("%s: infeasible\n", AlgorithmName(algorithm));
+      continue;
+    }
+    std::printf("--- %s (l = %u) ---\n", AlgorithmName(algorithm), l);
+    std::printf("stars = %llu, suppressed tuples = %llu, groups = %zu\n",
+                static_cast<unsigned long long>(outcome.stars),
+                static_cast<unsigned long long>(outcome.suppressed_tuples),
+                outcome.partition.group_count());
+    GeneralizedTable generalized(microdata, outcome.partition);
+    std::printf("%s\n", generalized.ToString(microdata).c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,49 @@
+#include "anonymity/diversity.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/check.h"
+
+namespace ldv {
+
+double SaEntropy(const SaHistogram& histogram) {
+  if (histogram.empty()) return 0.0;
+  double n = static_cast<double>(histogram.total());
+  double entropy = 0.0;
+  for (SaValue v = 0; v < histogram.domain_size(); ++v) {
+    std::uint32_t c = histogram.count(v);
+    if (c == 0) continue;
+    double p = static_cast<double>(c) / n;
+    entropy -= p * std::log(p);
+  }
+  return entropy;
+}
+
+bool SatisfiesDiversity(const SaHistogram& histogram, const DiversitySpec& spec) {
+  LDIV_CHECK_GE(spec.l, 1u);
+  if (histogram.empty()) return true;
+  switch (spec.kind) {
+    case DiversityKind::kFrequency:
+      return histogram.IsEligible(spec.l);
+    case DiversityKind::kEntropy:
+      // entropy(S) >= ln(l); for l = 1 this is trivially true.
+      return SaEntropy(histogram) >= std::log(static_cast<double>(spec.l)) - 1e-12;
+    case DiversityKind::kRecursive: {
+      std::vector<std::uint32_t> counts;
+      counts.reserve(histogram.domain_size());
+      for (SaValue v = 0; v < histogram.domain_size(); ++v) {
+        if (histogram.count(v) > 0) counts.push_back(histogram.count(v));
+      }
+      std::sort(counts.begin(), counts.end(), std::greater<>());
+      if (counts.size() < spec.l) return false;
+      double tail = 0.0;
+      for (std::size_t i = spec.l - 1; i < counts.size(); ++i) tail += counts[i];
+      return static_cast<double>(counts[0]) < spec.c * tail;
+    }
+  }
+  return false;
+}
+
+}  // namespace ldv

@@ -1,0 +1,43 @@
+#ifndef LDIV_ANONYMITY_DIVERSITY_H_
+#define LDIV_ANONYMITY_DIVERSITY_H_
+
+#include <cstdint>
+
+#include "common/histogram.h"
+
+namespace ldv {
+
+/// Alternative instantiations of the l-diversity principle [31]. The paper
+/// studies the frequency ("distinct") interpretation of Definition 2; these
+/// variants are the other two interpretations Machanavajjhala et al. define,
+/// provided for completeness and for the generic baseline partitioner. All
+/// three are monotone under union (Lemma 1 / [31]), which is what the
+/// merge-repair steps of the partitioners rely on.
+enum class DiversityKind {
+  /// Definition 2: at most |S|/l tuples share one SA value.
+  kFrequency,
+  /// Entropy l-diversity: entropy of the SA distribution >= log(l).
+  kEntropy,
+  /// Recursive (c,l)-diversity: r_1 < c * (r_l + r_{l+1} + ... + r_m) where
+  /// r_i are the SA counts in non-increasing order.
+  kRecursive,
+};
+
+/// Parameters of a diversity requirement.
+struct DiversitySpec {
+  DiversityKind kind = DiversityKind::kFrequency;
+  std::uint32_t l = 2;
+  /// The constant c of recursive (c,l)-diversity (ignored otherwise).
+  double c = 1.0;
+};
+
+/// True iff the multiset satisfies the requirement. The empty multiset
+/// satisfies every requirement (mirroring Definition 2's convention).
+bool SatisfiesDiversity(const SaHistogram& histogram, const DiversitySpec& spec);
+
+/// Entropy (natural log) of the SA distribution of `histogram`; 0 if empty.
+double SaEntropy(const SaHistogram& histogram);
+
+}  // namespace ldv
+
+#endif  // LDIV_ANONYMITY_DIVERSITY_H_

@@ -1,0 +1,39 @@
+#include "anonymity/eligibility.h"
+
+namespace ldv {
+
+bool IsEligible(const SaHistogram& histogram, std::uint32_t l) {
+  return histogram.IsEligible(l);
+}
+
+SaHistogram RowsHistogram(const Table& table, const std::vector<RowId>& rows) {
+  SaHistogram h(table.schema().sa_domain_size());
+  for (RowId r : rows) h.Add(table.sa(r));
+  return h;
+}
+
+bool IsEligible(const Table& table, const std::vector<RowId>& rows, std::uint32_t l) {
+  return RowsHistogram(table, rows).IsEligible(l);
+}
+
+bool IsTableEligible(const Table& table, std::uint32_t l) {
+  SaHistogram h(std::vector<std::uint32_t>(table.SaHistogramCounts()));
+  return h.IsEligible(l);
+}
+
+bool IsLDiverse(const Table& table, const Partition& partition, std::uint32_t l) {
+  for (const auto& group : partition.groups()) {
+    if (!IsEligible(table, group, l)) return false;
+  }
+  return true;
+}
+
+std::uint32_t MaxFeasibleL(const Table& table) {
+  if (table.empty()) return 0;
+  SaHistogram h(std::vector<std::uint32_t>(table.SaHistogramCounts()));
+  std::uint32_t pillar = h.PillarHeight();
+  if (pillar == 0) return 0;
+  return static_cast<std::uint32_t>(table.size() / pillar);
+}
+
+}  // namespace ldv

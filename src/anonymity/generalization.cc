@@ -1,0 +1,104 @@
+#include "anonymity/generalization.h"
+
+#include <sstream>
+
+#include "common/check.h"
+
+namespace ldv {
+
+namespace {
+
+// Computes the Definition-1 signature of one group: per attribute, the
+// common value or kStar.
+std::vector<Value> ComputeSignature(const Table& table, const std::vector<RowId>& rows) {
+  LDIV_CHECK(!rows.empty());
+  std::vector<Value> sig(table.qi_row(rows[0]).begin(), table.qi_row(rows[0]).end());
+  for (std::size_t i = 1; i < rows.size(); ++i) {
+    auto qi = table.qi_row(rows[i]);
+    for (std::size_t a = 0; a < sig.size(); ++a) {
+      if (sig[a] != qi[a]) sig[a] = kStar;
+    }
+  }
+  return sig;
+}
+
+}  // namespace
+
+GeneralizedTable::GeneralizedTable(const Table& table, const Partition& partition)
+    : partition_(partition), qi_count_(table.qi_count()) {
+  signatures_.reserve(partition_.group_count());
+  for (GroupId g = 0; g < partition_.group_count(); ++g) {
+    signatures_.push_back(ComputeSignature(table, partition_.group(g)));
+  }
+}
+
+std::uint64_t GeneralizedTable::StarCount() const {
+  std::uint64_t stars = 0;
+  for (GroupId g = 0; g < group_count(); ++g) {
+    stars += static_cast<std::uint64_t>(StarredAttributeCount(g)) * rows(g).size();
+  }
+  return stars;
+}
+
+std::uint64_t GeneralizedTable::SuppressedTupleCount() const {
+  std::uint64_t suppressed = 0;
+  for (GroupId g = 0; g < group_count(); ++g) {
+    if (StarredAttributeCount(g) > 0) suppressed += rows(g).size();
+  }
+  return suppressed;
+}
+
+std::uint32_t GeneralizedTable::StarredAttributeCount(GroupId g) const {
+  std::uint32_t count = 0;
+  for (Value v : signatures_[g]) {
+    if (IsStar(v)) ++count;
+  }
+  return count;
+}
+
+std::string GeneralizedTable::ToString(const Table& table, std::size_t max_rows) const {
+  std::ostringstream out;
+  std::size_t printed = 0;
+  for (GroupId g = 0; g < group_count(); ++g) {
+    out << "group " << g << ":\n";
+    for (RowId r : rows(g)) {
+      if (printed++ >= max_rows) {
+        out << "  ...\n";
+        return out.str();
+      }
+      out << "  ";
+      for (Value v : signatures_[g]) {
+        if (IsStar(v)) {
+          out << "* ";
+        } else {
+          out << v << " ";
+        }
+      }
+      out << "| " << table.sa(r) << "\n";
+    }
+  }
+  return out.str();
+}
+
+std::uint64_t GroupStarCount(const Table& table, const std::vector<RowId>& rows) {
+  if (rows.empty()) return 0;
+  std::uint32_t starred = 0;
+  auto first = table.qi_row(rows[0]);
+  for (std::size_t a = 0; a < first.size(); ++a) {
+    for (std::size_t i = 1; i < rows.size(); ++i) {
+      if (table.qi(rows[i], static_cast<AttrId>(a)) != first[a]) {
+        ++starred;
+        break;
+      }
+    }
+  }
+  return static_cast<std::uint64_t>(starred) * rows.size();
+}
+
+std::uint64_t PartitionStarCount(const Table& table, const Partition& partition) {
+  std::uint64_t stars = 0;
+  for (const auto& group : partition.groups()) stars += GroupStarCount(table, group);
+  return stars;
+}
+
+}  // namespace ldv

@@ -1,0 +1,43 @@
+#include "anonymity/k_anonymity.h"
+
+#include "anonymity/eligibility.h"
+
+namespace ldv {
+
+bool IsKAnonymous(const Partition& partition, std::uint32_t k) {
+  for (const auto& group : partition.groups()) {
+    if (group.size() < k) return false;
+  }
+  return true;
+}
+
+namespace {
+
+bool GroupIsHomogeneous(const Table& table, const std::vector<RowId>& group) {
+  if (group.size() < 2) return false;
+  SaValue first = table.sa(group[0]);
+  for (std::size_t i = 1; i < group.size(); ++i) {
+    if (table.sa(group[i]) != first) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool HasHomogeneityViolation(const Table& table, const Partition& partition) {
+  for (const auto& group : partition.groups()) {
+    if (GroupIsHomogeneous(table, group)) return true;
+  }
+  return false;
+}
+
+double HomogeneousTupleFraction(const Table& table, const Partition& partition) {
+  if (table.empty()) return 0.0;
+  std::uint64_t exposed = 0;
+  for (const auto& group : partition.groups()) {
+    if (GroupIsHomogeneous(table, group)) exposed += group.size();
+  }
+  return static_cast<double>(exposed) / static_cast<double>(table.size());
+}
+
+}  // namespace ldv

@@ -1,0 +1,27 @@
+#ifndef LDIV_ANONYMITY_K_ANONYMITY_H_
+#define LDIV_ANONYMITY_K_ANONYMITY_H_
+
+#include <cstdint>
+
+#include "anonymity/partition.h"
+#include "common/table.h"
+
+namespace ldv {
+
+/// k-anonymity (Samarati / Sweeney, Section 1): every QI-group contains at
+/// least k tuples.
+bool IsKAnonymous(const Partition& partition, std::uint32_t k);
+
+/// The homogeneity problem of Machanavajjhala et al. that motivates
+/// l-diversity (Section 1): returns true if some QI-group of size >= 2 has
+/// all tuples sharing one SA value, so an adversary learns the SA value
+/// without identifying the tuple.
+bool HasHomogeneityViolation(const Table& table, const Partition& partition);
+
+/// Fraction of tuples that sit in a homogeneous QI-group of size >= 2.
+/// Quantifies how exposed a k-anonymous release is.
+double HomogeneousTupleFraction(const Table& table, const Partition& partition);
+
+}  // namespace ldv
+
+#endif  // LDIV_ANONYMITY_K_ANONYMITY_H_

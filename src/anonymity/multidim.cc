@@ -1,0 +1,60 @@
+#include "anonymity/multidim.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace ldv {
+
+double QiBox::Volume() const {
+  double volume = 1.0;
+  for (std::size_t a = 0; a < lo.size(); ++a) {
+    volume *= static_cast<double>(hi[a] - lo[a]);
+  }
+  return volume;
+}
+
+bool QiBox::Contains(std::span<const Value> qi) const {
+  for (std::size_t a = 0; a < lo.size(); ++a) {
+    if (qi[a] < lo[a] || qi[a] >= hi[a]) return false;
+  }
+  return true;
+}
+
+void BoxGeneralization::AddGroup(QiBox box, std::vector<RowId> rows) {
+  LDIV_CHECK_EQ(box.lo.size(), box.hi.size());
+  LDIV_CHECK(!rows.empty());
+  boxes_.push_back(std::move(box));
+  rows_.push_back(std::move(rows));
+}
+
+BoxGeneralization RelaxSuppressionToMultiDim(const Table& table,
+                                             const GeneralizedTable& generalized) {
+  BoxGeneralization out;
+  const std::size_t d = table.qi_count();
+  for (GroupId g = 0; g < generalized.group_count(); ++g) {
+    const std::vector<Value>& sig = generalized.signature(g);
+    const std::vector<RowId>& rows = generalized.rows(g);
+    QiBox box;
+    box.lo.resize(d);
+    box.hi.resize(d);
+    for (AttrId a = 0; a < d; ++a) {
+      if (!IsStar(sig[a])) {
+        box.lo[a] = sig[a];
+        box.hi[a] = sig[a] + 1;
+        continue;
+      }
+      Value min_v = table.qi(rows[0], a), max_v = min_v;
+      for (RowId r : rows) {
+        min_v = std::min(min_v, table.qi(r, a));
+        max_v = std::max(max_v, table.qi(r, a));
+      }
+      box.lo[a] = min_v;
+      box.hi[a] = max_v + 1;
+    }
+    out.AddGroup(std::move(box), rows);
+  }
+  return out;
+}
+
+}  // namespace ldv

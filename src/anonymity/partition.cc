@@ -1,0 +1,45 @@
+#include "anonymity/partition.h"
+
+#include <numeric>
+
+namespace ldv {
+
+Partition::Partition(std::vector<std::vector<RowId>> groups) {
+  for (auto& g : groups) {
+    if (!g.empty()) groups_.push_back(std::move(g));
+  }
+}
+
+Partition Partition::SingleGroup(const Table& table) {
+  std::vector<RowId> all(table.size());
+  std::iota(all.begin(), all.end(), 0u);
+  Partition p;
+  p.AddGroup(std::move(all));
+  return p;
+}
+
+std::size_t Partition::row_count() const {
+  std::size_t n = 0;
+  for (const auto& g : groups_) n += g.size();
+  return n;
+}
+
+void Partition::AddGroup(std::vector<RowId> rows) {
+  if (!rows.empty()) groups_.push_back(std::move(rows));
+}
+
+bool Partition::CoversExactly(const Table& table) const {
+  std::vector<bool> seen(table.size(), false);
+  for (const auto& g : groups_) {
+    for (RowId r : g) {
+      if (r >= table.size() || seen[r]) return false;
+      seen[r] = true;
+    }
+  }
+  for (bool s : seen) {
+    if (!s) return false;
+  }
+  return true;
+}
+
+}  // namespace ldv

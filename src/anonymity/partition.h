@@ -1,0 +1,45 @@
+#ifndef LDIV_ANONYMITY_PARTITION_H_
+#define LDIV_ANONYMITY_PARTITION_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/table.h"
+#include "common/types.h"
+
+namespace ldv {
+
+/// A partition P of a table into disjoint QI-groups whose union is the whole
+/// table (Section 3). Groups are lists of row ids into the underlying table.
+class Partition {
+ public:
+  Partition() = default;
+
+  /// Creates a partition from explicit groups. Empty groups are dropped.
+  explicit Partition(std::vector<std::vector<RowId>> groups);
+
+  /// The partition with a single group containing all rows of `table`
+  /// (always l-diverse when the table itself is l-eligible, by Lemma 1).
+  static Partition SingleGroup(const Table& table);
+
+  std::size_t group_count() const { return groups_.size(); }
+  const std::vector<RowId>& group(GroupId g) const { return groups_[g]; }
+  const std::vector<std::vector<RowId>>& groups() const { return groups_; }
+
+  /// Total number of rows covered.
+  std::size_t row_count() const;
+
+  /// Adds one group (ignored if empty).
+  void AddGroup(std::vector<RowId> rows);
+
+  /// Verifies that the groups are disjoint and exactly cover rows
+  /// [0, table.size()). Used by tests and by debug-mode validation.
+  bool CoversExactly(const Table& table) const;
+
+ private:
+  std::vector<std::vector<RowId>> groups_;
+};
+
+}  // namespace ldv
+
+#endif  // LDIV_ANONYMITY_PARTITION_H_

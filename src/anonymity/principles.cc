@@ -1,0 +1,61 @@
+#include "anonymity/principles.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "anonymity/eligibility.h"
+
+namespace ldv {
+
+bool IsAlphaKAnonymous(const Table& table, const Partition& partition, double alpha,
+                       std::uint32_t k) {
+  for (const auto& group : partition.groups()) {
+    if (group.size() < k) return false;
+    SaHistogram h = RowsHistogram(table, group);
+    double limit = alpha * static_cast<double>(group.size());
+    if (static_cast<double>(h.PillarHeight()) > limit + 1e-9) return false;
+  }
+  return true;
+}
+
+double MaxSaDistributionDistance(const Table& table, const Partition& partition) {
+  if (table.empty()) return 0.0;
+  const std::size_t m = table.schema().sa_domain_size();
+  std::vector<double> table_dist(m, 0.0);
+  {
+    auto counts = table.SaHistogramCounts();
+    for (std::size_t v = 0; v < m; ++v) {
+      table_dist[v] = static_cast<double>(counts[v]) / static_cast<double>(table.size());
+    }
+  }
+  double worst = 0.0;
+  for (const auto& group : partition.groups()) {
+    SaHistogram h = RowsHistogram(table, group);
+    double tv = 0.0;
+    for (SaValue v = 0; v < m; ++v) {
+      double p = static_cast<double>(h.count(v)) / static_cast<double>(group.size());
+      tv += std::abs(p - table_dist[v]);
+    }
+    worst = std::max(worst, tv / 2.0);
+  }
+  return worst;
+}
+
+bool IsTClose(const Table& table, const Partition& partition, double t) {
+  return MaxSaDistributionDistance(table, partition) <= t + 1e-9;
+}
+
+bool IsMUnique(const Table& table, const Partition& partition, std::uint32_t m_groups) {
+  for (const auto& group : partition.groups()) {
+    if (group.size() != m_groups) return false;
+    std::set<SaValue> seen;
+    for (RowId r : group) {
+      if (!seen.insert(table.sa(r)).second) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace ldv

@@ -1,0 +1,37 @@
+#ifndef LDIV_ANONYMITY_PRINCIPLES_H_
+#define LDIV_ANONYMITY_PRINCIPLES_H_
+
+#include <cstdint>
+
+#include "anonymity/partition.h"
+#include "common/table.h"
+
+namespace ldv {
+
+/// (alpha, k)-anonymity (Wong et al. [46], Section 2): every QI-group has
+/// at least k tuples and no SA value exceeds the fraction `alpha` within a
+/// group. The paper's Section 4 notes that (0.5, k)-anonymity combines
+/// k-anonymity with 2-diversity.
+bool IsAlphaKAnonymous(const Table& table, const Partition& partition, double alpha,
+                       std::uint32_t k);
+
+/// t-closeness (Li, Li, Venkatasubramanian [29], Section 2) for categorical
+/// SAs under the equal-distance ground metric, where the earth mover's
+/// distance degenerates to total variation distance: every QI-group's SA
+/// distribution must be within `t` of the whole table's, i.e.
+/// (1/2) * sum_v |P_group(v) - P_table(v)| <= t.
+bool IsTClose(const Table& table, const Partition& partition, double t);
+
+/// The largest per-group total-variation distance from the table's SA
+/// distribution (so IsTClose(t) iff MaxSaDistributionDistance <= t).
+/// Returns 0 for an empty partition.
+double MaxSaDistributionDistance(const Table& table, const Partition& partition);
+
+/// m-invariance's static core (Xiao and Tao [49], Section 2, for one
+/// release): every QI-group has exactly `m_groups` tuples, all with
+/// distinct SA values. Anatomy's perfect buckets satisfy this.
+bool IsMUnique(const Table& table, const Partition& partition, std::uint32_t m_groups);
+
+}  // namespace ldv
+
+#endif  // LDIV_ANONYMITY_PRINCIPLES_H_

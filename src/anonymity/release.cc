@@ -1,0 +1,85 @@
+#include "anonymity/release.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace ldv {
+
+bool WriteReleaseCsv(const Table& table, const GeneralizedTable& generalized,
+                     const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  const Schema& schema = table.schema();
+  for (std::size_t a = 0; a < schema.qi_count(); ++a) {
+    out << schema.qi(static_cast<AttrId>(a)).name << ",";
+  }
+  out << schema.sensitive().name << "\n";
+  for (GroupId g = 0; g < generalized.group_count(); ++g) {
+    const std::vector<Value>& sig = generalized.signature(g);
+    for (RowId r : generalized.rows(g)) {
+      for (Value v : sig) {
+        if (IsStar(v)) {
+          out << "*,";
+        } else {
+          out << v << ",";
+        }
+      }
+      out << table.sa(r) << "\n";
+    }
+  }
+  return static_cast<bool>(out);
+}
+
+namespace {
+
+// Parses one cell: '*' or a non-negative integer below `bound`.
+bool ParseCell(const std::string& cell, std::uint64_t bound, Value* out) {
+  if (cell == "*") {
+    *out = kStar;
+    return true;
+  }
+  if (cell.empty()) return false;
+  std::uint64_t v = 0;
+  for (char c : cell) {
+    if (c < '0' || c > '9') return false;
+    v = v * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  if (v >= bound) return false;
+  *out = static_cast<Value>(v);
+  return true;
+}
+
+}  // namespace
+
+std::optional<std::vector<ReleaseRow>> ReadReleaseCsv(const Schema& schema,
+                                                      const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+  std::string line;
+  if (!std::getline(in, line)) return std::nullopt;  // header
+
+  std::vector<ReleaseRow> rows;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    ReleaseRow row;
+    std::stringstream ss(line);
+    std::string cell;
+    for (std::size_t a = 0; a < schema.qi_count(); ++a) {
+      if (!std::getline(ss, cell, ',')) return std::nullopt;
+      Value v;
+      if (!ParseCell(cell, schema.qi(static_cast<AttrId>(a)).domain_size, &v)) {
+        return std::nullopt;
+      }
+      row.qi.push_back(v);
+    }
+    if (!std::getline(ss, cell, ',')) return std::nullopt;
+    Value sa;
+    if (!ParseCell(cell, schema.sa_domain_size(), &sa) || IsStar(sa)) return std::nullopt;
+    row.sa = sa;
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+}  // namespace ldv

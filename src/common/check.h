@@ -1,0 +1,72 @@
+#ifndef LDIV_COMMON_CHECK_H_
+#define LDIV_COMMON_CHECK_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+// CHECK-style invariant macros in the spirit of production database code
+// (Status objects are used for recoverable errors; CHECKs guard programmer
+// invariants that must never be violated at runtime).
+//
+// LDIV_CHECK(cond) << "message";  aborts with file:line and the message when
+// `cond` is false. LDIV_DCHECK compiles away in NDEBUG builds.
+
+namespace ldv {
+namespace internal {
+
+/// Accumulates a failure message and aborts the process on destruction.
+/// Instances are created only by the LDIV_CHECK family of macros.
+class CheckFailureStream {
+ public:
+  CheckFailureStream(const char* file, int line, const char* expr) {
+    stream_ << "CHECK failed at " << file << ":" << line << ": " << expr;
+  }
+
+  CheckFailureStream(const CheckFailureStream&) = delete;
+  CheckFailureStream& operator=(const CheckFailureStream&) = delete;
+
+  [[noreturn]] ~CheckFailureStream() {
+    std::cerr << stream_.str() << std::endl;
+    std::abort();
+  }
+
+  template <typename T>
+  CheckFailureStream& operator<<(const T& value) {
+    stream_ << " " << value;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+/// Swallows streamed values when a check passes; enables the
+/// `cond ? (void)0 : Voidify() & stream` idiom.
+struct Voidify {
+  void operator&(const CheckFailureStream&) {}
+};
+
+}  // namespace internal
+}  // namespace ldv
+
+#define LDIV_CHECK(cond)                            \
+  (cond) ? (void)0                                  \
+         : ::ldv::internal::Voidify() &            \
+               ::ldv::internal::CheckFailureStream(__FILE__, __LINE__, #cond)
+
+#define LDIV_CHECK_EQ(a, b) LDIV_CHECK((a) == (b)) << "(" << (a) << " vs " << (b) << ")"
+#define LDIV_CHECK_NE(a, b) LDIV_CHECK((a) != (b)) << "(" << (a) << " vs " << (b) << ")"
+#define LDIV_CHECK_LT(a, b) LDIV_CHECK((a) < (b)) << "(" << (a) << " vs " << (b) << ")"
+#define LDIV_CHECK_LE(a, b) LDIV_CHECK((a) <= (b)) << "(" << (a) << " vs " << (b) << ")"
+#define LDIV_CHECK_GT(a, b) LDIV_CHECK((a) > (b)) << "(" << (a) << " vs " << (b) << ")"
+#define LDIV_CHECK_GE(a, b) LDIV_CHECK((a) >= (b)) << "(" << (a) << " vs " << (b) << ")"
+
+#ifdef NDEBUG
+#define LDIV_DCHECK(cond) LDIV_CHECK(true)
+#else
+#define LDIV_DCHECK(cond) LDIV_CHECK(cond)
+#endif
+
+#endif  // LDIV_COMMON_CHECK_H_

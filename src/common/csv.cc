@@ -1,0 +1,73 @@
+#include "common/csv.h"
+
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+namespace ldv {
+
+namespace {
+
+// Parses one CSV line of non-negative integers. Returns false on any
+// malformed cell.
+bool ParseIntLine(const std::string& line, std::vector<std::uint64_t>& out) {
+  out.clear();
+  std::size_t pos = 0;
+  while (pos <= line.size()) {
+    std::size_t comma = line.find(',', pos);
+    std::string cell = line.substr(pos, comma == std::string::npos ? std::string::npos
+                                                                   : comma - pos);
+    if (cell.empty()) return false;
+    std::uint64_t value = 0;
+    for (char c : cell) {
+      if (c < '0' || c > '9') return false;
+      value = value * 10 + static_cast<std::uint64_t>(c - '0');
+    }
+    out.push_back(value);
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool WriteTableCsv(const Table& table, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  const Schema& schema = table.schema();
+  for (std::size_t i = 0; i < schema.qi_count(); ++i) {
+    out << schema.qi(static_cast<AttrId>(i)).name << ",";
+  }
+  out << schema.sensitive().name << "\n";
+  for (RowId r = 0; r < table.size(); ++r) {
+    for (Value v : table.qi_row(r)) out << v << ",";
+    out << table.sa(r) << "\n";
+  }
+  return static_cast<bool>(out);
+}
+
+std::optional<Table> ReadTableCsv(const Schema& schema, const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+  std::string line;
+  if (!std::getline(in, line)) return std::nullopt;  // header
+
+  Table table(schema);
+  std::vector<std::uint64_t> cells;
+  std::vector<Value> qi(schema.qi_count());
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    if (!ParseIntLine(line, cells)) return std::nullopt;
+    if (cells.size() != schema.qi_count() + 1) return std::nullopt;
+    for (std::size_t i = 0; i < schema.qi_count(); ++i) {
+      if (cells[i] >= schema.qi(static_cast<AttrId>(i)).domain_size) return std::nullopt;
+      qi[i] = static_cast<Value>(cells[i]);
+    }
+    if (cells.back() >= schema.sa_domain_size()) return std::nullopt;
+    table.AppendRow(qi, static_cast<SaValue>(cells.back()));
+  }
+  return table;
+}
+
+}  // namespace ldv

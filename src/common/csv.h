@@ -1,0 +1,23 @@
+#ifndef LDIV_COMMON_CSV_H_
+#define LDIV_COMMON_CSV_H_
+
+#include <optional>
+#include <string>
+
+#include "common/table.h"
+
+namespace ldv {
+
+/// Writes `table` as CSV with a header row (QI attribute names then the SA
+/// name). Values are written as their integer codes; suppression markers
+/// never appear in raw microdata. Returns false on I/O failure.
+bool WriteTableCsv(const Table& table, const std::string& path);
+
+/// Reads a CSV file produced by WriteTableCsv back into a table with the
+/// given schema. Returns std::nullopt on I/O or parse failure (wrong column
+/// count, non-numeric cell, value outside its domain).
+std::optional<Table> ReadTableCsv(const Schema& schema, const std::string& path);
+
+}  // namespace ldv
+
+#endif  // LDIV_COMMON_CSV_H_

@@ -1,0 +1,94 @@
+#include "common/grouped_table.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/check.h"
+
+namespace ldv {
+
+std::uint32_t QiGroup::SaCount(SaValue v) const {
+  auto it = std::lower_bound(
+      sa_runs.begin(), sa_runs.end(), v,
+      [](const std::pair<SaValue, std::uint32_t>& run, SaValue value) {
+        return run.first < value;
+      });
+  if (it == sa_runs.end() || it->first != v) return 0;
+  return RunLength(static_cast<std::size_t>(it - sa_runs.begin()));
+}
+
+SaHistogram QiGroup::ToHistogram(std::size_t m) const {
+  SaHistogram h(m);
+  for (std::size_t i = 0; i < sa_runs.size(); ++i) h.Add(sa_runs[i].first, RunLength(i));
+  return h;
+}
+
+namespace {
+
+// Hash of the QI signature of a row (FNV-1a); full signatures are compared
+// on collision.
+struct QiKey {
+  const Table* table;
+  RowId row;
+};
+
+struct QiKeyHash {
+  std::size_t operator()(const QiKey& k) const {
+    std::uint64_t h = 1469598103934665603ULL;
+    for (Value v : k.table->qi_row(k.row)) {
+      h ^= v;
+      h *= 1099511628211ULL;
+    }
+    return static_cast<std::size_t>(h);
+  }
+};
+
+struct QiKeyEq {
+  bool operator()(const QiKey& a, const QiKey& b) const {
+    auto ra = a.table->qi_row(a.row);
+    auto rb = b.table->qi_row(b.row);
+    return std::equal(ra.begin(), ra.end(), rb.begin(), rb.end());
+  }
+};
+
+}  // namespace
+
+GroupedTable::GroupedTable(const Table& table) {
+  row_count_ = table.size();
+  sa_domain_size_ = table.schema().sa_domain_size();
+
+  std::unordered_map<QiKey, GroupId, QiKeyHash, QiKeyEq> index;
+  index.reserve(table.size() * 2);
+  for (RowId r = 0; r < table.size(); ++r) {
+    QiKey key{&table, r};
+    auto [it, inserted] = index.try_emplace(key, static_cast<GroupId>(groups_.size()));
+    if (inserted) {
+      QiGroup group;
+      auto qi = table.qi_row(r);
+      group.qi_values.assign(qi.begin(), qi.end());
+      groups_.push_back(std::move(group));
+    }
+    groups_[it->second].rows.push_back(r);
+  }
+
+  // Sort each group's rows by SA value (stable so row order within a value
+  // is deterministic), then build the runs.
+  for (QiGroup& group : groups_) {
+    std::stable_sort(group.rows.begin(), group.rows.end(),
+                     [&](RowId a, RowId b) { return table.sa(a) < table.sa(b); });
+    for (std::uint32_t i = 0; i < group.rows.size(); ++i) {
+      SaValue v = table.sa(group.rows[i]);
+      if (group.sa_runs.empty() || group.sa_runs.back().first != v) {
+        group.sa_runs.emplace_back(v, i);
+      }
+    }
+  }
+}
+
+std::uint64_t GroupedTable::MaxGroupSize() const {
+  std::uint64_t best = 0;
+  for (const QiGroup& g : groups_) best = std::max<std::uint64_t>(best, g.size());
+  return best;
+}
+
+}  // namespace ldv

@@ -1,0 +1,79 @@
+#ifndef LDIV_COMMON_GROUPED_TABLE_H_
+#define LDIV_COMMON_GROUPED_TABLE_H_
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "common/histogram.h"
+#include "common/table.h"
+#include "common/types.h"
+
+namespace ldv {
+
+/// One maximal set of rows sharing the same value on every QI attribute
+/// (the initial QI-groups Q_1..Q_s of Section 5.1). Rows are stored sorted
+/// by SA value, with one "run" per distinct SA value, so that h(Q, v) lookups
+/// and histogram-level tuple removals map back to concrete rows in O(1)
+/// without per-group O(m) storage (s can be close to n, so dense per-group
+/// arrays over the SA domain would cost O(s * m) memory).
+struct QiGroup {
+  /// The shared QI signature of all member rows.
+  std::vector<Value> qi_values;
+  /// Member rows, sorted by SA value (stable within a value).
+  std::vector<RowId> rows;
+  /// One entry per distinct SA value present: (value, begin offset into
+  /// `rows`), sorted by value. The run for sa_runs[i] ends where run i+1
+  /// begins (or at rows.size() for the last run).
+  std::vector<std::pair<SaValue, std::uint32_t>> sa_runs;
+
+  /// Total number of member rows |Q|.
+  std::size_t size() const { return rows.size(); }
+
+  /// Length of run `i`.
+  std::uint32_t RunLength(std::size_t i) const {
+    std::uint32_t end = (i + 1 < sa_runs.size()) ? sa_runs[i + 1].second
+                                                 : static_cast<std::uint32_t>(rows.size());
+    return end - sa_runs[i].second;
+  }
+
+  /// h(Q, v): number of member rows with SA value `v`. O(log k) in the
+  /// number of distinct values.
+  std::uint32_t SaCount(SaValue v) const;
+
+  /// Dense histogram over an SA domain of size `m`.
+  SaHistogram ToHistogram(std::size_t m) const;
+};
+
+/// A table grouped by exact QI signature: the starting point of the
+/// tuple-minimization formulation (Section 5.1). The number of groups is the
+/// paper's s.
+class GroupedTable {
+ public:
+  /// Groups `table` by QI signature. O(n) expected time via hashing.
+  explicit GroupedTable(const Table& table);
+
+  /// Number of groups s.
+  std::size_t group_count() const { return groups_.size(); }
+
+  const QiGroup& group(GroupId g) const { return groups_[g]; }
+  const std::vector<QiGroup>& groups() const { return groups_; }
+
+  /// Total number of rows n across all groups.
+  std::size_t row_count() const { return row_count_; }
+
+  /// SA domain size m.
+  std::size_t sa_domain_size() const { return sa_domain_size_; }
+
+  /// Largest group size.
+  std::uint64_t MaxGroupSize() const;
+
+ private:
+  std::vector<QiGroup> groups_;
+  std::size_t row_count_ = 0;
+  std::size_t sa_domain_size_ = 0;
+};
+
+}  // namespace ldv
+
+#endif  // LDIV_COMMON_GROUPED_TABLE_H_

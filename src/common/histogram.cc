@@ -1,0 +1,65 @@
+#include "common/histogram.h"
+
+#include <algorithm>
+#include <numeric>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace ldv {
+
+SaHistogram::SaHistogram(std::vector<std::uint32_t> counts) : counts_(std::move(counts)) {
+  total_ = std::accumulate(counts_.begin(), counts_.end(), std::uint64_t{0});
+}
+
+void SaHistogram::Add(SaValue v, std::uint32_t delta) {
+  LDIV_CHECK_LT(v, counts_.size());
+  counts_[v] += delta;
+  total_ += delta;
+}
+
+void SaHistogram::Remove(SaValue v, std::uint32_t delta) {
+  LDIV_CHECK_LT(v, counts_.size());
+  LDIV_CHECK_GE(counts_[v], delta);
+  counts_[v] -= delta;
+  total_ -= delta;
+}
+
+std::uint32_t SaHistogram::PillarHeight() const {
+  if (counts_.empty()) return 0;
+  return *std::max_element(counts_.begin(), counts_.end());
+}
+
+std::vector<SaValue> SaHistogram::Pillars() const {
+  std::vector<SaValue> pillars;
+  std::uint32_t h = PillarHeight();
+  if (h == 0) return pillars;
+  for (SaValue v = 0; v < counts_.size(); ++v) {
+    if (counts_[v] == h) pillars.push_back(v);
+  }
+  return pillars;
+}
+
+std::size_t SaHistogram::DistinctCount() const {
+  return static_cast<std::size_t>(
+      std::count_if(counts_.begin(), counts_.end(), [](std::uint32_t c) { return c > 0; }));
+}
+
+void SaHistogram::MergeFrom(const SaHistogram& other) {
+  LDIV_CHECK_EQ(counts_.size(), other.counts_.size());
+  for (SaValue v = 0; v < counts_.size(); ++v) counts_[v] += other.counts_[v];
+  total_ += other.total_;
+}
+
+std::string SaHistogram::ToString() const {
+  std::ostringstream out;
+  out << "(";
+  for (std::size_t v = 0; v < counts_.size(); ++v) {
+    if (v > 0) out << ",";
+    out << counts_[v];
+  }
+  out << ")";
+  return out.str();
+}
+
+}  // namespace ldv

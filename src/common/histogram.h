@@ -1,0 +1,80 @@
+#ifndef LDIV_COMMON_HISTOGRAM_H_
+#define LDIV_COMMON_HISTOGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace ldv {
+
+/// Multiset of SA values represented as a count vector, the h(Q, v) notation
+/// of Section 5.2. The three-phase algorithm treats QI-groups and the residue
+/// set R as SA-multisets; tuples with identical QI and SA values are
+/// interchangeable (Section 5.1).
+class SaHistogram {
+ public:
+  SaHistogram() = default;
+
+  /// Creates an empty histogram over an SA domain of size `m`.
+  explicit SaHistogram(std::size_t m) : counts_(m, 0) {}
+
+  /// Creates a histogram with the given counts (the paper's vector notation,
+  /// e.g. Q1 = (3, 1, 1, 2, 3) in Section 5.3).
+  explicit SaHistogram(std::vector<std::uint32_t> counts);
+
+  /// SA domain size m.
+  std::size_t domain_size() const { return counts_.size(); }
+
+  /// Count of SA value `v`: the paper's h(Q, v).
+  std::uint32_t count(SaValue v) const { return counts_[v]; }
+
+  /// Total number of tuples |Q|.
+  std::uint64_t total() const { return total_; }
+
+  bool empty() const { return total_ == 0; }
+
+  /// Adds `delta` tuples with SA value `v`.
+  void Add(SaValue v, std::uint32_t delta = 1);
+
+  /// Removes `delta` tuples with SA value `v`; the count must not underflow.
+  void Remove(SaValue v, std::uint32_t delta = 1);
+
+  /// The pillar height h(Q) = max_v h(Q, v) (Section 5.2). O(m) scan; the
+  /// performance-critical callers use PillarIndex instead.
+  std::uint32_t PillarHeight() const;
+
+  /// All pillar SA values, i.e. values whose count equals PillarHeight().
+  /// Empty when the histogram is empty.
+  std::vector<SaValue> Pillars() const;
+
+  /// Number of distinct SA values with positive count.
+  std::size_t DistinctCount() const;
+
+  /// The l-eligibility test of Definition 2: |Q| >= l * h(Q). The empty
+  /// multiset is l-eligible for every l.
+  bool IsEligible(std::uint32_t l) const {
+    return total_ >= static_cast<std::uint64_t>(l) * PillarHeight();
+  }
+
+  /// Merges another histogram into this one (Lemma 1 operates on unions).
+  void MergeFrom(const SaHistogram& other);
+
+  const std::vector<std::uint32_t>& counts() const { return counts_; }
+
+  /// Vector-style rendering, e.g. "(3,1,1,2,3)".
+  std::string ToString() const;
+
+  friend bool operator==(const SaHistogram& a, const SaHistogram& b) {
+    return a.counts_ == b.counts_;
+  }
+
+ private:
+  std::vector<std::uint32_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace ldv
+
+#endif  // LDIV_COMMON_HISTOGRAM_H_

@@ -1,0 +1,33 @@
+#include "common/rng.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ldv {
+
+ZipfSampler::ZipfSampler(std::size_t n, double s) {
+  LDIV_CHECK_GT(n, 0u);
+  LDIV_CHECK_GE(s, 0.0);
+  cdf_.resize(n);
+  double total = 0.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    total += 1.0 / std::pow(static_cast<double>(k + 1), s);
+    cdf_[k] = total;
+  }
+  for (std::size_t k = 0; k < n; ++k) cdf_[k] /= total;
+  cdf_.back() = 1.0;  // guard against floating point shortfall
+}
+
+std::uint32_t ZipfSampler::Sample(Rng& rng) const {
+  double u = rng.NextDouble();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) --it;
+  return static_cast<std::uint32_t>(it - cdf_.begin());
+}
+
+double ZipfSampler::Pmf(std::uint32_t k) const {
+  LDIV_CHECK_LT(k, cdf_.size());
+  return k == 0 ? cdf_[0] : cdf_[k] - cdf_[k - 1];
+}
+
+}  // namespace ldv

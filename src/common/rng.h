@@ -1,0 +1,98 @@
+#ifndef LDIV_COMMON_RNG_H_
+#define LDIV_COMMON_RNG_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/check.h"
+
+namespace ldv {
+
+/// Deterministic, platform-independent pseudo-random number generator
+/// (PCG32, O'Neill 2014). We avoid <random> distributions because their
+/// output is not specified bit-for-bit across standard library
+/// implementations; every experiment in this repository must be exactly
+/// reproducible from a seed.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x853c49e6748fea9bULL) { Reseed(seed); }
+
+  /// Re-initializes the generator state from `seed`.
+  void Reseed(std::uint64_t seed) {
+    state_ = 0;
+    inc_ = (seed << 1u) | 1u;
+    Next32();
+    state_ += 0x853c49e6748fea9bULL + seed;
+    Next32();
+  }
+
+  /// Uniform 32-bit output.
+  std::uint32_t Next32() {
+    std::uint64_t old = state_;
+    state_ = old * 6364136223846793005ULL + inc_;
+    std::uint32_t xorshifted = static_cast<std::uint32_t>(((old >> 18u) ^ old) >> 27u);
+    std::uint32_t rot = static_cast<std::uint32_t>(old >> 59u);
+    return (xorshifted >> rot) | (xorshifted << ((32u - rot) & 31u));
+  }
+
+  /// Uniform 64-bit output.
+  std::uint64_t Next64() {
+    return (static_cast<std::uint64_t>(Next32()) << 32) | Next32();
+  }
+
+  /// Uniform integer in [0, bound). `bound` must be positive.
+  /// Uses Lemire-style rejection to avoid modulo bias.
+  std::uint32_t Below(std::uint32_t bound) {
+    LDIV_CHECK_GT(bound, 0u);
+    std::uint32_t threshold = (-bound) % bound;
+    for (;;) {
+      std::uint32_t r = Next32();
+      if (r >= threshold) return r % bound;
+    }
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next64() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Fisher-Yates shuffle of `items`.
+  template <typename T>
+  void Shuffle(std::vector<T>& items) {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      std::size_t j = Below(static_cast<std::uint32_t>(i));
+      std::swap(items[i - 1], items[j]);
+    }
+  }
+
+ private:
+  std::uint64_t state_ = 0;
+  std::uint64_t inc_ = 0;
+};
+
+/// Samples from a Zipf(s) distribution over {0, ..., n-1}: P(k) proportional
+/// to 1/(k+1)^s. Census-style categorical attributes (occupation codes,
+/// income bands, birth places) are heavily skewed; Zipf marginals are the
+/// standard synthetic stand-in. Sampling is done by inverse CDF over a
+/// precomputed table (domains here are small, at most a few hundred values).
+class ZipfSampler {
+ public:
+  /// Builds the sampler for domain size `n` and skew `s >= 0`
+  /// (s = 0 is the uniform distribution).
+  ZipfSampler(std::size_t n, double s);
+
+  /// Draws one sample in [0, n).
+  std::uint32_t Sample(Rng& rng) const;
+
+  /// Probability mass of value `k`.
+  double Pmf(std::uint32_t k) const;
+
+  std::size_t domain_size() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;  // cdf_[k] = P(value <= k)
+};
+
+}  // namespace ldv
+
+#endif  // LDIV_COMMON_RNG_H_

@@ -1,0 +1,57 @@
+#include "common/schema.h"
+
+#include <sstream>
+
+#include "common/check.h"
+
+namespace ldv {
+
+Schema::Schema(std::vector<Attribute> qi_attributes, Attribute sensitive_attribute)
+    : qi_attributes_(std::move(qi_attributes)), sensitive_(std::move(sensitive_attribute)) {}
+
+const Attribute& Schema::qi(AttrId i) const {
+  LDIV_CHECK_LT(i, qi_attributes_.size());
+  return qi_attributes_[i];
+}
+
+Schema Schema::Project(const std::vector<AttrId>& qi_subset) const {
+  std::vector<Attribute> kept;
+  kept.reserve(qi_subset.size());
+  for (AttrId i : qi_subset) {
+    LDIV_CHECK_LT(i, qi_attributes_.size());
+    kept.push_back(qi_attributes_[i]);
+  }
+  return Schema(std::move(kept), sensitive_);
+}
+
+bool Schema::Valid() const {
+  if (sensitive_.domain_size == 0) return false;
+  for (const Attribute& a : qi_attributes_) {
+    if (a.domain_size == 0) return false;
+  }
+  return true;
+}
+
+std::string Schema::ToString() const {
+  std::ostringstream out;
+  for (std::size_t i = 0; i < qi_attributes_.size(); ++i) {
+    if (i > 0) out << ",";
+    out << qi_attributes_[i].name << "(" << qi_attributes_[i].domain_size << ")";
+  }
+  out << "|" << sensitive_.name << "(" << sensitive_.domain_size << ")";
+  return out.str();
+}
+
+bool operator==(const Schema& a, const Schema& b) {
+  if (a.qi_attributes_.size() != b.qi_attributes_.size()) return false;
+  for (std::size_t i = 0; i < a.qi_attributes_.size(); ++i) {
+    if (a.qi_attributes_[i].name != b.qi_attributes_[i].name ||
+        a.qi_attributes_[i].domain_size != b.qi_attributes_[i].domain_size) {
+      return false;
+    }
+  }
+  return a.sensitive_.name == b.sensitive_.name &&
+         a.sensitive_.domain_size == b.sensitive_.domain_size;
+}
+
+}  // namespace ldv

@@ -1,0 +1,62 @@
+#ifndef LDIV_COMMON_SCHEMA_H_
+#define LDIV_COMMON_SCHEMA_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace ldv {
+
+/// Description of one categorical attribute: its name and domain size.
+/// Values of the attribute are integer codes in [0, domain_size).
+struct Attribute {
+  std::string name;
+  std::size_t domain_size = 0;
+};
+
+/// Schema of a microdata table (Section 3): d quasi-identifier attributes
+/// A_1..A_d plus one sensitive attribute B. All attributes are categorical.
+class Schema {
+ public:
+  Schema() = default;
+
+  /// Builds a schema from QI attribute descriptions and the SA description.
+  Schema(std::vector<Attribute> qi_attributes, Attribute sensitive_attribute);
+
+  /// Number of QI attributes (the paper's dimensionality d).
+  std::size_t qi_count() const { return qi_attributes_.size(); }
+
+  /// The i-th QI attribute (0-based).
+  const Attribute& qi(AttrId i) const;
+
+  /// The sensitive attribute B.
+  const Attribute& sensitive() const { return sensitive_; }
+
+  /// Domain size m of the sensitive attribute.
+  std::size_t sa_domain_size() const { return sensitive_.domain_size; }
+
+  /// Returns a new schema keeping only the QI attributes listed in
+  /// `qi_subset` (in the given order). The SA attribute is always kept.
+  /// This models the paper's SAL-d / OCC-d projection workloads.
+  Schema Project(const std::vector<AttrId>& qi_subset) const;
+
+  /// True if every QI domain size and the SA domain size are positive.
+  bool Valid() const;
+
+  /// Human-readable one-line description, e.g. "Age(79),Gender(2)|Income(50)".
+  std::string ToString() const;
+
+  friend bool operator==(const Schema& a, const Schema& b);
+
+ private:
+  std::vector<Attribute> qi_attributes_;
+  Attribute sensitive_;
+};
+
+bool operator==(const Schema& a, const Schema& b);
+
+}  // namespace ldv
+
+#endif  // LDIV_COMMON_SCHEMA_H_

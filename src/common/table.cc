@@ -1,0 +1,77 @@
+#include "common/table.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace ldv {
+
+Table::Table(Schema schema) : schema_(std::move(schema)) {
+  LDIV_CHECK(schema_.Valid()) << "invalid schema:" << schema_.ToString();
+}
+
+void Table::AppendRow(std::span<const Value> qi_values, SaValue sa) {
+  LDIV_CHECK_EQ(qi_values.size(), qi_count());
+  for (std::size_t i = 0; i < qi_values.size(); ++i) {
+    LDIV_CHECK_LT(qi_values[i], schema_.qi(static_cast<AttrId>(i)).domain_size);
+  }
+  LDIV_CHECK_LT(sa, schema_.sa_domain_size());
+  qi_data_.insert(qi_data_.end(), qi_values.begin(), qi_values.end());
+  sa_data_.push_back(sa);
+}
+
+void Table::Reserve(std::size_t rows) {
+  qi_data_.reserve(rows * qi_count());
+  sa_data_.reserve(rows);
+}
+
+std::vector<std::uint32_t> Table::SaHistogramCounts() const {
+  std::vector<std::uint32_t> counts(schema_.sa_domain_size(), 0);
+  for (SaValue v : sa_data_) counts[v]++;
+  return counts;
+}
+
+std::size_t Table::DistinctSaCount() const {
+  std::vector<std::uint32_t> counts = SaHistogramCounts();
+  return static_cast<std::size_t>(
+      std::count_if(counts.begin(), counts.end(), [](std::uint32_t c) { return c > 0; }));
+}
+
+Table Table::ProjectQi(const std::vector<AttrId>& qi_subset) const {
+  Table out(schema_.Project(qi_subset));
+  out.Reserve(size());
+  std::vector<Value> row(qi_subset.size());
+  for (RowId r = 0; r < size(); ++r) {
+    for (std::size_t j = 0; j < qi_subset.size(); ++j) row[j] = qi(r, qi_subset[j]);
+    out.AppendRow(row, sa(r));
+  }
+  return out;
+}
+
+Table Table::SelectRows(const std::vector<RowId>& rows) const {
+  Table out(schema_);
+  out.Reserve(rows.size());
+  for (RowId r : rows) {
+    LDIV_CHECK_LT(r, size());
+    out.AppendRow(qi_row(r), sa(r));
+  }
+  return out;
+}
+
+Table Table::SampleRows(std::size_t count, Rng& rng) const {
+  if (count >= size()) return *this;
+  std::vector<RowId> all(size());
+  std::iota(all.begin(), all.end(), 0u);
+  // Partial Fisher-Yates: the first `count` entries become the sample.
+  for (std::size_t i = 0; i < count; ++i) {
+    std::size_t j = i + rng.Below(static_cast<std::uint32_t>(size() - i));
+    std::swap(all[i], all[j]);
+  }
+  all.resize(count);
+  std::sort(all.begin(), all.end());
+  return SelectRows(all);
+}
+
+}  // namespace ldv

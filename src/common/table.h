@@ -1,0 +1,84 @@
+#ifndef LDIV_COMMON_TABLE_H_
+#define LDIV_COMMON_TABLE_H_
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/schema.h"
+#include "common/types.h"
+
+namespace ldv {
+
+class Rng;
+
+/// A raw microdata table T (Section 3): n rows over d categorical QI
+/// attributes and one categorical sensitive attribute. Storage is row-major
+/// for the QI part (`qi_data_[row * d + attr]`) with the SA column kept
+/// separately, because the anonymization algorithms touch SA values far more
+/// often than QI values.
+class Table {
+ public:
+  /// Creates an empty table with the given schema.
+  explicit Table(Schema schema);
+
+  Table(const Table&) = default;
+  Table& operator=(const Table&) = default;
+  Table(Table&&) = default;
+  Table& operator=(Table&&) = default;
+
+  const Schema& schema() const { return schema_; }
+
+  /// Number of rows (the paper's n).
+  std::size_t size() const { return sa_data_.size(); }
+  bool empty() const { return sa_data_.empty(); }
+
+  /// Number of QI attributes (the paper's d).
+  std::size_t qi_count() const { return schema_.qi_count(); }
+
+  /// Appends a row. `qi_values.size()` must equal `qi_count()`, each value
+  /// must lie in its attribute domain, and `sa` must lie in the SA domain.
+  void AppendRow(std::span<const Value> qi_values, SaValue sa);
+
+  /// Reserves storage for `rows` rows.
+  void Reserve(std::size_t rows);
+
+  /// QI value of row `row` on attribute `attr`.
+  Value qi(RowId row, AttrId attr) const {
+    return qi_data_[static_cast<std::size_t>(row) * qi_count() + attr];
+  }
+
+  /// The full QI vector of row `row`.
+  std::span<const Value> qi_row(RowId row) const {
+    return {qi_data_.data() + static_cast<std::size_t>(row) * qi_count(), qi_count()};
+  }
+
+  /// SA value of row `row`.
+  SaValue sa(RowId row) const { return sa_data_[row]; }
+
+  /// Histogram of SA values over the whole table: result[v] = #rows with SA v.
+  std::vector<std::uint32_t> SaHistogramCounts() const;
+
+  /// Number of distinct SA values that actually occur (the paper's m).
+  std::size_t DistinctSaCount() const;
+
+  /// Returns the projection of this table onto the QI attributes in
+  /// `qi_subset` (order preserved); SA is always kept. Models SAL-d / OCC-d.
+  Table ProjectQi(const std::vector<AttrId>& qi_subset) const;
+
+  /// Returns a table containing only the rows in `rows` (in order).
+  Table SelectRows(const std::vector<RowId>& rows) const;
+
+  /// Returns a uniform random sample (without replacement) of `count` rows.
+  /// If `count >= size()`, returns a copy of the whole table.
+  Table SampleRows(std::size_t count, Rng& rng) const;
+
+ private:
+  Schema schema_;
+  std::vector<Value> qi_data_;   // row-major, size = n * d
+  std::vector<SaValue> sa_data_;  // size = n
+};
+
+}  // namespace ldv
+
+#endif  // LDIV_COMMON_TABLE_H_

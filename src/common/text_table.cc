@@ -1,0 +1,54 @@
+#include "common/text_table.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace ldv {
+
+TextTable::TextTable(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+void TextTable::AddRow(std::vector<std::string> cells) {
+  LDIV_CHECK_EQ(cells.size(), headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void TextTable::AddRow(std::initializer_list<double> cells, int precision) {
+  std::vector<std::string> row;
+  row.reserve(cells.size());
+  for (double c : cells) row.push_back(FormatDouble(c, precision));
+  AddRow(std::move(row));
+}
+
+std::string TextTable::ToString() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::ostringstream out;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out << std::setw(static_cast<int>(widths[c])) << row[c];
+      out << (c + 1 == row.size() ? "\n" : "  ");
+    }
+  };
+  emit_row(headers_);
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    out << std::string(widths[c], '-') << (c + 1 == headers_.size() ? "\n" : "  ");
+  }
+  for (const auto& row : rows_) emit_row(row);
+  return out.str();
+}
+
+std::string FormatDouble(double value, int precision) {
+  std::ostringstream out;
+  out << std::fixed << std::setprecision(precision) << value;
+  return out.str();
+}
+
+}  // namespace ldv

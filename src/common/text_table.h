@@ -1,0 +1,35 @@
+#ifndef LDIV_COMMON_TEXT_TABLE_H_
+#define LDIV_COMMON_TEXT_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace ldv {
+
+/// Column-aligned plain-text table used by the benchmark harness to print
+/// paper-style result rows (one TextTable per reproduced figure/table).
+class TextTable {
+ public:
+  /// Creates a table with the given column headers.
+  explicit TextTable(std::vector<std::string> headers);
+
+  /// Appends one row; the cell count must match the header count.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Convenience: formats each cell with the right printf-like conversion.
+  void AddRow(std::initializer_list<double> cells, int precision = 3);
+
+  /// Renders the table with padded columns and a header separator.
+  std::string ToString() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats `value` with fixed `precision` digits after the decimal point.
+std::string FormatDouble(double value, int precision = 3);
+
+}  // namespace ldv
+
+#endif  // LDIV_COMMON_TEXT_TABLE_H_

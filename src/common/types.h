@@ -1,0 +1,36 @@
+#ifndef LDIV_COMMON_TYPES_H_
+#define LDIV_COMMON_TYPES_H_
+
+#include <cstdint>
+#include <limits>
+
+namespace ldv {
+
+/// A categorical attribute value. The microdata model of the paper (Section 3)
+/// is fully categorical: every attribute value is an integer code into the
+/// attribute's domain `[0, domain_size)`.
+using Value = std::uint32_t;
+
+/// The suppression marker '*' used by generalization (Definition 1).
+/// It is deliberately outside every valid domain.
+inline constexpr Value kStar = std::numeric_limits<Value>::max();
+
+/// Index of an attribute within a schema (0-based; the paper writes A_1..A_d).
+using AttrId = std::uint32_t;
+
+/// Index of a row (tuple) within a table. The paper's cardinality n.
+using RowId = std::uint32_t;
+
+/// Index of a QI-group within a partition or grouped table.
+using GroupId = std::uint32_t;
+
+/// A sensitive-attribute value. The paper assumes SA values come from the
+/// integer domain [m] = {1, ..., m}; we use 0-based codes [0, m).
+using SaValue = std::uint32_t;
+
+/// Returns true if `v` is the suppression marker.
+inline constexpr bool IsStar(Value v) { return v == kStar; }
+
+}  // namespace ldv
+
+#endif  // LDIV_COMMON_TYPES_H_

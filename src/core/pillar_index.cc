@@ -1,0 +1,139 @@
+#include "core/pillar_index.h"
+
+#include <algorithm>
+
+namespace ldv {
+
+PillarIndex::PillarIndex(const std::vector<std::pair<SaValue, std::uint32_t>>& entries) {
+  values_.reserve(entries.size());
+  counts_.reserve(entries.size());
+  std::uint32_t max_count = 0;
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    if (i > 0) LDIV_CHECK_LT(entries[i - 1].first, entries[i].first);
+    values_.push_back(entries[i].first);
+    counts_.push_back(entries[i].second);
+    max_count = std::max(max_count, entries[i].second);
+  }
+  prev_.assign(values_.size(), kNil);
+  next_.assign(values_.size(), kNil);
+  level_head_.assign(max_count + 1, kNil);
+  // Link in reverse slot order so each level list is ascending by slot id.
+  for (std::uint32_t slot = static_cast<std::uint32_t>(values_.size()); slot-- > 0;) {
+    std::uint32_t c = counts_[slot];
+    total_ += c;
+    if (c > 0) {
+      ++distinct_;
+      LinkAtLevel(slot, c);
+      max_level_ = std::max(max_level_, c);
+    }
+  }
+}
+
+PillarIndex PillarIndex::DenseEmpty(std::size_t m) {
+  std::vector<std::pair<SaValue, std::uint32_t>> entries;
+  entries.reserve(m);
+  for (SaValue v = 0; v < m; ++v) entries.emplace_back(v, 0u);
+  return PillarIndex(entries);
+}
+
+PillarIndex PillarIndex::FromHistogram(const SaHistogram& h) {
+  std::vector<std::pair<SaValue, std::uint32_t>> entries;
+  entries.reserve(h.domain_size());
+  for (SaValue v = 0; v < h.domain_size(); ++v) entries.emplace_back(v, h.count(v));
+  return PillarIndex(entries);
+}
+
+std::int64_t PillarIndex::FindSlot(SaValue v) const {
+  auto it = std::lower_bound(values_.begin(), values_.end(), v);
+  if (it == values_.end() || *it != v) return -1;
+  return it - values_.begin();
+}
+
+std::uint32_t PillarIndex::CountOf(SaValue v) const {
+  std::int64_t slot = FindSlot(v);
+  return slot < 0 ? 0 : counts_[static_cast<std::uint32_t>(slot)];
+}
+
+bool PillarIndex::IsPillarValue(SaValue v) const {
+  std::int64_t slot = FindSlot(v);
+  return slot >= 0 && IsPillarSlot(static_cast<std::uint32_t>(slot));
+}
+
+std::uint32_t PillarIndex::FirstPillarSlot() const {
+  LDIV_CHECK_GT(max_level_, 0u) << "empty multiset has no pillar";
+  return static_cast<std::uint32_t>(level_head_[max_level_]);
+}
+
+std::vector<std::uint32_t> PillarIndex::PillarSlots() const {
+  std::vector<std::uint32_t> slots;
+  if (max_level_ == 0) return slots;
+  for (std::int32_t s = level_head_[max_level_]; s != kNil; s = next_[s]) {
+    slots.push_back(static_cast<std::uint32_t>(s));
+  }
+  return slots;
+}
+
+void PillarIndex::Unlink(std::uint32_t slot, std::uint32_t level) {
+  std::int32_t p = prev_[slot];
+  std::int32_t n = next_[slot];
+  if (p != kNil) {
+    next_[p] = n;
+  } else {
+    level_head_[level] = n;
+  }
+  if (n != kNil) prev_[n] = p;
+  prev_[slot] = kNil;
+  next_[slot] = kNil;
+}
+
+void PillarIndex::LinkAtLevel(std::uint32_t slot, std::uint32_t level) {
+  if (level >= level_head_.size()) level_head_.resize(level + 1, kNil);
+  std::int32_t head = level_head_[level];
+  prev_[slot] = kNil;
+  next_[slot] = head;
+  if (head != kNil) prev_[head] = static_cast<std::int32_t>(slot);
+  level_head_[level] = static_cast<std::int32_t>(slot);
+}
+
+void PillarIndex::Decrement(std::uint32_t slot) {
+  std::uint32_t c = counts_[slot];
+  LDIV_CHECK_GT(c, 0u);
+  Unlink(slot, c);
+  counts_[slot] = c - 1;
+  --total_;
+  if (c - 1 > 0) {
+    LinkAtLevel(slot, c - 1);
+  } else {
+    --distinct_;
+  }
+  // The pillar pointer only moves down on removals; across the lifetime of a
+  // QI-group this costs O(initial height) in total, i.e. amortized O(1) per
+  // operation (Section 5.5).
+  while (max_level_ > 0 && level_head_[max_level_] == kNil) --max_level_;
+}
+
+void PillarIndex::Increment(std::uint32_t slot) {
+  std::uint32_t c = counts_[slot];
+  if (c > 0) {
+    Unlink(slot, c);
+  } else {
+    ++distinct_;
+  }
+  counts_[slot] = c + 1;
+  ++total_;
+  LinkAtLevel(slot, c + 1);
+  max_level_ = std::max(max_level_, c + 1);
+}
+
+SaHistogram PillarIndex::ToHistogram(std::size_t m) const {
+  SaHistogram h(m);
+  for (std::uint32_t slot = 0; slot < values_.size(); ++slot) {
+    if (counts_[slot] > 0) {
+      LDIV_CHECK_LT(values_[slot], m);
+      h.Add(values_[slot], counts_[slot]);
+    }
+  }
+  return h;
+}
+
+}  // namespace ldv

@@ -1,0 +1,136 @@
+#ifndef LDIV_CORE_PILLAR_INDEX_H_
+#define LDIV_CORE_PILLAR_INDEX_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+#include "common/histogram.h"
+#include "common/types.h"
+
+namespace ldv {
+
+/// The inverted-list structure of Section 5.5.
+///
+/// A PillarIndex represents one SA-multiset (a QI-group Q_i or the residue
+/// set R). It maintains, for every tracked SA value, its multiplicity, and a
+/// doubly-linked list of values per multiplicity level ("the j-th entry A[j]
+/// contains a pointer to a list of SA values v such that h(Q_i, v) = j"),
+/// together with the pillar pointer p_i = the maximum nonempty level.
+///
+/// Tracked values are addressed by dense local *slots* [0, slot_count);
+/// each slot is bound to one SA value. QI-groups track only the values they
+/// actually contain (sum over groups is O(n) memory even when s is close to
+/// n), whereas the residue set tracks the whole SA domain so that counts can
+/// grow from zero.
+///
+/// Increment and Decrement are O(1); the pillar pointer moves monotonically
+/// per direction, so its maintenance is amortized O(1) exactly as argued in
+/// Section 5.5.
+class PillarIndex {
+ public:
+  /// Builds an index over the given (value, count) pairs. Values must be
+  /// strictly increasing; counts may be zero.
+  explicit PillarIndex(const std::vector<std::pair<SaValue, std::uint32_t>>& entries);
+
+  /// Builds a dense index tracking every value of an SA domain of size `m`,
+  /// all counts zero. Used for the residue set R.
+  static PillarIndex DenseEmpty(std::size_t m);
+
+  /// Builds an index from a dense histogram, tracking every domain value.
+  static PillarIndex FromHistogram(const SaHistogram& h);
+
+  /// Number of tracked slots.
+  std::size_t slot_count() const { return values_.size(); }
+
+  /// SA value bound to `slot`.
+  SaValue value(std::uint32_t slot) const { return values_[slot]; }
+
+  /// Current multiplicity of `slot`.
+  std::uint32_t count(std::uint32_t slot) const { return counts_[slot]; }
+
+  /// Slot bound to SA value `v`, or -1 if `v` is not tracked. O(log k).
+  std::int64_t FindSlot(SaValue v) const;
+
+  /// Multiplicity of SA value `v` (0 if untracked).
+  std::uint32_t CountOf(SaValue v) const;
+
+  /// Total multiset size |Q|.
+  std::uint64_t total() const { return total_; }
+  bool empty() const { return total_ == 0; }
+
+  /// The pillar height h(Q) (0 for an empty multiset).
+  std::uint32_t PillarHeight() const { return max_level_; }
+
+  /// True if `slot` currently holds a pillar (count > 0 and maximal).
+  bool IsPillarSlot(std::uint32_t slot) const {
+    return counts_[slot] > 0 && counts_[slot] == max_level_;
+  }
+
+  /// True if SA value `v` is a pillar.
+  bool IsPillarValue(SaValue v) const;
+
+  /// First pillar slot in the top level list (deterministic; ascending by
+  /// slot id on a freshly built index, insertion order afterwards). The
+  /// multiset must be nonempty.
+  std::uint32_t FirstPillarSlot() const;
+
+  /// All pillar slots in top-level list order. O(#pillars).
+  std::vector<std::uint32_t> PillarSlots() const;
+
+  /// Calls `fn(slot)` for every pillar slot. `fn` must not mutate the index.
+  template <typename Fn>
+  void ForEachPillarSlot(Fn&& fn) const {
+    if (max_level_ == 0) return;
+    for (std::int32_t s = level_head_[max_level_]; s != kNil; s = next_[s]) {
+      fn(static_cast<std::uint32_t>(s));
+    }
+  }
+
+  /// Returns true iff `pred(slot)` holds for some pillar slot.
+  template <typename Pred>
+  bool AnyPillarSlot(Pred&& pred) const {
+    if (max_level_ == 0) return false;
+    for (std::int32_t s = level_head_[max_level_]; s != kNil; s = next_[s]) {
+      if (pred(static_cast<std::uint32_t>(s))) return true;
+    }
+    return false;
+  }
+
+  /// Number of distinct values with positive count.
+  std::size_t DistinctCount() const { return distinct_; }
+
+  /// The l-eligibility test |Q| >= l * h(Q) (Definition 2).
+  bool IsEligible(std::uint32_t l) const {
+    return total_ >= static_cast<std::uint64_t>(l) * max_level_;
+  }
+
+  /// Removes one tuple from `slot` (count must be positive).
+  void Decrement(std::uint32_t slot);
+
+  /// Adds one tuple to `slot`.
+  void Increment(std::uint32_t slot);
+
+  /// Dense histogram over SA domain size `m` (must cover all tracked values).
+  SaHistogram ToHistogram(std::size_t m) const;
+
+ private:
+  static constexpr std::int32_t kNil = -1;
+
+  void Unlink(std::uint32_t slot, std::uint32_t level);
+  void LinkAtLevel(std::uint32_t slot, std::uint32_t level);
+
+  std::vector<SaValue> values_;          // slot -> SA value (ascending)
+  std::vector<std::uint32_t> counts_;    // slot -> multiplicity
+  std::vector<std::int32_t> prev_;       // intra-level doubly linked list
+  std::vector<std::int32_t> next_;
+  std::vector<std::int32_t> level_head_; // level -> first slot (grows on demand)
+  std::uint32_t max_level_ = 0;          // the pillar pointer p_i
+  std::uint64_t total_ = 0;
+  std::size_t distinct_ = 0;
+};
+
+}  // namespace ldv
+
+#endif  // LDIV_CORE_PILLAR_INDEX_H_

@@ -1,0 +1,37 @@
+#include "core/tp_plus.h"
+
+#include <utility>
+
+#include "common/check.h"
+
+namespace ldv {
+
+TpPlusResult RunTpPlus(const Table& table, std::uint32_t l,
+                       const HilbertOptions& hilbert_options) {
+  TpPlusResult result;
+  TpResult tp = RunTp(table, l);
+  if (!tp.feasible) return result;
+  result.feasible = true;
+  result.tp_stats = tp.stats;
+  result.tp_seconds = tp.seconds;
+
+  for (auto& group : tp.kept_groups) result.partition.AddGroup(std::move(group));
+
+  if (!tp.residue_rows.empty()) {
+    // Refine R with the Hilbert baseline; R is l-eligible by construction,
+    // so the sub-problem is always feasible.
+    Table residue_table = table.SelectRows(tp.residue_rows);
+    HilbertResult refined = HilbertAnonymize(residue_table, l, hilbert_options);
+    LDIV_CHECK(refined.feasible) << "residue set must be l-eligible";
+    result.hilbert_seconds = refined.seconds;
+    for (const auto& sub_group : refined.partition.groups()) {
+      std::vector<RowId> rows;
+      rows.reserve(sub_group.size());
+      for (RowId local : sub_group) rows.push_back(tp.residue_rows[local]);
+      result.partition.AddGroup(std::move(rows));
+    }
+  }
+  return result;
+}
+
+}  // namespace ldv

@@ -1,0 +1,40 @@
+#ifndef LDIV_CORE_TP_PLUS_H_
+#define LDIV_CORE_TP_PLUS_H_
+
+#include <cstdint>
+
+#include "anonymity/partition.h"
+#include "common/table.h"
+#include "core/tp.h"
+#include "hilbert/hilbert_partitioner.h"
+
+namespace ldv {
+
+/// Result of the hybrid TP+ algorithm of Section 6.1.
+struct TpPlusResult {
+  /// False iff the table is not l-eligible.
+  bool feasible = false;
+  /// Kept exact-signature groups plus the Hilbert re-partitioning of the
+  /// residue set R.
+  Partition partition;
+  /// Statistics of the underlying TP run.
+  TpStats tp_stats;
+  /// Seconds spent in TP and in the Hilbert refinement of R.
+  double tp_seconds = 0.0;
+  double hilbert_seconds = 0.0;
+
+  double seconds() const { return tp_seconds + hilbert_seconds; }
+};
+
+/// The hybrid algorithm TP+ (Section 6.1): run the three-phase algorithm,
+/// then apply the Hilbert baseline to the residue set R to split it into
+/// smaller l-eligible QI-groups, reducing the number of suppressed values.
+/// Because R is l-eligible whenever TP succeeds, the refinement always
+/// applies, and by the discussion in Section 5.6 TP+ inherits the O(l * d)
+/// approximation guarantee of TP.
+TpPlusResult RunTpPlus(const Table& table, std::uint32_t l,
+                       const HilbertOptions& hilbert_options = {});
+
+}  // namespace ldv
+
+#endif  // LDIV_CORE_TP_PLUS_H_

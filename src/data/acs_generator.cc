@@ -1,0 +1,115 @@
+#include "data/acs_generator.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "data/acs_schema.h"
+
+namespace ldv {
+
+namespace {
+
+// Small discrete distribution sampled by inverse CDF over integer weights.
+class WeightedSampler {
+ public:
+  explicit WeightedSampler(std::vector<std::uint32_t> weights) : cdf_(std::move(weights)) {
+    for (std::size_t i = 1; i < cdf_.size(); ++i) cdf_[i] += cdf_[i - 1];
+    LDIV_CHECK_GT(cdf_.back(), 0u);
+  }
+
+  std::uint32_t Sample(Rng& rng) const {
+    std::uint32_t u = rng.Below(cdf_.back());
+    return static_cast<std::uint32_t>(
+        std::upper_bound(cdf_.begin(), cdf_.end(), u) - cdf_.begin());
+  }
+
+ private:
+  std::vector<std::uint32_t> cdf_;
+};
+
+std::uint32_t Clamp(std::int64_t v, std::int64_t lo, std::int64_t hi) {
+  return static_cast<std::uint32_t>(std::max(lo, std::min(hi, v)));
+}
+
+enum class SaKind { kIncome, kOccupation };
+
+// Shared generator for the SAL / OCC families. All sampling goes through
+// the deterministic Rng so tables are reproducible bit-for-bit.
+Table GenerateAcs(const Schema& schema, SaKind kind, std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+
+  // Latent socio-economic status drives the education/income/occupation
+  // correlations (5 levels, skewed toward the low end like census data).
+  WeightedSampler ses_dist({35, 30, 20, 10, 5});
+  // Marital-status conditionals per age band (young / middle / senior).
+  WeightedSampler marital_young({70, 20, 4, 2, 2, 2});
+  WeightedSampler marital_middle({15, 60, 12, 6, 4, 3});
+  WeightedSampler marital_senior({6, 50, 15, 20, 6, 3});
+  ZipfSampler race_dist(9, 1.3);
+  ZipfSampler birthplace_dist(56, 1.1);
+  ZipfSampler education_noise(6, 0.8);
+  ZipfSampler workclass_noise(9, 1.0);
+  // Income is noticeably more skewed than Occupation; this is what makes
+  // the SAL workloads harder for TP than the OCC workloads (Section 6.1).
+  ZipfSampler income_noise(50, 1.15);
+  ZipfSampler occupation_noise(50, 0.6);
+
+  Table table(schema);
+  table.Reserve(n);
+  std::vector<Value> row(kAcsQiCount);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::uint32_t ses = ses_dist.Sample(rng);
+
+    // Age in [0, 79): sum of two uniforms gives the census-like central
+    // bulge; adults dominate.
+    std::uint32_t age = (rng.Below(40) + rng.Below(40)) % 79;
+    std::uint32_t gender = rng.Below(100) < 51 ? 0 : 1;
+    std::uint32_t race = race_dist.Sample(rng);
+    std::uint32_t marital =
+        (age < 12 ? marital_young : (age < 42 ? marital_middle : marital_senior)).Sample(rng);
+    // Birth place mildly correlates with race (migration clusters).
+    std::uint32_t birthplace = (birthplace_dist.Sample(rng) + 5 * race) % 56;
+    // Education rises with SES and with adulthood.
+    std::uint32_t education =
+        Clamp(static_cast<std::int64_t>(education_noise.Sample(rng)) + 2 * ses +
+                  (age >= 7 ? 2 : 0) + (age >= 17 ? 1 : 0),
+              0, 16);
+    std::uint32_t edu_band = education / 6;  // 0..2
+    std::uint32_t workclass = (workclass_noise.Sample(rng) + 3 * edu_band) % 9;
+
+    row[kAge] = age;
+    row[kGender] = gender;
+    row[kRace] = race;
+    row[kMarital] = marital;
+    row[kBirthPlace] = birthplace;
+    row[kEducation] = education;
+    row[kWorkClass] = workclass;
+
+    SaValue sa;
+    if (kind == SaKind::kIncome) {
+      // Income bands shift upward with education and SES; the shift is kept
+      // small so the Zipf head (and hence the overall skew) survives.
+      sa = Clamp(static_cast<std::int64_t>(income_noise.Sample(rng)) + education / 3 + ses,
+                 0, 49);
+    } else {
+      // Occupation codes cluster by education band but stay much flatter.
+      sa = (occupation_noise.Sample(rng) + 13 * edu_band) % 50;
+    }
+    table.AppendRow(row, sa);
+  }
+  return table;
+}
+
+}  // namespace
+
+Table GenerateSal(std::size_t n, std::uint64_t seed) {
+  return GenerateAcs(SalSchema(), SaKind::kIncome, n, seed);
+}
+
+Table GenerateOcc(std::size_t n, std::uint64_t seed) {
+  return GenerateAcs(OccSchema(), SaKind::kOccupation, n, seed);
+}
+
+}  // namespace ldv

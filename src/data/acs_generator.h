@@ -1,0 +1,31 @@
+#ifndef LDIV_DATA_ACS_GENERATOR_H_
+#define LDIV_DATA_ACS_GENERATOR_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/table.h"
+
+namespace ldv {
+
+/// Synthetic stand-ins for the SAL and OCC extracts of the American
+/// Community Survey used in Section 6 (the real IPUMS extracts are not
+/// redistributable; see DESIGN.md for the substitution argument).
+///
+/// The generator reproduces the two properties the algorithms are sensitive
+/// to: (a) heavily skewed categorical marginals, so QI-signature
+/// distinctness grows with the number of projected attributes exactly as in
+/// census data (the curse-of-dimensionality effect of Figure 3), and (b) a
+/// skewed sensitive attribute, so l-eligibility tightens as l grows
+/// (Figure 2). Attributes are correlated through a latent socio-economic
+/// status variable plus age-driven conditionals (age -> marital status,
+/// age/SES -> education, education -> income/occupation/work class), which
+/// keeps the joint distribution census-shaped rather than independent.
+///
+/// Generation is deterministic in (n, seed) and platform-independent.
+Table GenerateSal(std::size_t n, std::uint64_t seed = 1);
+Table GenerateOcc(std::size_t n, std::uint64_t seed = 2);
+
+}  // namespace ldv
+
+#endif  // LDIV_DATA_ACS_GENERATOR_H_

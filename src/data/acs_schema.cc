@@ -1,0 +1,21 @@
+#include "data/acs_schema.h"
+
+namespace ldv {
+
+namespace {
+
+std::vector<Attribute> AcsQiAttributes() {
+  return {
+      Attribute{"Age", 79},        Attribute{"Gender", 2},    Attribute{"Race", 9},
+      Attribute{"Marital", 6},     Attribute{"BirthPlace", 56}, Attribute{"Education", 17},
+      Attribute{"WorkClass", 9},
+  };
+}
+
+}  // namespace
+
+Schema SalSchema() { return Schema(AcsQiAttributes(), Attribute{"Income", 50}); }
+
+Schema OccSchema() { return Schema(AcsQiAttributes(), Attribute{"Occupation", 50}); }
+
+}  // namespace ldv

@@ -1,0 +1,32 @@
+#ifndef LDIV_DATA_ACS_SCHEMA_H_
+#define LDIV_DATA_ACS_SCHEMA_H_
+
+#include "common/schema.h"
+
+namespace ldv {
+
+/// QI attribute positions in the SAL / OCC schemas (Section 6, Table 6).
+enum AcsQiAttr : AttrId {
+  kAge = 0,         ///< domain size 79
+  kGender = 1,      ///< domain size 2
+  kRace = 2,        ///< domain size 9
+  kMarital = 3,     ///< domain size 6
+  kBirthPlace = 4,  ///< domain size 56
+  kEducation = 5,   ///< domain size 17
+  kWorkClass = 6,   ///< domain size 9
+};
+
+/// Number of QI attributes in SAL / OCC.
+inline constexpr std::size_t kAcsQiCount = 7;
+
+/// Schema of the SAL dataset: the seven Table-6 QI attributes with
+/// sensitive attribute Income (domain size 50).
+Schema SalSchema();
+
+/// Schema of the OCC dataset: the same QI attributes with sensitive
+/// attribute Occupation (domain size 50).
+Schema OccSchema();
+
+}  // namespace ldv
+
+#endif  // LDIV_DATA_ACS_SCHEMA_H_

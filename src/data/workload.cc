@@ -1,0 +1,43 @@
+#include "data/workload.h"
+
+#include "common/check.h"
+
+namespace ldv {
+
+std::vector<std::vector<AttrId>> QiCombinations(std::size_t total, std::size_t choose) {
+  LDIV_CHECK_LE(choose, total);
+  std::vector<std::vector<AttrId>> result;
+  std::vector<AttrId> current(choose);
+  // Iterative lexicographic enumeration.
+  for (std::size_t i = 0; i < choose; ++i) current[i] = static_cast<AttrId>(i);
+  if (choose == 0) {
+    result.push_back({});
+    return result;
+  }
+  for (;;) {
+    result.push_back(current);
+    // Advance to the next combination.
+    std::size_t i = choose;
+    while (i > 0) {
+      --i;
+      if (current[i] < total - choose + i) {
+        ++current[i];
+        for (std::size_t j = i + 1; j < choose; ++j) current[j] = current[j - 1] + 1;
+        break;
+      }
+      if (i == 0) return result;
+    }
+  }
+}
+
+std::vector<Table> ProjectionFamily(const Table& source, std::size_t d,
+                                    std::size_t max_tables) {
+  std::vector<Table> tables;
+  for (const auto& combo : QiCombinations(source.qi_count(), d)) {
+    if (tables.size() >= max_tables) break;
+    tables.push_back(source.ProjectQi(combo));
+  }
+  return tables;
+}
+
+}  // namespace ldv

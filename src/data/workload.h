@@ -1,0 +1,25 @@
+#ifndef LDIV_DATA_WORKLOAD_H_
+#define LDIV_DATA_WORKLOAD_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/table.h"
+
+namespace ldv {
+
+/// All `choose`-element subsets of {0, ..., total-1} in lexicographic order.
+/// Models the paper's SAL-d / OCC-d workloads, which take every
+/// d-combination of the seven QI attributes.
+std::vector<std::vector<AttrId>> QiCombinations(std::size_t total, std::size_t choose);
+
+/// Projects `source` onto each d-subset of its QI attributes, in
+/// lexicographic order, keeping at most `max_tables` projections. With
+/// max_tables = SIZE_MAX this is exactly the paper's SAL-d / OCC-d family
+/// of C(7, d) microdata tables.
+std::vector<Table> ProjectionFamily(const Table& source, std::size_t d,
+                                    std::size_t max_tables = static_cast<std::size_t>(-1));
+
+}  // namespace ldv
+
+#endif  // LDIV_DATA_WORKLOAD_H_

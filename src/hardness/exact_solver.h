@@ -1,0 +1,47 @@
+#ifndef LDIV_HARDNESS_EXACT_SOLVER_H_
+#define LDIV_HARDNESS_EXACT_SOLVER_H_
+
+#include <cstdint>
+
+#include "anonymity/partition.h"
+#include "common/grouped_table.h"
+#include "common/table.h"
+
+namespace ldv {
+
+/// Result of the exhaustive star-minimization solver.
+struct ExactStarResult {
+  /// False iff the table is not l-eligible (Problem 1 infeasible).
+  bool feasible = false;
+  /// Minimum number of stars over all l-diverse generalizations.
+  std::uint64_t stars = 0;
+  /// One optimal partition.
+  Partition partition;
+};
+
+/// Solves Problem 1 (star minimization) exactly by dynamic programming over
+/// row subsets: dp[S] = min stars to partition subset S into l-eligible
+/// QI-groups. O(3^n) time, so the table is limited to 16 rows; this solver
+/// exists to validate the approximation algorithms and the NP-hardness
+/// reduction on small instances.
+ExactStarResult ExactStarMinimization(const Table& table, std::uint32_t l);
+
+/// Result of the exhaustive tuple-minimization solver.
+struct ExactTupleResult {
+  /// False iff the table is not l-eligible (Problem 2 infeasible).
+  bool feasible = false;
+  /// Minimum number of removed tuples (the paper's OPT of Section 5).
+  std::uint64_t removed = 0;
+};
+
+/// Solves Problem 2 (tuple minimization) exactly: remove the fewest tuples
+/// from the exact-signature QI-groups such that every group stays
+/// l-eligible and the removed multiset is l-eligible. Enumerates reachable
+/// residue histograms group by group; feasible for the small instances used
+/// in tests (requires m <= 8 and n < 256).
+ExactTupleResult ExactTupleMinimization(const GroupedTable& grouped, std::uint32_t l);
+ExactTupleResult ExactTupleMinimization(const Table& table, std::uint32_t l);
+
+}  // namespace ldv
+
+#endif  // LDIV_HARDNESS_EXACT_SOLVER_H_

@@ -1,0 +1,48 @@
+#ifndef LDIV_HARDNESS_REDUCTION_H_
+#define LDIV_HARDNESS_REDUCTION_H_
+
+#include <cstdint>
+
+#include "anonymity/partition.h"
+#include "common/table.h"
+#include "hardness/three_dim_matching.h"
+
+namespace ldv {
+
+/// Builds the microdata table T of the Section 4 NP-hardness reduction from
+/// a 3DM instance S.
+///
+/// T has one QI attribute A_i per point p_i of S and 3n rows, one per domain
+/// value v_j (D1 values first, then D2, then D3). Row j gets SA value u
+/// chosen by the paper's three-case rule so that T contains exactly m
+/// distinct SA values and rows from different domains never share an SA
+/// value; its QI value on A_i is 0 when v_j is a coordinate of p_i and u
+/// otherwise.
+///
+/// Encoding: the paper's SA values 1..m become 0-based codes 0..m-1; the
+/// alphabet {0, 1, ..., m} of the QI attributes is kept verbatim, so each QI
+/// domain has size m+1 (the alphabet-size claim of Theorem 1).
+///
+/// Requires 3 <= m <= 3n.
+Table BuildReductionTable(const ThreeDmInstance& instance, std::uint32_t m);
+
+/// The star count that an optimal 3-diverse generalization of the reduction
+/// table attains exactly when the 3DM answer is yes (Lemma 3): 3n(d-1).
+std::uint64_t ReductionTargetStars(std::uint32_t n, std::uint32_t d);
+
+/// Verifies the structural properties the reduction proof relies on:
+/// Property 1 (every column has exactly three zeros), m distinct SA values,
+/// and distinct SA values across domain boundaries.
+bool CheckReductionProperties(const Table& table, const ThreeDmInstance& instance,
+                              std::uint32_t m);
+
+/// Builds the 3-diverse generalization induced by a 3DM solution (the
+/// "only-if" direction of Lemma 3): one useful QI-group per matched point,
+/// each containing the three rows that are 0 on the point's attribute.
+/// `matching` must be a valid perfect matching of `instance`.
+Partition PartitionFromMatching(const ThreeDmInstance& instance,
+                                const std::vector<std::uint32_t>& matching);
+
+}  // namespace ldv
+
+#endif  // LDIV_HARDNESS_REDUCTION_H_

@@ -1,0 +1,101 @@
+#include "hardness/three_dim_matching.h"
+
+#include <algorithm>
+#include <set>
+#include <tuple>
+
+#include "common/check.h"
+
+namespace ldv {
+
+bool ThreeDmInstance::Valid() const {
+  std::set<std::tuple<std::uint32_t, std::uint32_t, std::uint32_t>> seen;
+  for (const Point3& p : points) {
+    if (p.a >= n || p.b >= n || p.c >= n) return false;
+    if (!seen.insert({p.a, p.b, p.c}).second) return false;  // duplicate point
+  }
+  return true;
+}
+
+namespace {
+
+bool SolveRec(const ThreeDmInstance& inst, std::uint32_t next_a, std::uint32_t used_b,
+              std::uint32_t used_c, std::vector<std::uint32_t>& chosen) {
+  if (next_a == inst.n) return true;
+  for (std::uint32_t i = 0; i < inst.points.size(); ++i) {
+    const Point3& p = inst.points[i];
+    if (p.a != next_a) continue;
+    if ((used_b >> p.b) & 1u) continue;
+    if ((used_c >> p.c) & 1u) continue;
+    chosen.push_back(i);
+    if (SolveRec(inst, next_a + 1, used_b | (1u << p.b), used_c | (1u << p.c), chosen)) {
+      return true;
+    }
+    chosen.pop_back();
+  }
+  return false;
+}
+
+}  // namespace
+
+std::optional<std::vector<std::uint32_t>> Solve3Dm(const ThreeDmInstance& instance) {
+  LDIV_CHECK(instance.Valid());
+  LDIV_CHECK_LE(instance.n, 30u) << "exhaustive solver limited to small instances";
+  std::vector<std::uint32_t> chosen;
+  if (SolveRec(instance, 0, 0, 0, chosen)) return chosen;
+  return std::nullopt;
+}
+
+ThreeDmInstance MakePlantedYesInstance(std::uint32_t n, std::uint32_t extra, Rng& rng) {
+  ThreeDmInstance inst;
+  inst.n = n;
+  std::vector<std::uint32_t> perm_b(n), perm_c(n);
+  for (std::uint32_t i = 0; i < n; ++i) perm_b[i] = perm_c[i] = i;
+  rng.Shuffle(perm_b);
+  rng.Shuffle(perm_c);
+  std::set<std::tuple<std::uint32_t, std::uint32_t, std::uint32_t>> seen;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    inst.points.push_back(Point3{i, perm_b[i], perm_c[i]});
+    seen.insert({i, perm_b[i], perm_c[i]});
+  }
+  std::uint32_t added = 0;
+  while (added < extra) {
+    Point3 p{rng.Below(n), rng.Below(n), rng.Below(n)};
+    if (seen.insert({p.a, p.b, p.c}).second) {
+      inst.points.push_back(p);
+      ++added;
+    }
+  }
+  return inst;
+}
+
+ThreeDmInstance MakeRandomInstance(std::uint32_t n, std::uint32_t d, Rng& rng) {
+  LDIV_CHECK_LE(static_cast<std::uint64_t>(d),
+                static_cast<std::uint64_t>(n) * n * n);
+  ThreeDmInstance inst;
+  inst.n = n;
+  std::set<std::tuple<std::uint32_t, std::uint32_t, std::uint32_t>> seen;
+  while (inst.points.size() < d) {
+    Point3 p{rng.Below(n), rng.Below(n), rng.Below(n)};
+    if (seen.insert({p.a, p.b, p.c}).second) inst.points.push_back(p);
+  }
+  return inst;
+}
+
+ThreeDmInstance PaperFigure1Instance() {
+  // D1 = {1,2,3,4}, D2 = {a,b,c,d}, D3 = {alpha,beta,gamma,delta} mapped to
+  // 0-based codes. Points p1..p6 of Figure 1a.
+  ThreeDmInstance inst;
+  inst.n = 4;
+  inst.points = {
+      Point3{0, 0, 3},  // p1 = (1, a, delta)
+      Point3{0, 1, 2},  // p2 = (1, b, gamma)
+      Point3{1, 2, 0},  // p3 = (2, c, alpha)
+      Point3{1, 1, 0},  // p4 = (2, b, alpha)
+      Point3{2, 1, 2},  // p5 = (3, b, gamma)
+      Point3{3, 3, 1},  // p6 = (4, d, beta)
+  };
+  return inst;
+}
+
+}  // namespace ldv

@@ -1,0 +1,56 @@
+#ifndef LDIV_HARDNESS_THREE_DIM_MATCHING_H_
+#define LDIV_HARDNESS_THREE_DIM_MATCHING_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace ldv {
+
+/// One point of a 3-dimensional matching instance; coordinates are indices
+/// into the three disjoint equally-sized domains D1, D2, D3 (each of size
+/// `n`), i.e. each coordinate lies in [0, n).
+struct Point3 {
+  std::uint32_t a = 0;
+  std::uint32_t b = 0;
+  std::uint32_t c = 0;
+
+  friend bool operator==(const Point3& x, const Point3& y) {
+    return x.a == y.a && x.b == y.b && x.c == y.c;
+  }
+};
+
+/// An instance of 3-DIMENSIONAL MATCHING (Karp [22]): decide whether the
+/// point set contains n points covering every domain value exactly once.
+/// This is the NP-hard problem Section 4 reduces from.
+struct ThreeDmInstance {
+  std::uint32_t n = 0;          ///< |D1| = |D2| = |D3|
+  std::vector<Point3> points;   ///< d >= n distinct points
+
+  std::uint32_t d() const { return static_cast<std::uint32_t>(points.size()); }
+
+  /// True if all points are distinct and coordinates are in range.
+  bool Valid() const;
+};
+
+/// Exhaustive solver (backtracking over D1 values); exponential, intended
+/// for the small instances used to validate the reduction. Returns the
+/// indices of a perfect matching, or nullopt if none exists.
+std::optional<std::vector<std::uint32_t>> Solve3Dm(const ThreeDmInstance& instance);
+
+/// Generates an instance that is guaranteed to contain a perfect matching:
+/// a random planted matching plus `extra` random distractor points.
+ThreeDmInstance MakePlantedYesInstance(std::uint32_t n, std::uint32_t extra, Rng& rng);
+
+/// Generates an instance with `d` random distinct points (may or may not
+/// contain a matching).
+ThreeDmInstance MakeRandomInstance(std::uint32_t n, std::uint32_t d, Rng& rng);
+
+/// The paper's running example (Figure 1a): n = 4, six points, answer yes.
+ThreeDmInstance PaperFigure1Instance();
+
+}  // namespace ldv
+
+#endif  // LDIV_HARDNESS_THREE_DIM_MATCHING_H_

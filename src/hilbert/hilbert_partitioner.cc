@@ -1,0 +1,250 @@
+#include "hilbert/hilbert_partitioner.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <limits>
+#include <numeric>
+#include <vector>
+
+#include "anonymity/eligibility.h"
+#include "common/check.h"
+#include "hilbert/hilbert_curve.h"
+
+namespace ldv {
+
+namespace {
+
+// Incremental l-eligibility tracker for a growing multiset of SA values.
+class GrowingEligibility {
+ public:
+  explicit GrowingEligibility(std::size_t m) : counts_(m, 0) {}
+
+  void Add(SaValue v) {
+    ++counts_[v];
+    touched_.push_back(v);
+    max_ = std::max(max_, counts_[v]);
+    ++total_;
+  }
+
+  bool Eligible(std::uint32_t l) const {
+    return total_ >= static_cast<std::uint64_t>(l) * max_;
+  }
+
+  std::uint64_t total() const { return total_; }
+
+  void Reset() {
+    for (SaValue v : touched_) counts_[v] = 0;
+    touched_.clear();
+    max_ = 0;
+    total_ = 0;
+  }
+
+ private:
+  std::vector<std::uint32_t> counts_;
+  std::vector<SaValue> touched_;
+  std::uint32_t max_ = 0;
+  std::uint64_t total_ = 0;
+};
+
+// Hilbert code per row. Domains larger than the representable grid are
+// right-shifted (graceful coarsening); the paper's workloads (d <= 7,
+// domains <= 79) always fit exactly.
+std::vector<std::uint64_t> ComputeCodes(const Table& table) {
+  std::uint32_t d = static_cast<std::uint32_t>(table.qi_count());
+  std::uint32_t bits_needed = 1;
+  for (AttrId a = 0; a < d; ++a) {
+    bits_needed = std::max(bits_needed,
+                           HilbertCurve::BitsForDomain(table.schema().qi(a).domain_size));
+  }
+  std::uint32_t bits = std::min(bits_needed, std::max(1u, 64u / d));
+  std::uint32_t shift = bits_needed - bits;
+  HilbertCurve curve(d, bits);
+
+  std::vector<std::uint64_t> codes(table.size());
+  std::vector<std::uint32_t> coords(d);
+  for (RowId r = 0; r < table.size(); ++r) {
+    auto qi = table.qi_row(r);
+    for (std::uint32_t i = 0; i < d; ++i) coords[i] = qi[i] >> shift;
+    codes[r] = curve.Encode(coords);
+  }
+  return codes;
+}
+
+// Greedy splitter: close each group as soon as it becomes l-eligible; merge
+// an ineligible tail backwards (the union of l-eligible groups stays
+// l-eligible by Lemma 1, and the whole table is l-eligible, so the merge
+// terminates).
+std::vector<std::size_t> GreedySplit(const Table& table, const std::vector<RowId>& order,
+                                     std::uint32_t l) {
+  std::vector<std::size_t> starts;
+  GrowingEligibility acc(table.schema().sa_domain_size());
+  std::size_t group_start = 0;
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    if (acc.total() == 0) group_start = i;
+    acc.Add(table.sa(order[i]));
+    if (acc.Eligible(l)) {
+      starts.push_back(group_start);
+      acc.Reset();
+    }
+  }
+  if (acc.total() > 0) {
+    // Ineligible tail: merge backwards until the combined suffix is
+    // l-eligible (at worst the suffix becomes the whole table).
+    std::size_t tail_start = group_start;
+    while (!acc.Eligible(l)) {
+      LDIV_CHECK(!starts.empty());
+      std::size_t prev = starts.back();
+      starts.pop_back();
+      for (std::size_t i = prev; i < tail_start; ++i) acc.Add(table.sa(order[i]));
+      tail_start = prev;
+    }
+    starts.push_back(tail_start);
+  }
+  return starts;
+}
+
+// Sliding-window DP splitter: dp[i] = fewest stars for the first i rows in
+// Hilbert order, transitioning over the last group (j, i]. Groups larger
+// than the window are considered only when no in-window transition is
+// eligible, which keeps the DP feasible on adversarial SA runs.
+std::vector<std::size_t> WindowDpSplit(const Table& table, const std::vector<RowId>& order,
+                                       std::uint32_t l, std::uint32_t window) {
+  const std::size_t n = order.size();
+  const std::size_t d = table.qi_count();
+  const std::uint64_t kInf = std::numeric_limits<std::uint64_t>::max();
+  std::vector<std::uint64_t> dp(n + 1, kInf);
+  std::vector<std::size_t> parent(n + 1, 0);
+  dp[0] = 0;
+
+  GrowingEligibility acc(table.schema().sa_domain_size());
+  std::vector<Value> first_value(d);
+  std::vector<char> uniform(d);
+
+  for (std::size_t i = 1; i <= n; ++i) {
+    acc.Reset();
+    std::fill(uniform.begin(), uniform.end(), 1);
+    auto qi_last = table.qi_row(order[i - 1]);
+    for (std::size_t a = 0; a < d; ++a) first_value[a] = qi_last[a];
+    std::size_t nonuniform = 0;
+    bool found_eligible = false;
+    for (std::size_t j = i; j-- > 0;) {
+      // Extend the candidate group to cover rows (j, i] in Hilbert order.
+      acc.Add(table.sa(order[j]));
+      auto qi = table.qi_row(order[j]);
+      for (std::size_t a = 0; a < d; ++a) {
+        if (uniform[a] && qi[a] != first_value[a]) {
+          uniform[a] = 0;
+          ++nonuniform;
+        }
+      }
+      if (i - j > window && found_eligible) break;
+      if (!acc.Eligible(l) || dp[j] == kInf) continue;
+      found_eligible = true;
+      std::uint64_t stars = static_cast<std::uint64_t>(nonuniform) * (i - j);
+      if (dp[j] + stars < dp[i]) {
+        dp[i] = dp[j] + stars;
+        parent[i] = j;
+      }
+    }
+  }
+  LDIV_CHECK_NE(dp[n], kInf);
+
+  std::vector<std::size_t> starts;
+  for (std::size_t i = n; i > 0; i = parent[i]) starts.push_back(parent[i]);
+  std::reverse(starts.begin(), starts.end());
+  return starts;
+}
+
+}  // namespace
+
+HilbertResult HilbertAnonymizeWithSpec(const Table& table, const DiversitySpec& spec) {
+  HilbertResult result;
+  if (table.empty()) {
+    result.feasible = true;
+    return result;
+  }
+  const std::size_t m = table.schema().sa_domain_size();
+  {
+    SaHistogram whole(std::vector<std::uint32_t>(table.SaHistogramCounts()));
+    if (!SatisfiesDiversity(whole, spec)) return result;
+  }
+  auto start_time = std::chrono::steady_clock::now();
+
+  std::vector<std::uint64_t> codes = ComputeCodes(table);
+  std::vector<RowId> order(table.size());
+  std::iota(order.begin(), order.end(), 0u);
+  std::sort(order.begin(), order.end(), [&](RowId a, RowId b) {
+    return codes[a] != codes[b] ? codes[a] < codes[b] : a < b;
+  });
+
+  // Greedy close + backward merge, with the generic (monotone) predicate.
+  std::vector<std::size_t> starts;
+  SaHistogram acc(m);
+  std::size_t group_start = 0;
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    if (acc.empty()) group_start = i;
+    acc.Add(table.sa(order[i]));
+    if (SatisfiesDiversity(acc, spec)) {
+      starts.push_back(group_start);
+      acc = SaHistogram(m);
+    }
+  }
+  if (!acc.empty()) {
+    std::size_t tail_start = group_start;
+    while (!SatisfiesDiversity(acc, spec)) {
+      LDIV_CHECK(!starts.empty());
+      std::size_t prev = starts.back();
+      starts.pop_back();
+      for (std::size_t i = prev; i < tail_start; ++i) acc.Add(table.sa(order[i]));
+      tail_start = prev;
+    }
+    starts.push_back(tail_start);
+  }
+
+  for (std::size_t gi = 0; gi < starts.size(); ++gi) {
+    std::size_t end = (gi + 1 < starts.size()) ? starts[gi + 1] : order.size();
+    result.partition.AddGroup(
+        std::vector<RowId>(order.begin() + starts[gi], order.begin() + end));
+  }
+  result.feasible = true;
+  result.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start_time).count();
+  return result;
+}
+
+HilbertResult HilbertAnonymize(const Table& table, std::uint32_t l,
+                               const HilbertOptions& options) {
+  HilbertResult result;
+  if (table.empty() || !IsTableEligible(table, l)) {
+    result.feasible = table.empty();
+    return result;
+  }
+  auto start_time = std::chrono::steady_clock::now();
+
+  std::vector<std::uint64_t> codes = ComputeCodes(table);
+  std::vector<RowId> order(table.size());
+  std::iota(order.begin(), order.end(), 0u);
+  std::sort(order.begin(), order.end(), [&](RowId a, RowId b) {
+    return codes[a] != codes[b] ? codes[a] < codes[b] : a < b;
+  });
+
+  std::vector<std::size_t> starts;
+  if (options.splitter == HilbertOptions::Splitter::kGreedy) {
+    starts = GreedySplit(table, order, l);
+  } else {
+    starts = WindowDpSplit(table, order, l, options.dp_window_factor * l);
+  }
+
+  for (std::size_t gi = 0; gi < starts.size(); ++gi) {
+    std::size_t end = (gi + 1 < starts.size()) ? starts[gi + 1] : order.size();
+    std::vector<RowId> rows(order.begin() + starts[gi], order.begin() + end);
+    result.partition.AddGroup(std::move(rows));
+  }
+  result.feasible = true;
+  result.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start_time).count();
+  return result;
+}
+
+}  // namespace ldv

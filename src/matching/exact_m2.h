@@ -1,0 +1,32 @@
+#ifndef LDIV_MATCHING_EXACT_M2_H_
+#define LDIV_MATCHING_EXACT_M2_H_
+
+#include <cstdint>
+
+#include "anonymity/partition.h"
+#include "common/table.h"
+
+namespace ldv {
+
+/// Result of the exact polynomial-time algorithm for the m = 2 case.
+struct ExactM2Result {
+  /// False iff the instance is not of the m = 2, 2-eligible form (two
+  /// distinct SA values with equal multiplicity).
+  bool feasible = false;
+  Partition partition;
+  std::uint64_t stars = 0;
+  double seconds = 0.0;
+};
+
+/// The polynomial special case of Section 4: with m = 2 distinct SA values
+/// the only useful l is 2, an optimal 2-diverse generalization can be
+/// assumed to consist of groups of exactly two tuples (one per SA value),
+/// and finding it reduces to a minimum-weight perfect bipartite matching
+/// between the two SA classes, where the weight of a pair is the number of
+/// stars needed to unify the two tuples (2 per disagreeing attribute).
+/// Runs in O(|T|^3) time via the Hungarian algorithm.
+ExactM2Result SolveExactM2(const Table& table);
+
+}  // namespace ldv
+
+#endif  // LDIV_MATCHING_EXACT_M2_H_

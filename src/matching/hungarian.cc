@@ -1,0 +1,71 @@
+#include "matching/hungarian.h"
+
+#include <limits>
+
+#include "common/check.h"
+
+namespace ldv {
+
+std::int64_t SolveAssignment(const std::vector<std::vector<std::int64_t>>& cost,
+                             std::vector<std::int32_t>* assignment) {
+  const std::size_t n = cost.size();
+  LDIV_CHECK_GT(n, 0u);
+  for (const auto& row : cost) LDIV_CHECK_EQ(row.size(), n);
+
+  constexpr std::int64_t kInf = std::numeric_limits<std::int64_t>::max() / 4;
+
+  // Potentials over rows (u) and columns (v); p[j] = row matched to column
+  // j (0 is a virtual row). Classic O(n^3) shortest-augmenting-path scheme;
+  // indices are 1-based internally.
+  std::vector<std::int64_t> u(n + 1, 0), v(n + 1, 0);
+  std::vector<std::size_t> p(n + 1, 0), way(n + 1, 0);
+
+  for (std::size_t i = 1; i <= n; ++i) {
+    p[0] = i;
+    std::size_t j0 = 0;
+    std::vector<std::int64_t> minv(n + 1, kInf);
+    std::vector<char> used(n + 1, 0);
+    do {
+      used[j0] = 1;
+      std::size_t i0 = p[j0], j1 = 0;
+      std::int64_t delta = kInf;
+      for (std::size_t j = 1; j <= n; ++j) {
+        if (used[j]) continue;
+        std::int64_t cur = cost[i0 - 1][j - 1] - u[i0] - v[j];
+        if (cur < minv[j]) {
+          minv[j] = cur;
+          way[j] = j0;
+        }
+        if (minv[j] < delta) {
+          delta = minv[j];
+          j1 = j;
+        }
+      }
+      for (std::size_t j = 0; j <= n; ++j) {
+        if (used[j]) {
+          u[p[j]] += delta;
+          v[j] -= delta;
+        } else {
+          minv[j] -= delta;
+        }
+      }
+      j0 = j1;
+    } while (p[j0] != 0);
+    do {
+      std::size_t j1 = way[j0];
+      p[j0] = p[j1];
+      j0 = j1;
+    } while (j0 != 0);
+  }
+
+  assignment->assign(n, -1);
+  std::int64_t total = 0;
+  for (std::size_t j = 1; j <= n; ++j) {
+    if (p[j] == 0) continue;
+    (*assignment)[p[j] - 1] = static_cast<std::int32_t>(j - 1);
+    total += cost[p[j] - 1][j - 1];
+  }
+  return total;
+}
+
+}  // namespace ldv

@@ -1,0 +1,21 @@
+#ifndef LDIV_MATCHING_HUNGARIAN_H_
+#define LDIV_MATCHING_HUNGARIAN_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace ldv {
+
+/// Minimum-cost perfect matching in a complete bipartite graph (the
+/// assignment problem), solved by the Hungarian algorithm with potentials
+/// in O(n^3) time (Kuhn 1955 [24], Jonker-Volgenant style implementation).
+///
+/// `cost` must be square: cost[i][j] is the cost of matching left vertex i
+/// to right vertex j. Returns the minimum total cost and fills
+/// `assignment[i]` with the right vertex matched to left vertex i.
+std::int64_t SolveAssignment(const std::vector<std::vector<std::int64_t>>& cost,
+                             std::vector<std::int32_t>* assignment);
+
+}  // namespace ldv
+
+#endif  // LDIV_MATCHING_HUNGARIAN_H_

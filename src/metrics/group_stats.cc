@@ -1,0 +1,22 @@
+#include "metrics/group_stats.h"
+
+#include <algorithm>
+
+namespace ldv {
+
+GroupSizeStats ComputeGroupSizeStats(const Partition& partition) {
+  GroupSizeStats stats;
+  stats.group_count = partition.group_count();
+  if (stats.group_count == 0) return stats;
+  stats.min_size = partition.group(0).size();
+  std::size_t total = 0;
+  for (const auto& group : partition.groups()) {
+    stats.min_size = std::min(stats.min_size, group.size());
+    stats.max_size = std::max(stats.max_size, group.size());
+    total += group.size();
+  }
+  stats.mean_size = static_cast<double>(total) / static_cast<double>(stats.group_count);
+  return stats;
+}
+
+}  // namespace ldv

@@ -1,0 +1,22 @@
+#ifndef LDIV_METRICS_GROUP_STATS_H_
+#define LDIV_METRICS_GROUP_STATS_H_
+
+#include <cstdint>
+
+#include "anonymity/partition.h"
+
+namespace ldv {
+
+/// Summary statistics of the QI-group sizes of a partition.
+struct GroupSizeStats {
+  std::size_t group_count = 0;
+  std::size_t min_size = 0;
+  std::size_t max_size = 0;
+  double mean_size = 0.0;
+};
+
+GroupSizeStats ComputeGroupSizeStats(const Partition& partition);
+
+}  // namespace ldv
+
+#endif  // LDIV_METRICS_GROUP_STATS_H_

@@ -1,0 +1,258 @@
+#include "metrics/kl_divergence.h"
+
+#include <cmath>
+#include <unordered_map>
+#include <vector>
+
+#include "common/check.h"
+
+namespace ldv {
+
+namespace {
+
+// Mixed-radix packing of a full data point (all QI values plus SA).
+// The products involved fit in 64 bits for every schema in this repository
+// (checked at runtime).
+class PointPacker {
+ public:
+  explicit PointPacker(const Schema& schema) {
+    std::uint64_t stride = 1;
+    for (std::size_t a = 0; a < schema.qi_count(); ++a) {
+      strides_.push_back(stride);
+      Grow(&stride, schema.qi(static_cast<AttrId>(a)).domain_size);
+    }
+    sa_stride_ = stride;
+    Grow(&stride, schema.sa_domain_size());
+  }
+
+  std::uint64_t Pack(std::span<const Value> qi, SaValue sa) const {
+    std::uint64_t key = static_cast<std::uint64_t>(sa) * sa_stride_;
+    for (std::size_t a = 0; a < qi.size(); ++a) key += strides_[a] * qi[a];
+    return key;
+  }
+
+ private:
+  static void Grow(std::uint64_t* stride, std::uint64_t radix) {
+    LDIV_CHECK_LT(*stride, std::numeric_limits<std::uint64_t>::max() / (radix + 1))
+        << "point id space exceeds 64 bits";
+    *stride *= radix;
+  }
+
+  std::vector<std::uint64_t> strides_;
+  std::uint64_t sa_stride_ = 0;
+};
+
+// Counts of distinct data points, each with one representative row.
+struct PointCount {
+  RowId representative = 0;
+  std::uint32_t count = 0;
+};
+
+std::unordered_map<std::uint64_t, PointCount> DistinctPoints(const Table& table,
+                                                             const PointPacker& packer) {
+  std::unordered_map<std::uint64_t, PointCount> points;
+  points.reserve(table.size());
+  for (RowId r = 0; r < table.size(); ++r) {
+    std::uint64_t key = packer.Pack(table.qi_row(r), table.sa(r));
+    auto [it, inserted] = points.try_emplace(key, PointCount{r, 0});
+    ++it->second.count;
+  }
+  return points;
+}
+
+}  // namespace
+
+double KlDivergenceSuppression(const Table& table, const GeneralizedTable& generalized) {
+  if (table.empty()) return 0.0;
+  const Schema& schema = table.schema();
+  const std::size_t d = table.qi_count();
+  LDIV_CHECK_LE(d, 20u);
+  const double n = static_cast<double>(table.size());
+
+  // Per star-mask aggregation: for each mask, map (projected unstarred
+  // values, SA) -> accumulated count / volume over groups with that mask.
+  struct MaskBucket {
+    std::vector<AttrId> unstarred;
+    std::vector<std::uint64_t> strides;  // one per unstarred attr, then SA
+    std::uint64_t sa_stride = 0;
+    std::unordered_map<std::uint64_t, double> mass;
+  };
+  std::unordered_map<std::uint32_t, MaskBucket> buckets;
+
+  auto bucket_for_mask = [&](std::uint32_t mask) -> MaskBucket& {
+    auto [it, inserted] = buckets.try_emplace(mask);
+    if (inserted) {
+      MaskBucket& b = it->second;
+      std::uint64_t stride = 1;
+      for (AttrId a = 0; a < d; ++a) {
+        if ((mask >> a) & 1u) continue;  // starred
+        b.unstarred.push_back(a);
+        b.strides.push_back(stride);
+        stride *= schema.qi(a).domain_size;
+      }
+      b.sa_stride = stride;
+    }
+    return it->second;
+  };
+
+  for (GroupId g = 0; g < generalized.group_count(); ++g) {
+    const std::vector<Value>& sig = generalized.signature(g);
+    std::uint32_t mask = 0;
+    double volume = 1.0;
+    for (AttrId a = 0; a < d; ++a) {
+      if (IsStar(sig[a])) {
+        mask |= 1u << a;
+        volume *= static_cast<double>(schema.qi(a).domain_size);
+      }
+    }
+    MaskBucket& bucket = bucket_for_mask(mask);
+    // SA counts of the group.
+    std::unordered_map<SaValue, std::uint32_t> sa_counts;
+    for (RowId r : generalized.rows(g)) ++sa_counts[table.sa(r)];
+    std::uint64_t base = 0;
+    for (std::size_t i = 0; i < bucket.unstarred.size(); ++i) {
+      base += bucket.strides[i] * sig[bucket.unstarred[i]];
+    }
+    for (const auto& [sa, count] : sa_counts) {
+      bucket.mass[base + bucket.sa_stride * sa] += static_cast<double>(count) / volume;
+    }
+  }
+
+  PointPacker packer(schema);
+  double kl = 0.0;
+  for (const auto& [key, pc] : DistinctPoints(table, packer)) {
+    (void)key;
+    auto qi = table.qi_row(pc.representative);
+    SaValue sa = table.sa(pc.representative);
+    double fstar_n = 0.0;  // n * f*(p)
+    for (auto& [mask, bucket] : buckets) {
+      (void)mask;
+      std::uint64_t probe = static_cast<std::uint64_t>(sa) * bucket.sa_stride;
+      for (std::size_t i = 0; i < bucket.unstarred.size(); ++i) {
+        probe += bucket.strides[i] * qi[bucket.unstarred[i]];
+      }
+      auto it = bucket.mass.find(probe);
+      if (it != bucket.mass.end()) fstar_n += it->second;
+    }
+    LDIV_CHECK_GT(fstar_n, 0.0) << "f* must cover every data point";
+    double f = static_cast<double>(pc.count) / n;
+    kl += f * std::log(static_cast<double>(pc.count) / fstar_n);
+  }
+  return kl;
+}
+
+double KlDivergenceMultiDim(const Table& table, const BoxGeneralization& gen) {
+  if (table.empty()) return 0.0;
+  const double n = static_cast<double>(table.size());
+  const std::size_t m = table.schema().sa_domain_size();
+
+  // Per-group SA histograms (sparse) and volumes.
+  std::vector<std::vector<double>> mass(gen.group_count());  // per group: n*f* weight per SA
+  for (std::size_t g = 0; g < gen.group_count(); ++g) {
+    mass[g].assign(m, 0.0);
+    double volume = gen.box(g).Volume();
+    for (RowId r : gen.rows(g)) mass[g][table.sa(r)] += 1.0 / volume;
+  }
+
+  // Inverted index on attribute 0: candidate groups per attribute-0 value.
+  const std::size_t attr0_domain = table.schema().qi(0).domain_size;
+  std::vector<std::vector<std::uint32_t>> candidates(attr0_domain);
+  for (std::size_t g = 0; g < gen.group_count(); ++g) {
+    for (Value v = gen.box(g).lo[0]; v < gen.box(g).hi[0]; ++v) {
+      candidates[v].push_back(static_cast<std::uint32_t>(g));
+    }
+  }
+
+  PointPacker packer(table.schema());
+  double kl = 0.0;
+  for (const auto& [key, pc] : DistinctPoints(table, packer)) {
+    (void)key;
+    auto qi = table.qi_row(pc.representative);
+    SaValue sa = table.sa(pc.representative);
+    double fstar_n = 0.0;
+    for (std::uint32_t g : candidates[qi[0]]) {
+      if (gen.box(g).Contains(qi)) fstar_n += mass[g][sa];
+    }
+    LDIV_CHECK_GT(fstar_n, 0.0) << "every point lies in its own group's box";
+    double f = static_cast<double>(pc.count) / n;
+    kl += f * std::log(static_cast<double>(pc.count) / fstar_n);
+  }
+  return kl;
+}
+
+double KlDivergenceAnatomy(const Table& table, const Partition& buckets) {
+  if (table.empty()) return 0.0;
+  const double n = static_cast<double>(table.size());
+  const std::size_t m = table.schema().sa_domain_size();
+
+  // Per-bucket SA frequency vectors (count / bucket size).
+  std::vector<std::vector<double>> frequency(buckets.group_count());
+  std::vector<std::uint32_t> bucket_of(table.size());
+  for (GroupId g = 0; g < buckets.group_count(); ++g) {
+    frequency[g].assign(m, 0.0);
+    for (RowId r : buckets.group(g)) {
+      frequency[g][table.sa(r)] += 1.0 / static_cast<double>(buckets.group(g).size());
+      bucket_of[r] = g;
+    }
+  }
+
+  // Rows grouped by exact QI signature (SA excluded): hash of the packed
+  // QI vector -> row list.
+  std::unordered_map<std::uint64_t, std::vector<RowId>> rows_by_qi;
+  {
+    // Reuse the point packer with a fake SA of 0 to pack only QI values.
+    PointPacker packer(table.schema());
+    rows_by_qi.reserve(table.size());
+    for (RowId r = 0; r < table.size(); ++r) {
+      rows_by_qi[packer.Pack(table.qi_row(r), 0)].push_back(r);
+    }
+  }
+
+  PointPacker packer(table.schema());
+  double kl = 0.0;
+  for (const auto& [key, pc] : DistinctPoints(table, packer)) {
+    (void)key;
+    auto qi = table.qi_row(pc.representative);
+    SaValue sa = table.sa(pc.representative);
+    double fstar_n = 0.0;
+    for (RowId t : rows_by_qi.at(packer.Pack(qi, 0))) {
+      fstar_n += frequency[bucket_of[t]][sa];
+    }
+    LDIV_CHECK_GT(fstar_n, 0.0);
+    double f = static_cast<double>(pc.count) / n;
+    kl += f * std::log(static_cast<double>(pc.count) / fstar_n);
+  }
+  return kl;
+}
+
+double KlDivergenceSingleDim(const Table& table, const SingleDimGeneralization& gen) {
+  if (table.empty()) return 0.0;
+  const double n = static_cast<double>(table.size());
+
+  // Per (cell, SA) counts; cells tile the space so each point probes one.
+  std::unordered_map<std::uint64_t, std::uint32_t> cell_sa_counts;
+  cell_sa_counts.reserve(table.size());
+  const std::uint64_t m = table.schema().sa_domain_size();
+  for (RowId r = 0; r < table.size(); ++r) {
+    std::uint64_t cell = gen.PackedCellId(table.qi_row(r));
+    LDIV_CHECK_LT(cell, std::numeric_limits<std::uint64_t>::max() / m);
+    ++cell_sa_counts[cell * m + table.sa(r)];
+  }
+
+  PointPacker packer(table.schema());
+  double kl = 0.0;
+  for (const auto& [key, pc] : DistinctPoints(table, packer)) {
+    (void)key;
+    auto qi = table.qi_row(pc.representative);
+    SaValue sa = table.sa(pc.representative);
+    std::uint64_t cell = gen.PackedCellId(qi);
+    double volume = gen.CellVolume(qi);
+    double cell_count = static_cast<double>(cell_sa_counts.at(cell * m + sa));
+    double fstar_n = cell_count / volume;
+    double f = static_cast<double>(pc.count) / n;
+    kl += f * std::log(static_cast<double>(pc.count) / fstar_n);
+  }
+  return kl;
+}
+
+}  // namespace ldv

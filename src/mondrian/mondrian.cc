@@ -1,0 +1,119 @@
+#include "mondrian/mondrian.h"
+
+#include <algorithm>
+#include <chrono>
+#include <numeric>
+#include <vector>
+
+#include "anonymity/eligibility.h"
+#include "common/check.h"
+#include "common/histogram.h"
+
+namespace ldv {
+
+namespace {
+
+class MondrianState {
+ public:
+  MondrianState(const Table& table, std::uint32_t l, BoxGeneralization* out,
+                ldv::Partition* partition)
+      : table_(table), l_(l), out_(out), partition_(partition) {}
+
+  void Recurse(std::vector<RowId> rows, QiBox box) {
+    // Candidate attributes by descending normalized spread inside `rows`.
+    const std::size_t d = table_.qi_count();
+    std::vector<std::pair<double, AttrId>> spreads;
+    spreads.reserve(d);
+    for (AttrId a = 0; a < d; ++a) {
+      auto [min_it, max_it] = std::minmax_element(
+          rows.begin(), rows.end(),
+          [&](RowId x, RowId y) { return table_.qi(x, a) < table_.qi(y, a); });
+      double spread = static_cast<double>(table_.qi(*max_it, a) - table_.qi(*min_it, a)) /
+                      static_cast<double>(table_.schema().qi(a).domain_size);
+      spreads.push_back({spread, a});
+    }
+    std::sort(spreads.begin(), spreads.end(), [](const auto& x, const auto& y) {
+      return x.first != y.first ? x.first > y.first : x.second < y.second;
+    });
+
+    for (const auto& [spread, attr] : spreads) {
+      if (spread <= 0.0) break;  // no attribute with two distinct values
+      Value split = MedianSplitValue(rows, attr);
+      if (split == 0) continue;  // all rows share one value on attr
+      std::vector<RowId> left, right;
+      SaHistogram left_hist(table_.schema().sa_domain_size());
+      SaHistogram right_hist(table_.schema().sa_domain_size());
+      for (RowId r : rows) {
+        if (table_.qi(r, attr) < split) {
+          left.push_back(r);
+          left_hist.Add(table_.sa(r));
+        } else {
+          right.push_back(r);
+          right_hist.Add(table_.sa(r));
+        }
+      }
+      if (left.empty() || right.empty()) continue;
+      if (!left_hist.IsEligible(l_) || !right_hist.IsEligible(l_)) continue;
+      QiBox left_box = box, right_box = box;
+      left_box.hi[attr] = split;
+      right_box.lo[attr] = split;
+      Recurse(std::move(left), std::move(left_box));
+      Recurse(std::move(right), std::move(right_box));
+      return;
+    }
+    // No allowable cut: emit the group.
+    partition_->AddGroup(rows);
+    out_->AddGroup(std::move(box), std::move(rows));
+  }
+
+ private:
+  /// The median cut point for `attr` within `rows`: the smallest value v
+  /// such that at least half the rows are strictly below v, or 0 when the
+  /// rows share a single value (no cut).
+  Value MedianSplitValue(const std::vector<RowId>& rows, AttrId attr) const {
+    std::vector<Value> values;
+    values.reserve(rows.size());
+    for (RowId r : rows) values.push_back(table_.qi(r, attr));
+    std::sort(values.begin(), values.end());
+    if (values.front() == values.back()) return 0;
+    Value median = values[values.size() / 2];
+    // Cut strictly above the minimum so both sides are nonempty.
+    return median > values.front() ? median : median + 1;
+  }
+
+  const Table& table_;
+  std::uint32_t l_;
+  BoxGeneralization* out_;
+  ldv::Partition* partition_;
+};
+
+}  // namespace
+
+MondrianResult MondrianAnonymize(const Table& table, std::uint32_t l) {
+  MondrianResult result;
+  if (table.empty()) {
+    result.feasible = true;
+    return result;
+  }
+  if (!IsTableEligible(table, l)) return result;
+  auto start = std::chrono::steady_clock::now();
+
+  std::vector<RowId> all(table.size());
+  std::iota(all.begin(), all.end(), 0u);
+  QiBox root;
+  root.lo.assign(table.qi_count(), 0);
+  root.hi.resize(table.qi_count());
+  for (AttrId a = 0; a < table.qi_count(); ++a) {
+    root.hi[a] = static_cast<Value>(table.schema().qi(a).domain_size);
+  }
+  MondrianState state(table, l, &result.generalization, &result.partition);
+  state.Recurse(std::move(all), std::move(root));
+
+  result.feasible = true;
+  result.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  LDIV_DCHECK(result.partition.CoversExactly(table));
+  return result;
+}
+
+}  // namespace ldv

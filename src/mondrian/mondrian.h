@@ -1,0 +1,35 @@
+#ifndef LDIV_MONDRIAN_MONDRIAN_H_
+#define LDIV_MONDRIAN_MONDRIAN_H_
+
+#include <cstdint>
+
+#include "anonymity/multidim.h"
+#include "anonymity/partition.h"
+#include "common/table.h"
+
+namespace ldv {
+
+/// Result of the Mondrian partitioner.
+struct MondrianResult {
+  /// False iff the table is not l-eligible.
+  bool feasible = false;
+  /// The kd-style partition of the rows.
+  Partition partition;
+  /// The published boxes (one per group). The boxes tile the whole QI
+  /// space (splits are global cuts of the parent box), so they never
+  /// overlap -- the property that makes the Equation-2 pdf well-defined
+  /// with one cell per point.
+  BoxGeneralization generalization;
+  double seconds = 0.0;
+};
+
+/// Mondrian multi-dimensional generalization (LeFevre, DeWitt,
+/// Ramakrishnan [27]) adapted from k-anonymity to l-diversity, the paper's
+/// Section 2 / 6.2 representative of the multi-dimensional category:
+/// recursively bisect the QI space at the median of the attribute with the
+/// widest normalized spread, as long as both halves remain l-eligible.
+MondrianResult MondrianAnonymize(const Table& table, std::uint32_t l);
+
+}  // namespace ldv
+
+#endif  // LDIV_MONDRIAN_MONDRIAN_H_

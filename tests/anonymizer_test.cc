@@ -1,0 +1,47 @@
+// Facade tests.
+
+#include "core/anonymizer.h"
+
+#include <gtest/gtest.h>
+
+#include "anonymity/generalization.h"
+#include "test_util.h"
+
+namespace ldv {
+namespace {
+
+TEST(Anonymizer, NamesAreStable) {
+  EXPECT_STREQ(AlgorithmName(Algorithm::kTp), "TP");
+  EXPECT_STREQ(AlgorithmName(Algorithm::kTpPlus), "TP+");
+  EXPECT_STREQ(AlgorithmName(Algorithm::kHilbert), "Hilbert");
+}
+
+TEST(Anonymizer, ComputesBothObjectives) {
+  Table table = testutil::PaperTable1();
+  AnonymizationOutcome outcome = Anonymize(table, 2, Algorithm::kTp);
+  ASSERT_TRUE(outcome.feasible);
+  GeneralizedTable gen(table, outcome.partition);
+  EXPECT_EQ(outcome.stars, gen.StarCount());
+  EXPECT_EQ(outcome.suppressed_tuples, gen.SuppressedTupleCount());
+}
+
+TEST(Anonymizer, TpOnPaperTable1IsOptimal) {
+  // Phase-one termination on Table 1 (l = 2) suppresses exactly the 4
+  // tuples of the optimal solution; stars <= the Table 3 reference (8).
+  Table table = testutil::PaperTable1();
+  AnonymizationOutcome outcome = Anonymize(table, 2, Algorithm::kTp);
+  ASSERT_TRUE(outcome.feasible);
+  EXPECT_EQ(outcome.suppressed_tuples, 4u);
+  EXPECT_EQ(outcome.tp_stats.terminated_phase, 1);
+  EXPECT_LE(outcome.stars, 12u);  // 4 tuples x up to 3 attributes
+}
+
+TEST(Anonymizer, InfeasibleForLBeyondMaxFeasible) {
+  Table table = testutil::PaperTable1();  // max feasible l is 2
+  for (Algorithm algo : {Algorithm::kTp, Algorithm::kTpPlus, Algorithm::kHilbert}) {
+    EXPECT_FALSE(Anonymize(table, 3, algo).feasible) << AlgorithmName(algo);
+  }
+}
+
+}  // namespace
+}  // namespace ldv

@@ -1,0 +1,130 @@
+// Definition 1 (suppression generalization) tests, built on the paper's
+// running example: Table 1 microdata, Table 2 (2-anonymous) and Table 3
+// (2-diverse) partitions.
+
+#include "anonymity/generalization.h"
+
+#include <gtest/gtest.h>
+
+#include "anonymity/eligibility.h"
+#include "anonymity/k_anonymity.h"
+#include "test_util.h"
+
+namespace ldv {
+namespace {
+
+using testutil::PaperTable1;
+
+// The partition behind Table 2 of the paper (4 QI-groups).
+Partition PaperTable2Partition() {
+  return Partition({{0, 1}, {2, 3}, {4, 5, 6, 7}, {8, 9}});
+}
+
+// The partition behind Table 3 of the paper (3 QI-groups).
+Partition PaperTable3Partition() {
+  return Partition({{0, 1, 2, 3}, {4, 5, 6, 7}, {8, 9}});
+}
+
+TEST(Generalization, PaperTable2HasTwoStars) {
+  Table table = PaperTable1();
+  Partition partition = PaperTable2Partition();
+  GeneralizedTable generalized(table, partition);
+  // Only Tuples 3 and 4 have their Age suppressed.
+  EXPECT_EQ(generalized.StarCount(), 2u);
+  EXPECT_EQ(generalized.SuppressedTupleCount(), 2u);
+  EXPECT_EQ(PartitionStarCount(table, partition), 2u);
+}
+
+TEST(Generalization, PaperTable3HasEightStarsAndFourSuppressedTuples) {
+  // "in Table 3, the amount of information loss is 8 (stars) in Problem 1,
+  // but 4 (tuples) in Problem 2."
+  Table table = PaperTable1();
+  Partition partition = PaperTable3Partition();
+  GeneralizedTable generalized(table, partition);
+  EXPECT_EQ(generalized.StarCount(), 8u);
+  EXPECT_EQ(generalized.SuppressedTupleCount(), 4u);
+}
+
+TEST(Generalization, PaperTable2IsTwoAnonymousButNotTwoDiverse) {
+  Table table = PaperTable1();
+  Partition partition = PaperTable2Partition();
+  EXPECT_TRUE(IsKAnonymous(partition, 2));
+  // The first QI-group {Adam, Bob} is homogeneous (both HIV): the
+  // homogeneity problem that motivates l-diversity.
+  EXPECT_TRUE(HasHomogeneityViolation(table, partition));
+  EXPECT_FALSE(IsLDiverse(table, partition, 2));
+  EXPECT_DOUBLE_EQ(HomogeneousTupleFraction(table, partition), 0.2);
+}
+
+TEST(Generalization, PaperTable3IsTwoDiverse) {
+  Table table = PaperTable1();
+  Partition partition = PaperTable3Partition();
+  EXPECT_TRUE(IsLDiverse(table, partition, 2));
+  EXPECT_FALSE(HasHomogeneityViolation(table, partition));
+}
+
+TEST(Generalization, SignatureKeepsSharedValues) {
+  Table table = PaperTable1();
+  GeneralizedTable generalized(table, PaperTable3Partition());
+  // First group: Age and Education starred, Gender retained (all male).
+  const std::vector<Value>& sig = generalized.signature(0);
+  EXPECT_TRUE(IsStar(sig[0]));
+  EXPECT_EQ(sig[1], 0u);
+  EXPECT_TRUE(IsStar(sig[2]));
+  EXPECT_EQ(generalized.StarredAttributeCount(0), 2u);
+  // Second group fully retained.
+  EXPECT_EQ(generalized.StarredAttributeCount(1), 0u);
+}
+
+TEST(Generalization, SingletonGroupsCarryNoStars) {
+  Table table = PaperTable1();
+  std::vector<std::vector<RowId>> singletons;
+  for (RowId r = 0; r < table.size(); ++r) singletons.push_back({r});
+  GeneralizedTable generalized(table, Partition(singletons));
+  EXPECT_EQ(generalized.StarCount(), 0u);
+  EXPECT_EQ(generalized.SuppressedTupleCount(), 0u);
+}
+
+TEST(Generalization, SplittingAGroupNeverIncreasesStars) {
+  // Star monotonicity under refinement, the property TP+ relies on.
+  Rng rng(17);
+  Table table = testutil::RandomEligibleTable(rng, 24, {3, 3, 2}, 4, 2);
+  std::vector<RowId> all(table.size());
+  for (RowId r = 0; r < table.size(); ++r) all[r] = r;
+  std::uint64_t whole = GroupStarCount(table, all);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<RowId> left, right;
+    for (RowId r = 0; r < table.size(); ++r) {
+      (rng.Below(2) == 0 ? left : right).push_back(r);
+    }
+    if (left.empty() || right.empty()) continue;
+    EXPECT_LE(GroupStarCount(table, left) + GroupStarCount(table, right), whole);
+  }
+}
+
+TEST(Generalization, ToStringRendersStars) {
+  Table table = PaperTable1();
+  GeneralizedTable generalized(table, PaperTable3Partition());
+  std::string rendered = generalized.ToString(table);
+  EXPECT_NE(rendered.find('*'), std::string::npos);
+  EXPECT_NE(rendered.find("group 0"), std::string::npos);
+}
+
+TEST(Eligibility, PaperTable1MaxFeasibleL) {
+  // Table 1: n = 10, most frequent disease is pneumonia (4 tuples): the
+  // table is l-eligible exactly for l <= 2.
+  Table table = PaperTable1();
+  EXPECT_EQ(MaxFeasibleL(table), 2u);
+  EXPECT_TRUE(IsTableEligible(table, 2));
+  EXPECT_FALSE(IsTableEligible(table, 3));
+}
+
+TEST(Eligibility, SingleGroupPartitionIsDiverseIffTableEligible) {
+  Table table = PaperTable1();
+  Partition single = Partition::SingleGroup(table);
+  EXPECT_TRUE(IsLDiverse(table, single, 2));
+  EXPECT_FALSE(IsLDiverse(table, single, 3));
+}
+
+}  // namespace
+}  // namespace ldv

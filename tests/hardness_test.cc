@@ -1,0 +1,201 @@
+// Tests for the 3DM substrate, the Section 4 NP-hardness reduction, and the
+// exact reference solvers.
+
+#include <gtest/gtest.h>
+
+#include "anonymity/eligibility.h"
+#include "anonymity/generalization.h"
+#include "hardness/exact_solver.h"
+#include "hardness/reduction.h"
+#include "hardness/three_dim_matching.h"
+#include "test_util.h"
+
+namespace ldv {
+namespace {
+
+TEST(ThreeDm, PaperFigure1InstanceIsYes) {
+  ThreeDmInstance inst = PaperFigure1Instance();
+  ASSERT_TRUE(inst.Valid());
+  auto solution = Solve3Dm(inst);
+  ASSERT_TRUE(solution.has_value());
+  // The paper gives {p1, p3, p5, p6} as a solution; verify whatever the
+  // solver returns is a perfect matching.
+  std::set<std::uint32_t> as, bs, cs;
+  for (std::uint32_t idx : *solution) {
+    const Point3& p = inst.points[idx];
+    EXPECT_TRUE(as.insert(p.a).second);
+    EXPECT_TRUE(bs.insert(p.b).second);
+    EXPECT_TRUE(cs.insert(p.c).second);
+  }
+  EXPECT_EQ(as.size(), inst.n);
+}
+
+TEST(ThreeDm, PlantedInstancesAreYes) {
+  Rng rng(1);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::uint32_t n = 2 + rng.Below(4);
+    ThreeDmInstance inst = MakePlantedYesInstance(n, rng.Below(6), rng);
+    ASSERT_TRUE(inst.Valid());
+    EXPECT_TRUE(Solve3Dm(inst).has_value());
+  }
+}
+
+TEST(ThreeDm, DetectsNoInstance) {
+  // Two points both using D1 value 0; D1 value 1 is uncovered.
+  ThreeDmInstance inst;
+  inst.n = 2;
+  inst.points = {Point3{0, 0, 0}, Point3{0, 1, 1}};
+  ASSERT_TRUE(inst.Valid());
+  EXPECT_FALSE(Solve3Dm(inst).has_value());
+}
+
+TEST(ThreeDm, ValidRejectsDuplicatesAndOutOfRange) {
+  ThreeDmInstance dup;
+  dup.n = 2;
+  dup.points = {Point3{0, 0, 0}, Point3{0, 0, 0}};
+  EXPECT_FALSE(dup.Valid());
+  ThreeDmInstance range;
+  range.n = 2;
+  range.points = {Point3{2, 0, 0}};
+  EXPECT_FALSE(range.Valid());
+}
+
+TEST(Reduction, PaperFigure1TableMatchesFigure1b) {
+  // Figure 1b: the table built from Figure 1a with m = 8.
+  ThreeDmInstance inst = PaperFigure1Instance();
+  Table table = BuildReductionTable(inst, 8);
+  ASSERT_EQ(table.size(), 12u);
+  ASSERT_EQ(table.qi_count(), 6u);
+  // SA column (1-based paper values): 1,2,3,4,5,6,7,7,8,8,8,8.
+  const std::vector<SaValue> expected_sa = {0, 1, 2, 3, 4, 5, 6, 6, 7, 7, 7, 7};
+  for (RowId r = 0; r < table.size(); ++r) {
+    EXPECT_EQ(table.sa(r), expected_sa[r]) << "row " << r;
+  }
+  // Spot-check Figure 1b rows: row 7 (value c in D2) has 0 on A3 only and
+  // 7 elsewhere.
+  for (AttrId a = 0; a < 6; ++a) {
+    EXPECT_EQ(table.qi(6, a), a == 2 ? 0u : 7u) << "attr " << a;
+  }
+  // Row 1 (value 1 in D1): points p1, p2 have first coordinate 1.
+  for (AttrId a = 0; a < 6; ++a) {
+    EXPECT_EQ(table.qi(0, a), (a == 0 || a == 1) ? 0u : 1u) << "attr " << a;
+  }
+  EXPECT_TRUE(CheckReductionProperties(table, inst, 8));
+}
+
+TEST(Reduction, AlphabetSizeIsMPlusOne) {
+  // Theorem 1's remark: the reduction needs an alphabet of size m+1.
+  ThreeDmInstance inst = PaperFigure1Instance();
+  Table table = BuildReductionTable(inst, 8);
+  std::set<Value> alphabet;
+  for (RowId r = 0; r < table.size(); ++r) {
+    for (AttrId a = 0; a < table.qi_count(); ++a) alphabet.insert(table.qi(r, a));
+    alphabet.insert(table.sa(r) + 1);  // paper's SA values 1..m
+  }
+  EXPECT_EQ(alphabet.size(), 9u);  // {0, 1, ..., 8}
+}
+
+TEST(Reduction, PropertiesHoldAcrossMRange) {
+  Rng rng(5);
+  for (std::uint32_t n = 2; n <= 4; ++n) {
+    ThreeDmInstance inst = MakePlantedYesInstance(n, 2, rng);
+    for (std::uint32_t m = 3; m <= 3 * n; ++m) {
+      Table table = BuildReductionTable(inst, m);
+      EXPECT_TRUE(CheckReductionProperties(table, inst, m)) << "n=" << n << " m=" << m;
+    }
+  }
+}
+
+TEST(Reduction, MatchingInducesTargetStarGeneralization) {
+  // Only-if direction of Lemma 3: a 3DM solution yields a 3-diverse
+  // generalization with exactly 3n(d-1) stars.
+  ThreeDmInstance inst = PaperFigure1Instance();
+  Table table = BuildReductionTable(inst, 8);
+  auto matching = Solve3Dm(inst);
+  ASSERT_TRUE(matching.has_value());
+  Partition partition = PartitionFromMatching(inst, *matching);
+  EXPECT_TRUE(partition.CoversExactly(table));
+  EXPECT_TRUE(IsLDiverse(table, partition, 3));
+  EXPECT_EQ(PartitionStarCount(table, partition), ReductionTargetStars(inst.n, inst.d()));
+}
+
+TEST(Reduction, Lemma3BothDirectionsOnSmallInstances) {
+  // Exhaustively verify Lemma 3 on n = 2 instances (6-row tables): the
+  // optimal 3-diverse generalization has 3n(d-1) stars iff 3DM is yes.
+  Rng rng(9);
+  int yes_seen = 0, no_seen = 0;
+  for (int trial = 0; trial < 12; ++trial) {
+    std::uint32_t n = 2;
+    std::uint32_t d = n + rng.Below(3);
+    ThreeDmInstance inst = MakeRandomInstance(n, d, rng);
+    Table table = BuildReductionTable(inst, 3 + rng.Below(3 * n - 2));
+    bool is_yes = Solve3Dm(inst).has_value();
+    ExactStarResult opt = ExactStarMinimization(table, 3);
+    ASSERT_TRUE(opt.feasible);
+    std::uint64_t target = ReductionTargetStars(inst.n, inst.d());
+    if (is_yes) {
+      EXPECT_EQ(opt.stars, target) << "yes-instance must reach the target";
+      ++yes_seen;
+    } else {
+      EXPECT_GT(opt.stars, target) << "no-instance must not reach the target";
+      ++no_seen;
+    }
+  }
+  EXPECT_GT(yes_seen, 0);
+  EXPECT_GT(no_seen, 0);
+}
+
+TEST(ExactSolvers, StarSolverMatchesHandComputedExample) {
+  // Paper Table 1 with l = 2: Table 3's partition (8 stars) is one
+  // candidate; check the solver finds something no worse and 2-diverse.
+  Table table = testutil::PaperTable1();
+  ExactStarResult result = ExactStarMinimization(table, 2);
+  ASSERT_TRUE(result.feasible);
+  EXPECT_LE(result.stars, 8u);
+  EXPECT_TRUE(result.partition.CoversExactly(table));
+  EXPECT_TRUE(IsLDiverse(table, result.partition, 2));
+  EXPECT_EQ(PartitionStarCount(table, result.partition), result.stars);
+}
+
+TEST(ExactSolvers, TupleSolverMatchesPhaseOneOptimum) {
+  // On Table 1 with l = 2 phase one is optimal with 4 removed tuples.
+  Table table = testutil::PaperTable1();
+  ExactTupleResult result = ExactTupleMinimization(table, 2);
+  ASSERT_TRUE(result.feasible);
+  EXPECT_EQ(result.removed, 4u);
+}
+
+TEST(ExactSolvers, LemmaTwoRelationBetweenObjectives) {
+  // beta <= alpha <= d * beta for the optimal solutions (proof of Lemma 2).
+  Rng rng(13);
+  for (int trial = 0; trial < 10; ++trial) {
+    Table table = testutil::RandomEligibleTable(rng, 10, {2, 3}, 4, 2);
+    if (!IsTableEligible(table, 2)) continue;
+    ExactStarResult star = ExactStarMinimization(table, 2);
+    ExactTupleResult tuple = ExactTupleMinimization(table, 2);
+    ASSERT_TRUE(star.feasible);
+    ASSERT_TRUE(tuple.feasible);
+    // From the Lemma 2 proof: alpha_1 <= alpha_2 <= d * beta_2, i.e. the
+    // star optimum is at most d times the tuple optimum.
+    if (tuple.removed > 0) {
+      EXPECT_LE(star.stars, table.qi_count() * tuple.removed)
+          << "alpha1 <= d * beta2 <= d * beta1 chain";
+    } else {
+      EXPECT_EQ(star.stars, 0u);
+    }
+  }
+}
+
+TEST(ExactSolvers, InfeasibleInputsReported) {
+  Schema schema = testutil::MakeSchema({2}, 2);
+  Table table(schema);
+  std::vector<Value> qi{0};
+  table.AppendRow(qi, 0);
+  table.AppendRow(qi, 0);
+  table.AppendRow(qi, 1);
+  EXPECT_FALSE(ExactStarMinimization(table, 2).feasible);
+  EXPECT_FALSE(ExactTupleMinimization(table, 2).feasible);
+}
+
+}  // namespace
+}  // namespace ldv

@@ -1,0 +1,190 @@
+// Hilbert curve encoder and Hilbert baseline partitioner tests.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "anonymity/eligibility.h"
+#include "anonymity/generalization.h"
+#include "common/rng.h"
+#include "hilbert/hilbert_curve.h"
+#include "hilbert/hilbert_partitioner.h"
+#include "test_util.h"
+
+namespace ldv {
+namespace {
+
+TEST(HilbertCurve, BitsForDomain) {
+  EXPECT_EQ(HilbertCurve::BitsForDomain(2), 1u);
+  EXPECT_EQ(HilbertCurve::BitsForDomain(3), 2u);
+  EXPECT_EQ(HilbertCurve::BitsForDomain(79), 7u);
+  EXPECT_EQ(HilbertCurve::BitsForDomain(1), 1u);
+}
+
+TEST(HilbertCurve, TwoDimOrder2IsTheClassicCurve) {
+  // The 2x2 Hilbert curve visits (0,0), (0,1), (1,1), (1,0).
+  HilbertCurve curve(2, 1);
+  EXPECT_EQ(curve.Encode(std::vector<std::uint32_t>{0, 0}), 0u);
+  EXPECT_EQ(curve.Encode(std::vector<std::uint32_t>{0, 1}), 1u);
+  EXPECT_EQ(curve.Encode(std::vector<std::uint32_t>{1, 1}), 2u);
+  EXPECT_EQ(curve.Encode(std::vector<std::uint32_t>{1, 0}), 3u);
+}
+
+class HilbertCurveRoundTrip
+    : public ::testing::TestWithParam<std::pair<std::uint32_t, std::uint32_t>> {};
+
+TEST_P(HilbertCurveRoundTrip, EncodeDecodeIsABijectionWithUnitSteps) {
+  auto [dims, bits] = GetParam();
+  HilbertCurve curve(dims, bits);
+  const std::uint64_t cells = std::uint64_t{1} << (dims * bits);
+  std::vector<std::uint32_t> coords(dims), prev(dims);
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t index = 0; index < cells; ++index) {
+    curve.Decode(index, coords);
+    // Bijection: encoding the decoded point recovers the index.
+    EXPECT_EQ(curve.Encode(coords), index);
+    // Unit-step property: consecutive curve positions differ by 1 in
+    // exactly one coordinate.
+    if (index > 0) {
+      std::uint64_t distance = 0;
+      for (std::uint32_t i = 0; i < dims; ++i) {
+        distance += coords[i] > prev[i] ? coords[i] - prev[i] : prev[i] - coords[i];
+      }
+      EXPECT_EQ(distance, 1u) << "at index " << index;
+    }
+    prev = coords;
+    seen.insert(curve.Encode(coords));
+  }
+  EXPECT_EQ(seen.size(), cells);
+}
+
+INSTANTIATE_TEST_SUITE_P(Grids, HilbertCurveRoundTrip,
+                         ::testing::Values(std::make_pair(1u, 4u), std::make_pair(2u, 1u),
+                                           std::make_pair(2u, 3u), std::make_pair(3u, 2u),
+                                           std::make_pair(4u, 2u), std::make_pair(5u, 2u),
+                                           std::make_pair(7u, 2u), std::make_pair(2u, 7u)),
+                         [](const auto& info) {
+                           return "d" + std::to_string(info.param.first) + "b" +
+                                  std::to_string(info.param.second);
+                         });
+
+TEST(HilbertPartitioner, ProducesLDiverseGroups) {
+  Rng rng(11);
+  Table table = testutil::RandomEligibleTable(rng, 400, {8, 4, 4}, 6, 4);
+  HilbertResult result = HilbertAnonymize(table, 4);
+  ASSERT_TRUE(result.feasible);
+  EXPECT_TRUE(result.partition.CoversExactly(table));
+  EXPECT_TRUE(IsLDiverse(table, result.partition, 4));
+}
+
+TEST(HilbertPartitioner, InfeasibleTableRejected) {
+  Schema schema = testutil::MakeSchema({2}, 2);
+  Table table(schema);
+  std::vector<Value> qi{0};
+  table.AppendRow(qi, 0);
+  table.AppendRow(qi, 0);
+  table.AppendRow(qi, 1);
+  EXPECT_FALSE(HilbertAnonymize(table, 2).feasible);
+}
+
+TEST(HilbertPartitioner, AdversarialSaRunIsMergedBackwards) {
+  // A long run of one SA value at the end of the Hilbert order forces the
+  // tail-merge path. QI = identity so the Hilbert order is the row order.
+  Schema schema = testutil::MakeSchema({64}, 2);
+  Table table(schema);
+  for (std::uint32_t i = 0; i < 16; ++i) {
+    std::vector<Value> qi{i};
+    table.AppendRow(qi, i < 8 ? (i % 2) : 1);
+  }
+  // SA sequence: 0101 0101 1111 1111 -> overall histogram (4, 12)?
+  // That is not 2-eligible; rebuild with balance.
+  Table balanced(schema);
+  for (std::uint32_t i = 0; i < 16; ++i) {
+    std::vector<Value> qi{i};
+    balanced.AppendRow(qi, i < 8 ? 0 : 1);
+  }
+  // SA sequence: 00000000 11111111. Greedy groups of {0,1} cannot form in
+  // the prefix; the whole table must end up merged yet still 2-diverse.
+  HilbertResult result = HilbertAnonymize(balanced, 2);
+  ASSERT_TRUE(result.feasible);
+  EXPECT_TRUE(result.partition.CoversExactly(balanced));
+  EXPECT_TRUE(IsLDiverse(balanced, result.partition, 2));
+}
+
+TEST(HilbertPartitioner, LocalityBeatsArbitraryGrouping) {
+  // On smooth data the Hilbert order should produce far fewer stars than
+  // a round-robin partition of the same group size.
+  Rng rng(3);
+  Schema schema = testutil::MakeSchema({16, 16}, 4);
+  Table table(schema);
+  for (int i = 0; i < 300; ++i) {
+    std::uint32_t x = rng.Below(16);
+    std::vector<Value> qi{x, x / 2 + rng.Below(8)};
+    table.AppendRow(qi, rng.Below(4));
+  }
+  if (!IsTableEligible(table, 2)) GTEST_SKIP();
+  HilbertResult hilbert = HilbertAnonymize(table, 2);
+  ASSERT_TRUE(hilbert.feasible);
+
+  // Round-robin partition with groups of 4 (2-diverse only by luck, so
+  // compare star counts on the raw partitions instead of privacy).
+  std::vector<std::vector<RowId>> rr(table.size() / 4 + 1);
+  for (RowId r = 0; r < table.size(); ++r) rr[r % rr.size()].push_back(r);
+  std::uint64_t rr_stars = PartitionStarCount(table, Partition(rr));
+  std::uint64_t hilbert_stars = PartitionStarCount(table, hilbert.partition);
+  EXPECT_LT(hilbert_stars * 10, rr_stars * 7);
+}
+
+TEST(HilbertPartitioner, WindowDpNotWorseThanGreedyOnSmallInputs) {
+  Rng rng(21);
+  int dp_wins_or_ties = 0, trials = 0;
+  for (int t = 0; t < 10; ++t) {
+    Table table = testutil::RandomEligibleTable(rng, 120, {6, 4}, 5, 3);
+    if (!IsTableEligible(table, 3)) continue;
+    ++trials;
+    HilbertOptions greedy;
+    HilbertOptions dp;
+    dp.splitter = HilbertOptions::Splitter::kWindowDp;
+    HilbertResult rg = HilbertAnonymize(table, 3, greedy);
+    HilbertResult rd = HilbertAnonymize(table, 3, dp);
+    ASSERT_TRUE(rg.feasible);
+    ASSERT_TRUE(rd.feasible);
+    EXPECT_TRUE(IsLDiverse(table, rd.partition, 3));
+    std::uint64_t sg = PartitionStarCount(table, rg.partition);
+    std::uint64_t sd = PartitionStarCount(table, rd.partition);
+    if (sd <= sg) ++dp_wins_or_ties;
+  }
+  // The DP optimizes the split directly, so it should not lose on most
+  // instances (it is not strictly dominant because of the window cap).
+  EXPECT_GE(dp_wins_or_ties * 2, trials);
+}
+
+TEST(HilbertPartitioner, WideSchemaFallsBackToCoarsenedGrid) {
+  // 10 attributes of domain 100 need 10 x 7 = 70 bits; the encoder coarsens
+  // to 6 bits per axis (right-shift) and must still produce a valid
+  // l-diverse partition.
+  Rng rng(29);
+  Schema schema = testutil::MakeSchema(std::vector<std::size_t>(10, 100), 4);
+  Table table(schema);
+  std::vector<Value> qi(10);
+  for (int i = 0; i < 400; ++i) {
+    for (auto& v : qi) v = rng.Below(100);
+    table.AppendRow(qi, rng.Below(4));
+  }
+  if (!IsTableEligible(table, 2)) GTEST_SKIP();
+  HilbertResult result = HilbertAnonymize(table, 2);
+  ASSERT_TRUE(result.feasible);
+  EXPECT_TRUE(result.partition.CoversExactly(table));
+  EXPECT_TRUE(IsLDiverse(table, result.partition, 2));
+}
+
+TEST(HilbertPartitioner, EmptyTableIsFeasibleNoop) {
+  Schema schema = testutil::MakeSchema({4}, 2);
+  Table table(schema);
+  HilbertResult result = HilbertAnonymize(table, 2);
+  EXPECT_TRUE(result.feasible);
+  EXPECT_EQ(result.partition.group_count(), 0u);
+}
+
+}  // namespace
+}  // namespace ldv

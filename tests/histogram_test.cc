@@ -1,0 +1,110 @@
+// Unit tests for SaHistogram and the l-eligibility predicate (Definition 2,
+// Lemma 1).
+
+#include "common/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace ldv {
+namespace {
+
+TEST(SaHistogram, StartsEmpty) {
+  SaHistogram h(5);
+  EXPECT_EQ(h.domain_size(), 5u);
+  EXPECT_EQ(h.total(), 0u);
+  EXPECT_TRUE(h.empty());
+  EXPECT_EQ(h.PillarHeight(), 0u);
+  EXPECT_TRUE(h.Pillars().empty());
+  EXPECT_EQ(h.DistinctCount(), 0u);
+}
+
+TEST(SaHistogram, VectorConstructorMatchesPaperNotation) {
+  // Q1 = (3,1,1,2,3) from the Section 5.3 example.
+  SaHistogram h({3, 1, 1, 2, 3});
+  EXPECT_EQ(h.total(), 10u);
+  EXPECT_EQ(h.PillarHeight(), 3u);
+  EXPECT_EQ(h.Pillars(), (std::vector<SaValue>{0, 4}));
+  EXPECT_EQ(h.DistinctCount(), 5u);
+  EXPECT_EQ(h.ToString(), "(3,1,1,2,3)");
+}
+
+TEST(SaHistogram, AddRemoveMaintainCounts) {
+  SaHistogram h(3);
+  h.Add(0, 2);
+  h.Add(1);
+  h.Add(2, 5);
+  EXPECT_EQ(h.count(0), 2u);
+  EXPECT_EQ(h.count(2), 5u);
+  EXPECT_EQ(h.total(), 8u);
+  h.Remove(2, 4);
+  EXPECT_EQ(h.count(2), 1u);
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_EQ(h.PillarHeight(), 2u);
+}
+
+TEST(SaHistogramDeathTest, RemoveUnderflowAborts) {
+  SaHistogram h(2);
+  h.Add(0);
+  EXPECT_DEATH(h.Remove(0, 2), "CHECK failed");
+}
+
+TEST(SaHistogram, EligibilityDefinition) {
+  // |S| >= l * h(S): (2,1) has total 3, pillar 2.
+  SaHistogram h({2, 1});
+  EXPECT_TRUE(h.IsEligible(1));
+  EXPECT_FALSE(h.IsEligible(2));
+  // (2,2) is exactly 2-eligible.
+  SaHistogram h2({2, 2});
+  EXPECT_TRUE(h2.IsEligible(2));
+  EXPECT_FALSE(h2.IsEligible(3));
+}
+
+TEST(SaHistogram, EmptyIsEligibleForAllL) {
+  SaHistogram h(4);
+  for (std::uint32_t l = 1; l <= 10; ++l) EXPECT_TRUE(h.IsEligible(l));
+}
+
+TEST(SaHistogram, MergePreservesCounts) {
+  SaHistogram a({1, 2, 0});
+  SaHistogram b({0, 1, 3});
+  a.MergeFrom(b);
+  EXPECT_EQ(a, SaHistogram({1, 3, 3}));
+}
+
+// Lemma 1 (monotonicity): the union of two l-eligible multisets is
+// l-eligible. Randomized property sweep.
+TEST(SaHistogram, Lemma1MonotonicityProperty) {
+  Rng rng(42);
+  for (int trial = 0; trial < 500; ++trial) {
+    std::uint32_t m = 2 + rng.Below(6);
+    std::uint32_t l = 1 + rng.Below(m);
+    auto random_eligible = [&]() {
+      SaHistogram h(m);
+      for (int i = 0; i < 30; ++i) {
+        SaValue v = rng.Below(m);
+        h.Add(v);
+        if (!h.IsEligible(l)) h.Remove(v);
+      }
+      return h;
+    };
+    SaHistogram s1 = random_eligible();
+    SaHistogram s2 = random_eligible();
+    ASSERT_TRUE(s1.IsEligible(l));
+    ASSERT_TRUE(s2.IsEligible(l));
+    s1.MergeFrom(s2);
+    EXPECT_TRUE(s1.IsEligible(l)) << "Lemma 1 violated: " << s1.ToString() << " l=" << l;
+  }
+}
+
+TEST(SaHistogram, PillarsAfterRemoval) {
+  SaHistogram h({3, 3, 1});
+  h.Remove(0);
+  EXPECT_EQ(h.Pillars(), (std::vector<SaValue>{1}));
+  h.Remove(1);
+  EXPECT_EQ(h.Pillars(), (std::vector<SaValue>{0, 1}));
+}
+
+}  // namespace
+}  // namespace ldv

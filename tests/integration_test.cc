@@ -1,0 +1,144 @@
+// Cross-module integration tests: the Section 6 findings, in miniature, on
+// the synthetic SAL / OCC workloads.
+
+#include <gtest/gtest.h>
+
+#include "anonymity/eligibility.h"
+#include "anonymity/generalization.h"
+#include "core/anonymizer.h"
+#include "data/acs_generator.h"
+#include "data/acs_schema.h"
+#include "data/workload.h"
+#include "metrics/group_stats.h"
+#include "metrics/kl_divergence.h"
+#include "tds/tds.h"
+
+namespace ldv {
+namespace {
+
+class SalWorkloadTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    sal_ = new Table(GenerateSal(20000, 1));
+    sal4_ = new Table(sal_->ProjectQi({kAge, kGender, kRace, kEducation}));
+  }
+  static void TearDownTestSuite() {
+    delete sal_;
+    delete sal4_;
+    sal_ = nullptr;
+    sal4_ = nullptr;
+  }
+  static Table* sal_;
+  static Table* sal4_;
+};
+
+Table* SalWorkloadTest::sal_ = nullptr;
+Table* SalWorkloadTest::sal4_ = nullptr;
+
+TEST_F(SalWorkloadTest, TpPlusBeatsBothTpAndHilbertOnStars) {
+  // The headline Section 6.1 ordering on SAL-4 style data.
+  for (std::uint32_t l : {2u, 6u}) {
+    AnonymizationOutcome tp = Anonymize(*sal4_, l, Algorithm::kTp);
+    AnonymizationOutcome tpp = Anonymize(*sal4_, l, Algorithm::kTpPlus);
+    AnonymizationOutcome hil = Anonymize(*sal4_, l, Algorithm::kHilbert);
+    ASSERT_TRUE(tp.feasible && tpp.feasible && hil.feasible);
+    EXPECT_LE(tpp.stars, tp.stars) << "l=" << l;
+    EXPECT_LE(tpp.stars, hil.stars) << "l=" << l;
+  }
+}
+
+TEST_F(SalWorkloadTest, StarsIncreaseWithL) {
+  std::uint64_t prev = 0;
+  for (std::uint32_t l : {2u, 4u, 6u, 8u}) {
+    AnonymizationOutcome tpp = Anonymize(*sal4_, l, Algorithm::kTpPlus);
+    ASSERT_TRUE(tpp.feasible);
+    EXPECT_GE(tpp.stars, prev) << "l=" << l;
+    prev = tpp.stars;
+  }
+}
+
+TEST_F(SalWorkloadTest, StarsIncreaseWithDimensionality) {
+  // Figure 3's curse of dimensionality, for TP+.
+  std::uint64_t prev = 0;
+  for (std::size_t d : {1u, 3u, 5u}) {
+    std::vector<AttrId> attrs;
+    for (std::size_t a = 0; a < d; ++a) attrs.push_back(static_cast<AttrId>(a));
+    Table t = sal_->ProjectQi(attrs);
+    AnonymizationOutcome tpp = Anonymize(t, 6, Algorithm::kTpPlus);
+    ASSERT_TRUE(tpp.feasible);
+    EXPECT_GE(tpp.stars, prev) << "d=" << d;
+    prev = tpp.stars;
+  }
+}
+
+TEST_F(SalWorkloadTest, TpSkipsPhaseThree) {
+  // "on all 128 tables and for all 9 values of l, TP terminates before the
+  // third phase" -- check the same on this workload.
+  for (std::uint32_t l : {2u, 5u, 10u}) {
+    AnonymizationOutcome tp = Anonymize(*sal4_, l, Algorithm::kTp);
+    ASSERT_TRUE(tp.feasible);
+    EXPECT_LE(tp.tp_stats.terminated_phase, 2) << "l=" << l;
+  }
+}
+
+TEST_F(SalWorkloadTest, TpPlusBeatsTdsOnKlDivergence) {
+  // The Section 6.2 comparison (Figures 7, 8).
+  const std::uint32_t l = 4;
+  AnonymizationOutcome tpp = Anonymize(*sal4_, l, Algorithm::kTpPlus);
+  TdsResult tds = RunTds(*sal4_, l);
+  ASSERT_TRUE(tpp.feasible);
+  ASSERT_TRUE(tds.feasible);
+  GeneralizedTable tpp_gen(*sal4_, tpp.partition);
+  double kl_tpp = KlDivergenceSuppression(*sal4_, tpp_gen);
+  double kl_tds = KlDivergenceSingleDim(*sal4_, *tds.generalization);
+  EXPECT_LT(kl_tpp, kl_tds);
+}
+
+TEST_F(SalWorkloadTest, AllPartitionsAreValidAndDiverse) {
+  for (std::uint32_t l : {3u, 7u}) {
+    for (Algorithm algo : {Algorithm::kTp, Algorithm::kTpPlus, Algorithm::kHilbert}) {
+      AnonymizationOutcome outcome = Anonymize(*sal4_, l, algo);
+      ASSERT_TRUE(outcome.feasible) << AlgorithmName(algo);
+      EXPECT_TRUE(outcome.partition.CoversExactly(*sal4_)) << AlgorithmName(algo);
+      EXPECT_TRUE(IsLDiverse(*sal4_, outcome.partition, l)) << AlgorithmName(algo);
+      GroupSizeStats stats = ComputeGroupSizeStats(outcome.partition);
+      EXPECT_GT(stats.group_count, 0u);
+    }
+  }
+}
+
+TEST(OccWorkload, SameInvariantsOnOccupationData) {
+  Table occ = GenerateOcc(15000, 2);
+  Table occ4 = occ.ProjectQi({kAge, kRace, kMarital, kWorkClass});
+  for (std::uint32_t l : {2u, 6u}) {
+    AnonymizationOutcome tp = Anonymize(occ4, l, Algorithm::kTp);
+    AnonymizationOutcome tpp = Anonymize(occ4, l, Algorithm::kTpPlus);
+    ASSERT_TRUE(tp.feasible && tpp.feasible);
+    EXPECT_TRUE(IsLDiverse(occ4, tpp.partition, l));
+    EXPECT_LE(tpp.stars, tp.stars);
+    EXPECT_LE(tp.tp_stats.terminated_phase, 2);
+  }
+}
+
+TEST(ScalingSanity, TpRuntimeGrowsRoughlyLinearly) {
+  // Figure 6's claim in miniature: 4x the data should cost far less than
+  // 16x the time (i.e. clearly sub-quadratic). Generous slack keeps this
+  // robust on noisy CI machines.
+  Table big = GenerateSal(40000, 3);
+  Table small_t = big.SelectRows([] {
+    std::vector<RowId> rows(10000);
+    for (RowId r = 0; r < 10000; ++r) rows[r] = r;
+    return rows;
+  }());
+  Table t_small = small_t.ProjectQi({kAge, kGender, kRace, kEducation});
+  Table t_big = big.ProjectQi({kAge, kGender, kRace, kEducation});
+
+  AnonymizationOutcome a = Anonymize(t_small, 6, Algorithm::kTp);
+  AnonymizationOutcome b = Anonymize(t_big, 6, Algorithm::kTp);
+  ASSERT_TRUE(a.feasible && b.feasible);
+  if (a.seconds < 1e-4) GTEST_SKIP() << "too fast to measure";
+  EXPECT_LT(b.seconds, a.seconds * 13.0);
+}
+
+}  // namespace
+}  // namespace ldv

@@ -1,0 +1,119 @@
+// Unit and differential tests for the Section 5.5 inverted-list structure.
+
+#include "core/pillar_index.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace ldv {
+namespace {
+
+TEST(PillarIndex, SparseConstruction) {
+  PillarIndex idx({{2, 3}, {5, 1}, {9, 3}});
+  EXPECT_EQ(idx.slot_count(), 3u);
+  EXPECT_EQ(idx.total(), 7u);
+  EXPECT_EQ(idx.PillarHeight(), 3u);
+  EXPECT_EQ(idx.value(0), 2u);
+  EXPECT_EQ(idx.CountOf(5), 1u);
+  EXPECT_EQ(idx.CountOf(7), 0u);  // untracked
+  EXPECT_EQ(idx.FindSlot(9), 2);
+  EXPECT_EQ(idx.FindSlot(3), -1);
+  EXPECT_EQ(idx.PillarSlots(), (std::vector<std::uint32_t>{0, 2}));
+  EXPECT_EQ(idx.DistinctCount(), 3u);
+}
+
+TEST(PillarIndex, DenseEmptyTracksWholeDomain) {
+  PillarIndex idx = PillarIndex::DenseEmpty(4);
+  EXPECT_EQ(idx.slot_count(), 4u);
+  EXPECT_EQ(idx.total(), 0u);
+  EXPECT_EQ(idx.PillarHeight(), 0u);
+  idx.Increment(2);
+  idx.Increment(2);
+  idx.Increment(0);
+  EXPECT_EQ(idx.PillarHeight(), 2u);
+  EXPECT_TRUE(idx.IsPillarValue(2));
+  EXPECT_FALSE(idx.IsPillarValue(0));
+  EXPECT_FALSE(idx.IsPillarValue(3));
+}
+
+TEST(PillarIndex, DecrementMovesPillarPointerDown) {
+  PillarIndex idx = PillarIndex::FromHistogram(SaHistogram({4, 2, 4}));
+  idx.Decrement(0);
+  EXPECT_EQ(idx.PillarHeight(), 4u);
+  EXPECT_EQ(idx.PillarSlots(), (std::vector<std::uint32_t>{2}));
+  idx.Decrement(2);
+  EXPECT_EQ(idx.PillarHeight(), 3u);
+  std::vector<std::uint32_t> pillars = idx.PillarSlots();
+  std::sort(pillars.begin(), pillars.end());  // list order is insertion order
+  EXPECT_EQ(pillars, (std::vector<std::uint32_t>{0, 2}));
+}
+
+TEST(PillarIndex, EligibilityMatchesDefinition) {
+  PillarIndex idx = PillarIndex::FromHistogram(SaHistogram({2, 2, 2}));
+  EXPECT_TRUE(idx.IsEligible(3));
+  idx.Decrement(0);
+  EXPECT_FALSE(idx.IsEligible(3));
+  EXPECT_TRUE(idx.IsEligible(2));
+}
+
+TEST(PillarIndex, FirstPillarSlotIsSmallestSlot) {
+  PillarIndex idx = PillarIndex::FromHistogram(SaHistogram({1, 3, 3, 2}));
+  EXPECT_EQ(idx.FirstPillarSlot(), 1u);
+}
+
+TEST(PillarIndexDeathTest, FirstPillarOfEmptyAborts) {
+  PillarIndex idx = PillarIndex::DenseEmpty(3);
+  EXPECT_DEATH(idx.FirstPillarSlot(), "empty multiset");
+}
+
+TEST(PillarIndex, RoundTripToHistogram) {
+  SaHistogram h({0, 5, 0, 2, 1});
+  PillarIndex idx = PillarIndex::FromHistogram(h);
+  EXPECT_EQ(idx.ToHistogram(5), h);
+}
+
+TEST(PillarIndex, AnyPillarSlotShortCircuits) {
+  PillarIndex idx = PillarIndex::FromHistogram(SaHistogram({3, 3, 1}));
+  int visits = 0;
+  bool found = idx.AnyPillarSlot([&](std::uint32_t slot) {
+    ++visits;
+    return idx.value(slot) == 0;  // slot lists are ascending by slot id
+  });
+  EXPECT_TRUE(found);
+  EXPECT_EQ(visits, 1);
+}
+
+// Differential test: PillarIndex must agree with a plain SaHistogram under
+// a long random sequence of increments and decrements.
+TEST(PillarIndex, DifferentialAgainstHistogram) {
+  Rng rng(7);
+  const std::size_t m = 6;
+  PillarIndex idx = PillarIndex::DenseEmpty(m);
+  SaHistogram ref(m);
+  for (int step = 0; step < 5000; ++step) {
+    SaValue v = rng.Below(m);
+    bool can_remove = ref.count(v) > 0;
+    if (can_remove && rng.Below(2) == 0) {
+      idx.Decrement(v);  // dense index: slot == value
+      ref.Remove(v);
+    } else {
+      idx.Increment(v);
+      ref.Add(v);
+    }
+    ASSERT_EQ(idx.total(), ref.total());
+    ASSERT_EQ(idx.PillarHeight(), ref.PillarHeight());
+    ASSERT_EQ(idx.DistinctCount(), ref.DistinctCount());
+    for (SaValue u = 0; u < m; ++u) ASSERT_EQ(idx.CountOf(u), ref.count(u));
+    // Pillar sets must match (list order is insertion-dependent; sort).
+    std::vector<SaValue> pillars;
+    idx.ForEachPillarSlot([&](std::uint32_t slot) { pillars.push_back(idx.value(slot)); });
+    std::sort(pillars.begin(), pillars.end());
+    ASSERT_EQ(pillars, ref.Pillars());
+  }
+}
+
+}  // namespace
+}  // namespace ldv

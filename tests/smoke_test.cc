@@ -1,0 +1,27 @@
+// End-to-end smoke test: every algorithm produces an l-diverse partition on
+// a small synthetic workload.
+
+#include <gtest/gtest.h>
+
+#include "anonymity/eligibility.h"
+#include "core/anonymizer.h"
+#include "data/acs_generator.h"
+#include "data/acs_schema.h"
+#include "data/workload.h"
+
+namespace ldv {
+namespace {
+
+TEST(Smoke, AllAlgorithmsProduceLDiversePartitions) {
+  Table sal = GenerateSal(2000, 7);
+  Table t = sal.ProjectQi({kAge, kGender, kEducation});
+  for (Algorithm algorithm : {Algorithm::kTp, Algorithm::kTpPlus, Algorithm::kHilbert}) {
+    AnonymizationOutcome outcome = Anonymize(t, 4, algorithm);
+    ASSERT_TRUE(outcome.feasible) << AlgorithmName(algorithm);
+    EXPECT_TRUE(outcome.partition.CoversExactly(t)) << AlgorithmName(algorithm);
+    EXPECT_TRUE(IsLDiverse(t, outcome.partition, 4)) << AlgorithmName(algorithm);
+  }
+}
+
+}  // namespace
+}  // namespace ldv

@@ -1,0 +1,119 @@
+// Parameterized grid sweep of the three-phase engine's formal guarantees
+// over histogram-level instances: every (l, m, s, skew) cell runs many
+// random instances and checks the per-phase lemmas end to end.
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/tp.h"
+
+namespace ldv {
+namespace {
+
+struct GridParam {
+  std::uint32_t l;
+  std::size_t m;
+  std::size_t max_groups;
+  std::uint32_t skew;  // 0 = flat group histograms, larger = heavier heads
+  std::uint64_t seed;
+};
+
+class TpInvariantGrid : public ::testing::TestWithParam<GridParam> {};
+
+TEST_P(TpInvariantGrid, AllPhaseGuaranteesHold) {
+  const GridParam p = GetParam();
+  Rng rng(p.seed);
+  int ran = 0;
+  for (int trial = 0; trial < 150; ++trial) {
+    std::size_t s = 1 + rng.Below(static_cast<std::uint32_t>(p.max_groups));
+    std::vector<SaHistogram> groups;
+    SaHistogram overall(p.m);
+    for (std::size_t g = 0; g < s; ++g) {
+      SaHistogram h(p.m);
+      for (SaValue v = 0; v < p.m; ++v) {
+        std::uint32_t c = rng.Below(3);
+        if (p.skew > 0 && rng.Below(3) == 0) c += rng.Below(p.skew + 1);
+        if (c > 0) {
+          h.Add(v, c);
+          overall.Add(v, c);
+        }
+      }
+      groups.push_back(std::move(h));
+    }
+    // Repair to table-level eligibility by topping up the least frequent
+    // SA value in a random group; this keeps the per-group shapes random
+    // while making every trial feasible (tight cells like l = m would
+    // otherwise almost never be eligible by chance).
+    while (!overall.IsEligible(p.l)) {
+      SaValue min_v = 0;
+      for (SaValue v = 1; v < p.m; ++v) {
+        if (overall.count(v) < overall.count(min_v)) min_v = v;
+      }
+      groups[rng.Below(static_cast<std::uint32_t>(groups.size()))].Add(min_v);
+      overall.Add(min_v);
+    }
+    ++ran;
+
+    TpEngine engine(groups, p.l);
+    const TpStats& stats = engine.Run();
+
+    // Universal invariants.
+    ASSERT_TRUE(engine.ResidueEligible());
+    for (GroupId g = 0; g < engine.group_count(); ++g) {
+      ASSERT_TRUE(engine.GroupHistogram(g).IsEligible(p.l))
+          << "trial " << trial << " group " << g;
+    }
+    ASSERT_EQ(stats.removed_phase1 + stats.removed_phase2 + stats.removed_phase3,
+              stats.residue_size);
+    const std::uint32_t h1 = stats.residue_pillar_after_phase1;
+
+    switch (stats.terminated_phase) {
+      case 1:
+        ASSERT_EQ(stats.removed_phase2, 0u);
+        ASSERT_EQ(stats.removed_phase3, 0u);
+        // Eligibility at phase-one end: |R| >= l * h(R-dot).
+        ASSERT_GE(stats.residue_size, static_cast<std::uint64_t>(p.l) * h1);
+        break;
+      case 2:
+        // Lemma 5 + Lemma 6.
+        ASSERT_EQ(stats.residue_pillar_after_phase2, h1);
+        ASSERT_LE(stats.residue_size,
+                  static_cast<std::uint64_t>(p.l) * h1 + p.l - 1);
+        break;
+      case 3: {
+        // Theorem 2: l = 2 never reaches phase three.
+        ASSERT_GE(p.l, 3u);
+        // Lemma 9 and the Theorem 3 chain.
+        ASSERT_LE(stats.phase3_rounds, stats.residue_pillar_after_phase2);
+        std::uint32_t h_final = engine.ResiduePillarHeight();
+        ASSERT_LE(h_final, (p.l - 1) * stats.residue_pillar_after_phase2);
+        ASSERT_LE(stats.residue_size,
+                  static_cast<std::uint64_t>(p.l) * h_final + p.l - 1);
+        // Corollary 2 chain: |R| < l * l * h(R-dot) <= l * OPT.
+        ASSERT_LT(stats.residue_size,
+                  static_cast<std::uint64_t>(p.l) * p.l * std::max(h1, 1u));
+        break;
+      }
+      default:
+        FAIL() << "invalid terminated_phase " << stats.terminated_phase;
+    }
+  }
+  ASSERT_EQ(ran, 150) << "repair loop failed to reach eligibility";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, TpInvariantGrid,
+    ::testing::Values(GridParam{2, 3, 4, 0, 1}, GridParam{2, 5, 6, 3, 2},
+                      GridParam{2, 8, 8, 5, 3}, GridParam{3, 3, 4, 0, 4},
+                      GridParam{3, 5, 6, 3, 5}, GridParam{3, 8, 8, 5, 6},
+                      GridParam{4, 4, 4, 2, 7}, GridParam{4, 6, 6, 4, 8},
+                      GridParam{5, 5, 5, 2, 9}, GridParam{5, 9, 8, 5, 10},
+                      GridParam{6, 6, 4, 3, 11}, GridParam{6, 10, 8, 6, 12},
+                      GridParam{8, 8, 5, 4, 13}, GridParam{10, 12, 6, 5, 14}),
+    [](const ::testing::TestParamInfo<GridParam>& info) {
+      return "l" + std::to_string(info.param.l) + "m" + std::to_string(info.param.m) + "s" +
+             std::to_string(info.param.max_groups) + "k" + std::to_string(info.param.skew);
+    });
+
+}  // namespace
+}  // namespace ldv

@@ -1,0 +1,78 @@
+// Tests for the hybrid TP+ algorithm (Section 6.1).
+
+#include "core/tp_plus.h"
+
+#include <gtest/gtest.h>
+
+#include "anonymity/eligibility.h"
+#include "anonymity/generalization.h"
+#include "core/tp.h"
+#include "test_util.h"
+
+namespace ldv {
+namespace {
+
+TEST(TpPlus, ProducesLDiversePartition) {
+  Rng rng(41);
+  Table table = testutil::RandomEligibleTable(rng, 300, {8, 4, 3}, 6, 3);
+  TpPlusResult result = RunTpPlus(table, 3);
+  ASSERT_TRUE(result.feasible);
+  EXPECT_TRUE(result.partition.CoversExactly(table));
+  EXPECT_TRUE(IsLDiverse(table, result.partition, 3));
+}
+
+TEST(TpPlus, NeverWorseThanTpOnStars) {
+  // TP+ splits R into smaller groups; splitting never increases the
+  // Definition-1 star count, so TP+ <= TP must hold on every input.
+  Rng rng(43);
+  for (int trial = 0; trial < 15; ++trial) {
+    std::uint32_t l = 2 + rng.Below(4);
+    Table table = testutil::RandomEligibleTable(rng, 100 + rng.Below(200), {6, 5, 3},
+                                                l + 2 + rng.Below(3), l);
+    if (!IsTableEligible(table, l)) continue;
+    TpResult tp = RunTp(table, l);
+    TpPlusResult tp_plus = RunTpPlus(table, l);
+    ASSERT_TRUE(tp.feasible);
+    ASSERT_TRUE(tp_plus.feasible);
+    std::uint64_t tp_stars = PartitionStarCount(table, tp.ToPartition());
+    std::uint64_t tpp_stars = PartitionStarCount(table, tp_plus.partition);
+    EXPECT_LE(tpp_stars, tp_stars) << "trial " << trial << " l=" << l;
+  }
+}
+
+TEST(TpPlus, EmptyResidueDegeneratesToTp) {
+  // A table whose exact-signature groups are all l-eligible: TP keeps
+  // everything, R is empty, and TP+ must not add stars.
+  Schema schema = testutil::MakeSchema({2}, 2);
+  Table table(schema);
+  for (int i = 0; i < 4; ++i) {
+    // Two signature groups, each holding one tuple of each SA value.
+    std::vector<Value> qi{static_cast<Value>(i % 2)};
+    table.AppendRow(qi, static_cast<SaValue>(i / 2));
+  }
+  TpPlusResult result = RunTpPlus(table, 2);
+  ASSERT_TRUE(result.feasible);
+  EXPECT_EQ(PartitionStarCount(table, result.partition), 0u);
+  EXPECT_EQ(result.hilbert_seconds, 0.0);
+}
+
+TEST(TpPlus, InfeasibleTableIsReported) {
+  Schema schema = testutil::MakeSchema({3}, 2);
+  Table table(schema);
+  std::vector<Value> qi{0};
+  table.AppendRow(qi, 0);
+  EXPECT_FALSE(RunTpPlus(table, 2).feasible);
+}
+
+TEST(TpPlus, StatsCarriedThroughFromTp) {
+  Rng rng(47);
+  Table table = testutil::RandomEligibleTable(rng, 200, {10, 5}, 5, 3);
+  TpResult tp = RunTp(table, 3);
+  TpPlusResult tp_plus = RunTpPlus(table, 3);
+  ASSERT_TRUE(tp_plus.feasible);
+  EXPECT_EQ(tp_plus.tp_stats.terminated_phase, tp.stats.terminated_phase);
+  EXPECT_EQ(tp_plus.tp_stats.residue_size, tp.stats.residue_size);
+}
+
+}  // namespace
+}  // namespace ldv
