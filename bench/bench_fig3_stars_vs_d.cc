@@ -1,31 +1,35 @@
 // Reproduces Figure 3: average number of stars vs the number d of QI
 // attributes (l = 6) for Hilbert, TP and TP+, including the TP-vs-Hilbert
-// crossover as d grows.
+// crossover as d grows. Dispatches through the algorithm registry as one
+// batch per projection family.
 
 #include <cstdio>
 
 #include "bench_util.h"
 #include "common/text_table.h"
-#include "core/anonymizer.h"
+#include "core/batch.h"
 
 namespace ldv {
 namespace {
+
+constexpr Algorithm kColumns[] = {Algorithm::kHilbert, Algorithm::kTp, Algorithm::kTpPlus};
 
 void RunFamily(const char* name, const Table& source, const bench::BenchConfig& config) {
   const std::uint32_t l = 6;
   TextTable table({"d", "Hilbert", "TP", "TP+"});
   for (std::size_t d = 1; d <= 7; ++d) {
+    std::vector<Table> family = bench::Family(source, d, config);
+    std::vector<AnonymizationOutcome> results =
+        AnonymizeBatch(bench::FamilyJobs(family, l, kColumns));
     double sums[3] = {0, 0, 0};
     std::size_t feasible = 0;
-    for (const Table& t : bench::Family(source, d, config)) {
-      AnonymizationOutcome hil = Anonymize(t, l, Algorithm::kHilbert);
-      AnonymizationOutcome tp = Anonymize(t, l, Algorithm::kTp);
-      AnonymizationOutcome tpp = Anonymize(t, l, Algorithm::kTpPlus);
-      if (!hil.feasible || !tp.feasible || !tpp.feasible) continue;
+    for (std::size_t t = 0; t * 3 < results.size(); ++t) {
+      if (!results[t * 3].feasible || !results[t * 3 + 1].feasible ||
+          !results[t * 3 + 2].feasible) {
+        continue;
+      }
       ++feasible;
-      sums[0] += static_cast<double>(hil.stars);
-      sums[1] += static_cast<double>(tp.stars);
-      sums[2] += static_cast<double>(tpp.stars);
+      for (int a = 0; a < 3; ++a) sums[a] += static_cast<double>(results[t * 3 + a].stars);
     }
     if (feasible == 0) continue;
     table.AddRow({FormatDouble(static_cast<double>(d), 0),

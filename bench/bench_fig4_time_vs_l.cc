@@ -1,29 +1,36 @@
-// Reproduces Figure 4: computation time vs l (SAL-4 / OCC-4).
+// Reproduces Figure 4: computation time vs l (SAL-4 / OCC-4). Timing
+// sweeps run sequentially (no batch parallelism, so solves never contend
+// for cores) through KL-free registry instances.
 
 #include <cstdio>
+#include <memory>
+#include <vector>
 
 #include "bench_util.h"
 #include "common/text_table.h"
-#include "core/anonymizer.h"
+#include "core/algorithm.h"
 
 namespace ldv {
 namespace {
 
 void RunFamily(const char* name, const Table& source, const bench::BenchConfig& config) {
   std::vector<Table> family = bench::Family(source, 4, config);
+  std::vector<std::unique_ptr<Anonymizer>> algos = bench::TimingAlgorithms();
   TextTable table({"l", "Hilbert(s)", "TP(s)", "TP+(s)"});
   for (std::uint32_t l = 2; l <= 10; ++l) {
-    double sums[3] = {0, 0, 0};
+    std::vector<double> sums(algos.size(), 0.0);
     std::size_t feasible = 0;
     for (const Table& t : family) {
-      AnonymizationOutcome hil = Anonymize(t, l, Algorithm::kHilbert);
-      AnonymizationOutcome tp = Anonymize(t, l, Algorithm::kTp);
-      AnonymizationOutcome tpp = Anonymize(t, l, Algorithm::kTpPlus);
-      if (!hil.feasible || !tp.feasible || !tpp.feasible) continue;
+      std::vector<double> seconds(algos.size());
+      bool all_feasible = true;
+      for (std::size_t a = 0; a < algos.size(); ++a) {
+        AnonymizationOutcome outcome = algos[a]->Run(t, l);
+        all_feasible = all_feasible && outcome.feasible;
+        seconds[a] = outcome.seconds;
+      }
+      if (!all_feasible) continue;
       ++feasible;
-      sums[0] += hil.seconds;
-      sums[1] += tp.seconds;
-      sums[2] += tpp.seconds;
+      for (std::size_t a = 0; a < algos.size(); ++a) sums[a] += seconds[a];
     }
     if (feasible == 0) continue;
     table.AddRow({FormatDouble(l, 0), FormatDouble(sums[0] / feasible, 4),

@@ -1,30 +1,36 @@
 // Reproduces Figure 5: computation time vs d (l = 4), log-scale in the
-// paper; we print the raw seconds.
+// paper; we print the raw seconds. Sequential KL-free registry instances,
+// like Figure 4.
 
 #include <cstdio>
+#include <memory>
+#include <vector>
 
 #include "bench_util.h"
 #include "common/text_table.h"
-#include "core/anonymizer.h"
+#include "core/algorithm.h"
 
 namespace ldv {
 namespace {
 
 void RunFamily(const char* name, const Table& source, const bench::BenchConfig& config) {
   const std::uint32_t l = 4;
+  std::vector<std::unique_ptr<Anonymizer>> algos = bench::TimingAlgorithms();
   TextTable table({"d", "Hilbert(s)", "TP(s)", "TP+(s)"});
   for (std::size_t d = 1; d <= 7; ++d) {
-    double sums[3] = {0, 0, 0};
+    std::vector<double> sums(algos.size(), 0.0);
     std::size_t feasible = 0;
     for (const Table& t : bench::Family(source, d, config)) {
-      AnonymizationOutcome hil = Anonymize(t, l, Algorithm::kHilbert);
-      AnonymizationOutcome tp = Anonymize(t, l, Algorithm::kTp);
-      AnonymizationOutcome tpp = Anonymize(t, l, Algorithm::kTpPlus);
-      if (!hil.feasible || !tp.feasible || !tpp.feasible) continue;
+      std::vector<double> seconds(algos.size());
+      bool all_feasible = true;
+      for (std::size_t a = 0; a < algos.size(); ++a) {
+        AnonymizationOutcome outcome = algos[a]->Run(t, l);
+        all_feasible = all_feasible && outcome.feasible;
+        seconds[a] = outcome.seconds;
+      }
+      if (!all_feasible) continue;
       ++feasible;
-      sums[0] += hil.seconds;
-      sums[1] += tp.seconds;
-      sums[2] += tpp.seconds;
+      for (std::size_t a = 0; a < algos.size(); ++a) sums[a] += seconds[a];
     }
     if (feasible == 0) continue;
     table.AddRow({FormatDouble(static_cast<double>(d), 0), FormatDouble(sums[0] / feasible, 4),

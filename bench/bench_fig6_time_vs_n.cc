@@ -1,12 +1,15 @@
 // Reproduces Figure 6: computation time vs dataset cardinality n (l = 6) on
-// samples of SAL-4 / OCC-4.
+// samples of SAL-4 / OCC-4. Sequential KL-free registry instances, like
+// Figures 4 and 5.
 
 #include <cstdio>
+#include <memory>
+#include <vector>
 
 #include "bench_util.h"
 #include "common/rng.h"
 #include "common/text_table.h"
-#include "core/anonymizer.h"
+#include "core/algorithm.h"
 
 namespace ldv {
 namespace {
@@ -21,21 +24,25 @@ void RunFamily(const char* name, const Table& source, const bench::BenchConfig& 
   std::vector<Table> family = bench::Family(source, 4, config);
   if (family.size() > 3) family.erase(family.begin() + 3, family.end());  // time sweep; a few projections suffice
 
+  std::vector<std::unique_ptr<Anonymizer>> algos = bench::TimingAlgorithms();
+
   Rng rng(17);
   TextTable table({"n", "Hilbert(s)", "TP(s)", "TP+(s)"});
   for (std::size_t n : sizes) {
-    double sums[3] = {0, 0, 0};
+    std::vector<double> sums(algos.size(), 0.0);
     std::size_t feasible = 0;
     for (const Table& t : family) {
       Table sample = t.SampleRows(n, rng);
-      AnonymizationOutcome hil = Anonymize(sample, l, Algorithm::kHilbert);
-      AnonymizationOutcome tp = Anonymize(sample, l, Algorithm::kTp);
-      AnonymizationOutcome tpp = Anonymize(sample, l, Algorithm::kTpPlus);
-      if (!hil.feasible || !tp.feasible || !tpp.feasible) continue;
+      std::vector<double> seconds(algos.size());
+      bool all_feasible = true;
+      for (std::size_t a = 0; a < algos.size(); ++a) {
+        AnonymizationOutcome outcome = algos[a]->Run(sample, l);
+        all_feasible = all_feasible && outcome.feasible;
+        seconds[a] = outcome.seconds;
+      }
+      if (!all_feasible) continue;
       ++feasible;
-      sums[0] += hil.seconds;
-      sums[1] += tp.seconds;
-      sums[2] += tpp.seconds;
+      for (std::size_t a = 0; a < algos.size(); ++a) sums[a] += seconds[a];
     }
     if (feasible == 0) continue;
     table.AddRow({std::to_string(n), FormatDouble(sums[0] / feasible, 4),

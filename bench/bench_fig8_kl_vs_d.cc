@@ -1,16 +1,16 @@
-// Reproduces Figure 8: KL-divergence vs d (l = 6), TDS vs TP+.
+// Reproduces Figure 8: KL-divergence vs d (l = 6), TDS vs TP+. Same
+// registry/batch shape as Figure 7, sweeping the projection dimensionality.
 
 #include <cstdio>
 
-#include "anonymity/generalization.h"
 #include "bench_util.h"
 #include "common/text_table.h"
-#include "core/anonymizer.h"
-#include "metrics/kl_divergence.h"
-#include "tds/tds.h"
+#include "core/batch.h"
 
 namespace ldv {
 namespace {
+
+constexpr Algorithm kColumns[] = {Algorithm::kTds, Algorithm::kTpPlus};
 
 void RunFamily(const char* name, const Table& source, const bench::BenchConfig& config) {
   const std::uint32_t l = 6;
@@ -18,16 +18,15 @@ void RunFamily(const char* name, const Table& source, const bench::BenchConfig& 
   for (std::size_t d = 1; d <= 7; ++d) {
     std::vector<Table> family = bench::Family(source, d, config);
     if (family.size() > 3) family.erase(family.begin() + 3, family.end());
+    std::vector<AnonymizationOutcome> results =
+        AnonymizeBatch(bench::FamilyJobs(family, l, kColumns, AnonymizerOptions{}));
     double sums[2] = {0, 0};
     std::size_t feasible = 0;
-    for (const Table& t : family) {
-      TdsResult tds = RunTds(t, l);
-      AnonymizationOutcome tpp = Anonymize(t, l, Algorithm::kTpPlus);
-      if (!tds.feasible || !tpp.feasible) continue;
+    for (std::size_t t = 0; t * 2 < results.size(); ++t) {
+      if (!results[t * 2].feasible || !results[t * 2 + 1].feasible) continue;
       ++feasible;
-      sums[0] += KlDivergenceSingleDim(t, *tds.generalization);
-      GeneralizedTable gen(t, tpp.partition);
-      sums[1] += KlDivergenceSuppression(t, gen);
+      sums[0] += results[t * 2].kl_divergence;
+      sums[1] += results[t * 2 + 1].kl_divergence;
     }
     if (feasible == 0) continue;
     table.AddRow({FormatDouble(static_cast<double>(d), 0), FormatDouble(sums[0] / feasible, 3),

@@ -13,10 +13,13 @@
 
 #include <cstdlib>
 #include <cstring>
+#include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "common/table.h"
+#include "core/batch.h"
 #include "data/acs_generator.h"
 #include "data/workload.h"
 
@@ -59,6 +62,39 @@ inline Datasets LoadDatasets(const BenchConfig& config) {
 /// The SAL-d / OCC-d projection family, capped per the config.
 inline std::vector<Table> Family(const Table& source, std::size_t d, const BenchConfig& config) {
   return ProjectionFamily(source, d, config.projections);
+}
+
+/// Options for sweeps that do not report KL-divergence, skipping the
+/// Equation-2 estimate in the shared post-processing.
+inline AnonymizerOptions NoKlOptions() {
+  AnonymizerOptions options;
+  options.compute_kl = false;
+  return options;
+}
+
+/// KL-free instances of the Section 6.1 timing columns (Hilbert, TP, TP+),
+/// in column order. The timing benches (Figures 4-6) run these
+/// sequentially so solves never contend for cores.
+inline std::vector<std::unique_ptr<Anonymizer>> TimingAlgorithms() {
+  std::vector<std::unique_ptr<Anonymizer>> algos;
+  for (Algorithm a : {Algorithm::kHilbert, Algorithm::kTp, Algorithm::kTpPlus}) {
+    algos.push_back(AlgorithmRegistry::Global().Create(a, NoKlOptions()));
+  }
+  return algos;
+}
+
+/// Jobs for one figure cell: every table of the family crossed with every
+/// algorithm column (tables outer, algorithms inner), so the batch result
+/// at index t * algorithms.size() + a is (family[t], algorithms[a]).
+inline std::vector<BatchJob> FamilyJobs(const std::vector<Table>& family, std::uint32_t l,
+                                        std::span<const Algorithm> algorithms,
+                                        const AnonymizerOptions& options = NoKlOptions()) {
+  std::vector<BatchJob> jobs;
+  jobs.reserve(family.size() * algorithms.size());
+  for (const Table& t : family) {
+    for (Algorithm a : algorithms) jobs.push_back(BatchJob{&t, l, a, options});
+  }
+  return jobs;
 }
 
 inline void PrintHeader(const std::string& title, const BenchConfig& config) {

@@ -1,7 +1,9 @@
 // Command-line anonymization tool: reads a coded CSV microdata file, runs
 // the chosen algorithm, and writes the l-diverse release (stars as '*').
-// The schema is given on the command line as the QI domain sizes plus the
-// SA domain size. With no input file, a demo dataset is generated.
+// The algorithm is any registry name (tp, tp+, hilbert, mondrian, anatomy,
+// tds). The schema is given on the command line as the QI domain sizes
+// plus the SA domain size. With no input file, a demo dataset is
+// generated.
 //
 //   build/examples/anonymize_csv --l 4 --algo tp+ \
 //       --schema 79,2,9,50 --input micro.csv --output release.csv
@@ -17,7 +19,7 @@
 #include "anonymity/generalization.h"
 #include "anonymity/release.h"
 #include "common/csv.h"
-#include "core/anonymizer.h"
+#include "core/algorithm.h"
 #include "data/acs_generator.h"
 #include "data/acs_schema.h"
 
@@ -27,8 +29,8 @@ namespace {
 
 struct CliOptions {
   std::uint32_t l = 2;
-  Algorithm algorithm = Algorithm::kTpPlus;
-  std::vector<std::size_t> domains;  // QI domains then SA domain
+  const Anonymizer* algorithm = nullptr;  // defaults to TP+ in main
+  std::vector<std::size_t> domains;       // QI domains then SA domain
   std::string input;
   std::string output = "release.csv";
 };
@@ -55,13 +57,13 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
     } else if (arg == "--algo") {
       const char* a = next();
       if (a == nullptr) return false;
-      if (std::strcmp(a, "tp") == 0) {
-        options->algorithm = Algorithm::kTp;
-      } else if (std::strcmp(a, "tp+") == 0) {
-        options->algorithm = Algorithm::kTpPlus;
-      } else if (std::strcmp(a, "hilbert") == 0) {
-        options->algorithm = Algorithm::kHilbert;
-      } else {
+      options->algorithm = AlgorithmRegistry::Global().Find(a);
+      if (options->algorithm == nullptr) {
+        std::fprintf(stderr, "unknown algorithm '%s'; registered:", a);
+        for (const Anonymizer* algo : AlgorithmRegistry::Global().All()) {
+          std::fprintf(stderr, " %s", algo->name());
+        }
+        std::fprintf(stderr, "\n");
         return false;
       }
     } else if (arg == "--schema") {
@@ -110,9 +112,20 @@ int main(int argc, char** argv) {
   CliOptions options;
   if (!ParseArgs(argc, argv, &options)) {
     std::fprintf(stderr,
-                 "usage: %s [--l L] [--algo tp|tp+|hilbert] [--schema d1,d2,...,sa]\n"
-                 "          [--input micro.csv] [--output release.csv]\n",
+                 "usage: %s [--l L] [--algo tp|tp+|hilbert|mondrian|anatomy|tds]\n"
+                 "          [--schema d1,d2,...,sa] [--input micro.csv]\n"
+                 "          [--output release.csv]\n",
                  argv[0]);
+    return 1;
+  }
+  if (options.algorithm == nullptr) {
+    options.algorithm = &AlgorithmRegistry::Global().Get(Algorithm::kTpPlus);
+  }
+  if (options.algorithm->methodology() == Methodology::kBucketization) {
+    std::fprintf(stderr,
+                 "%s publishes a bucketization, not a suppression table; the CSV\n"
+                 "release format of this tool does not apply\n",
+                 options.algorithm->name());
     return 1;
   }
 
@@ -135,19 +148,18 @@ int main(int argc, char** argv) {
 
   std::fprintf(stderr, "input: %zu rows, schema %s, max feasible l = %u\n", table.size(),
                table.schema().ToString().c_str(), MaxFeasibleL(table));
-  AnonymizationOutcome outcome = Anonymize(table, options.l, options.algorithm);
+  AnonymizationOutcome outcome = options.algorithm->Run(table, options.l);
   if (!outcome.feasible) {
     std::fprintf(stderr, "infeasible: the table is not %u-eligible\n", options.l);
     return 2;
   }
-  std::fprintf(stderr, "%s: %llu stars, %llu suppressed tuples, %zu QI-groups, %.3fs\n",
-               AlgorithmName(options.algorithm),
+  std::fprintf(stderr, "%s: %llu stars, %llu suppressed tuples, %zu QI-groups, KL %.3f, %.3fs\n",
+               options.algorithm->name(),
                static_cast<unsigned long long>(outcome.stars),
                static_cast<unsigned long long>(outcome.suppressed_tuples),
-               outcome.partition.group_count(), outcome.seconds);
+               outcome.partition.group_count(), outcome.kl_divergence, outcome.seconds);
 
-  GeneralizedTable generalized(table, outcome.partition);
-  if (!WriteReleaseCsv(table, generalized, options.output)) {
+  if (!WriteReleaseCsv(table, *outcome.generalized, options.output)) {
     std::fprintf(stderr, "cannot write %s\n", options.output.c_str());
     return 3;
   }

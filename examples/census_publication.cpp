@@ -1,20 +1,19 @@
 // Census-bureau scenario: publish an l-diverse extract of an ACS-style
 // microdata table, sweeping the privacy parameter and reporting the
 // utility/privacy trade-off exactly the way a data publisher would
-// evaluate it (Section 6's methodology).
+// evaluate it (Section 6's methodology). All measurements come straight
+// off the uniform AnonymizationOutcome; the l-sweep runs as one batch
+// through the parallel driver.
 //
 //   build/examples/census_publication [n]
 
 #include <cstdio>
 #include <cstdlib>
 
-#include "anonymity/generalization.h"
 #include "common/text_table.h"
-#include "core/anonymizer.h"
+#include "core/batch.h"
 #include "data/acs_generator.h"
 #include "data/acs_schema.h"
-#include "metrics/group_stats.h"
-#include "metrics/kl_divergence.h"
 
 using namespace ldv;
 
@@ -28,24 +27,31 @@ int main(int argc, char** argv) {
   Table released = sal.ProjectQi({kAge, kGender, kEducation, kWorkClass});
   std::printf("Projection: %s\n\n", released.schema().ToString().c_str());
 
-  TextTable report({"l", "stars", "suppressed", "groups", "avg group", "KL", "seconds"});
+  std::vector<BatchJob> jobs;
   for (std::uint32_t l = 2; l <= 10; l += 2) {
-    AnonymizationOutcome outcome = Anonymize(released, l, Algorithm::kTpPlus);
+    jobs.push_back(BatchJob{&released, l, Algorithm::kTpPlus, AnonymizerOptions{}});
+  }
+  std::vector<AnonymizationOutcome> outcomes = AnonymizeBatch(jobs);
+
+  TextTable report({"l", "stars", "suppressed", "groups", "avg group", "KL", "seconds"});
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    const AnonymizationOutcome& outcome = outcomes[i];
     if (!outcome.feasible) {
-      std::printf("l = %u infeasible (SA too skewed)\n", l);
+      std::printf("l = %u infeasible (SA too skewed)\n", jobs[i].l);
       continue;
     }
-    GeneralizedTable generalized(released, outcome.partition);
-    GroupSizeStats stats = ComputeGroupSizeStats(outcome.partition);
-    report.AddRow({std::to_string(l), std::to_string(outcome.stars),
-                   std::to_string(outcome.suppressed_tuples), std::to_string(stats.group_count),
-                   FormatDouble(stats.mean_size, 1),
-                   FormatDouble(KlDivergenceSuppression(released, generalized), 3),
+    report.AddRow({std::to_string(jobs[i].l), std::to_string(outcome.stars),
+                   std::to_string(outcome.suppressed_tuples),
+                   std::to_string(outcome.group_stats.group_count),
+                   FormatDouble(outcome.group_stats.mean_size, 1),
+                   FormatDouble(outcome.kl_divergence, 3),
                    FormatDouble(outcome.seconds, 3)});
   }
   std::printf("TP+ utility/privacy sweep:\n%s\n", report.ToString().c_str());
   std::printf(
       "Reading guide: stars and KL-divergence rise with l (stronger privacy,\n"
-      "less utility); pick the largest l whose utility is still acceptable.\n");
+      "less utility); pick the largest l whose utility is still acceptable.\n"
+      "(The sweep ran in parallel, so per-l seconds may include core\n"
+      "contention; Figures 4-6 are the contention-free timing benches.)\n");
   return 0;
 }

@@ -14,7 +14,7 @@
 #include "anonymity/release.h"
 #include "common/csv.h"
 #include "common/rng.h"
-#include "core/anonymizer.h"
+#include "core/algorithm.h"
 
 using namespace ldv;
 
@@ -69,7 +69,8 @@ int main(int argc, char** argv) {
 
   // Without coarsening, nearly every tuple has a unique QI signature and
   // TP suppresses almost everything (the Section 5.6 degradation).
-  AnonymizationOutcome direct = Anonymize(raw, l, Algorithm::kTpPlus);
+  const Anonymizer& tpp = AlgorithmRegistry::Global().Get(Algorithm::kTpPlus);
+  AnonymizationOutcome direct = tpp.Run(raw, l);
   if (!direct.feasible) {
     std::printf("raw data is not %u-eligible; aborting\n", l);
     return 1;
@@ -80,16 +81,19 @@ int main(int argc, char** argv) {
 
   Table coarse = CoarsenForHipaa(raw);
   std::printf("\nAfter HIPAA coarsening: %s\n", coarse.schema().ToString().c_str());
-  AnonymizationOutcome refined = Anonymize(coarse, l, Algorithm::kTpPlus);
+  AnonymizationOutcome refined = tpp.Run(coarse, l);
+  if (!refined.feasible) {
+    std::printf("coarsened data is not %u-eligible; aborting\n", l);
+    return 1;
+  }
   std::printf("TP+ on coarsened data:   %llu stars, %llu of %zu tuples suppressed\n",
               static_cast<unsigned long long>(refined.stars),
               static_cast<unsigned long long>(refined.suppressed_tuples), coarse.size());
 
   // Export the release in the suppression format of Section 2: starred
   // cells are emitted as '*', which statistics packages read as missing
-  // values.
-  GeneralizedTable generalized(coarse, refined.partition);
-  if (WriteReleaseCsv(coarse, generalized, output)) {
+  // values. The outcome already carries the generalized view.
+  if (WriteReleaseCsv(coarse, *refined.generalized, output)) {
     std::printf("\nWrote the l-diverse release (%zu QI-groups) to %s\n",
                 refined.partition.group_count(), output.c_str());
   }

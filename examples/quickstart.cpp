@@ -1,5 +1,5 @@
 // Quickstart: anonymize the paper's running example (Table 1) with every
-// algorithm and print the generalized tables.
+// algorithm in the registry and print the generalized tables.
 //
 //   build/examples/quickstart
 
@@ -7,7 +7,7 @@
 
 #include "anonymity/eligibility.h"
 #include "anonymity/generalization.h"
-#include "core/anonymizer.h"
+#include "core/algorithm.h"
 
 using namespace ldv;
 
@@ -41,19 +41,24 @@ int main() {
               microdata.qi_count(), microdata.DistinctSaCount());
   std::printf("Max feasible l: %u\n\n", MaxFeasibleL(microdata));
 
-  for (Algorithm algorithm : {Algorithm::kTp, Algorithm::kTpPlus, Algorithm::kHilbert}) {
-    AnonymizationOutcome outcome = Anonymize(microdata, l, algorithm);
+  for (const Anonymizer* algorithm : AlgorithmRegistry::Global().All()) {
+    AnonymizationOutcome outcome = algorithm->Run(microdata, l);
     if (!outcome.feasible) {
-      std::printf("%s: infeasible\n", AlgorithmName(algorithm));
+      std::printf("%s: infeasible\n", algorithm->name());
       continue;
     }
-    std::printf("--- %s (l = %u) ---\n", AlgorithmName(algorithm), l);
-    std::printf("stars = %llu, suppressed tuples = %llu, groups = %zu\n",
+    std::printf("--- %s (l = %u, %s) ---\n", algorithm->name(), l,
+                MethodologyName(outcome.methodology));
+    std::printf("stars = %llu, suppressed tuples = %llu, groups = %zu, KL = %.3f\n",
                 static_cast<unsigned long long>(outcome.stars),
                 static_cast<unsigned long long>(outcome.suppressed_tuples),
-                outcome.partition.group_count());
-    GeneralizedTable generalized(microdata, outcome.partition);
-    std::printf("%s\n", generalized.ToString(microdata).c_str());
+                outcome.partition.group_count(), outcome.kl_divergence);
+    if (outcome.generalized != nullptr) {
+      std::printf("%s\n", outcome.generalized->ToString(microdata).c_str());
+    } else {
+      std::printf("(QI values published exactly; SA linked through %zu buckets)\n\n",
+                  outcome.partition.group_count());
+    }
   }
   return 0;
 }

@@ -1,0 +1,178 @@
+#ifndef LDIV_CORE_ALGORITHM_H_
+#define LDIV_CORE_ALGORITHM_H_
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "anonymity/generalization.h"
+#include "anonymity/multidim.h"
+#include "anonymity/partition.h"
+#include "common/table.h"
+#include "core/tp.h"
+#include "hilbert/hilbert_partitioner.h"
+#include "metrics/group_stats.h"
+#include "tds/tds.h"
+
+namespace ldv {
+
+/// Every anonymization algorithm in the repository, unified behind one
+/// enum: the paper's suppression algorithms (Section 6.1) plus the
+/// comparison methodologies of Sections 2 / 6.2.
+enum class Algorithm {
+  kTp,        ///< three-phase (l*d)-approximation (Section 5)
+  kTpPlus,    ///< hybrid: TP + Hilbert refinement of R (Section 6.1)
+  kHilbert,   ///< the Hilbert baseline of Ghinita et al. [16]
+  kMondrian,  ///< multi-dimensional generalization (LeFevre et al. [27])
+  kAnatomy,   ///< bucketization (Xiao and Tao [47])
+  kTds,       ///< single-dimensional top-down specialization [15]
+};
+
+inline constexpr std::size_t kAlgorithmCount = 6;
+inline constexpr std::array<Algorithm, kAlgorithmCount> kAllAlgorithms = {
+    Algorithm::kTp,       Algorithm::kTpPlus,  Algorithm::kHilbert,
+    Algorithm::kMondrian, Algorithm::kAnatomy, Algorithm::kTds,
+};
+
+/// Canonical display name. Exhaustive over the enum; aborts on a value
+/// outside it (a corrupted enum is a programmer error, never user input).
+const char* AlgorithmName(Algorithm algorithm);
+
+/// The anonymization methodology taxonomy of Section 2, which determines
+/// what a release publishes and therefore which KL-divergence estimator
+/// (Equation 2) applies.
+enum class Methodology {
+  kSuppression,       ///< stars in place of generalized values
+  kMultiDimensional,  ///< one QI box per group; boxes may overlap
+  kSingleDimensional, ///< global per-attribute taxonomy cuts
+  kBucketization,     ///< exact QI, SA linked through l-diverse buckets
+};
+
+const char* MethodologyName(Methodology methodology);
+
+/// Per-instance knobs of an Anonymizer. Registry default instances use the
+/// defaults below; callers needing different knobs create their own
+/// instance through AlgorithmRegistry::Create.
+struct AnonymizerOptions {
+  /// Splitting strategy for the Hilbert-based algorithms (kHilbert and the
+  /// refinement stage of kTpPlus); ignored by the others.
+  HilbertOptions hilbert;
+  /// When false, the shared post-processing skips the KL-divergence
+  /// estimate (Equation 2). Timing sweeps disable it so post-processing
+  /// stays negligible next to the measured solve.
+  bool compute_kl = true;
+};
+
+/// Uniform outcome of every algorithm, carrying the utility measures the
+/// paper reports. The privacy fields (partition, stars, suppressed_tuples)
+/// and the shared metrics (group_stats, kl_divergence) are populated by the
+/// common post-processing path in Anonymizer::Run; the artifact pointers
+/// expose the methodology-specific published form.
+struct AnonymizationOutcome {
+  bool feasible = false;
+  Algorithm algorithm = Algorithm::kTp;
+  Methodology methodology = Methodology::kSuppression;
+  Partition partition;
+  /// Number of stars of the induced generalization (Problem 1 objective).
+  /// Always 0 for kBucketization, which publishes QI values exactly.
+  std::uint64_t stars = 0;
+  /// Number of tuples with at least one star (Problem 2 objective).
+  std::uint64_t suppressed_tuples = 0;
+  /// Wall-clock seconds of the solve (excludes post-processing).
+  double seconds = 0.0;
+  /// TP phase statistics (meaningful for kTp / kTpPlus).
+  TpStats tp_stats;
+  /// QI-group size summary of the partition.
+  GroupSizeStats group_stats;
+  /// KL(f, f*) of Equation 2, estimated with the methodology's estimator.
+  /// 0 when the anonymizer was created with compute_kl = false.
+  double kl_divergence = 0.0;
+
+  /// The Definition-1 suppression view of the partition (set for every
+  /// methodology except kBucketization; the star counts above come from it).
+  std::shared_ptr<const GeneralizedTable> generalized;
+  /// The published boxes of a kMultiDimensional release.
+  std::shared_ptr<const BoxGeneralization> boxes;
+  /// The published taxonomy cuts of a kSingleDimensional release.
+  std::shared_ptr<const SingleDimGeneralization> single_dim;
+  /// Specializations applied (meaningful for kTds).
+  std::uint32_t specializations = 0;
+};
+
+/// Abstract algorithm interface: every anonymizer maps (table, l) to an
+/// AnonymizationOutcome. Concrete classes implement RunRaw (the solve);
+/// the base class owns the shared post-processing -- validation, star
+/// counting, group statistics and KL-divergence -- so the utility metrics
+/// are computed once here instead of per-bench.
+class Anonymizer {
+ public:
+  virtual ~Anonymizer() = default;
+
+  Anonymizer(const Anonymizer&) = delete;
+  Anonymizer& operator=(const Anonymizer&) = delete;
+
+  Algorithm id() const { return id_; }
+  const char* name() const { return AlgorithmName(id_); }
+  Methodology methodology() const { return methodology_; }
+  const AnonymizerOptions& options() const { return options_; }
+
+  /// Runs the algorithm on `table` with privacy parameter `l` and fills in
+  /// the shared utility metrics. Returns feasible = false iff the table is
+  /// not l-eligible. Thread-safe: anonymizers are stateless.
+  AnonymizationOutcome Run(const Table& table, std::uint32_t l) const;
+
+ protected:
+  Anonymizer(Algorithm id, Methodology methodology, AnonymizerOptions options)
+      : id_(id), methodology_(methodology), options_(options) {}
+
+  /// The algorithm-specific solve. Fills partition, seconds and the
+  /// methodology artifacts; returns false iff infeasible.
+  virtual bool RunRaw(const Table& table, std::uint32_t l, AnonymizationOutcome* out) const = 0;
+
+ private:
+  Algorithm id_;
+  Methodology methodology_;
+  AnonymizerOptions options_;
+};
+
+/// Static registry of the available algorithms: lookup by enum for typed
+/// callers and by (case-insensitive) name for CLI / bench front-ends. The
+/// six built-in algorithms are registered on first access; additional
+/// engines can be registered at startup (registration is not thread-safe,
+/// lookup is).
+class AlgorithmRegistry {
+ public:
+  using Factory = std::unique_ptr<Anonymizer> (*)(const AnonymizerOptions& options);
+
+  /// The process-wide registry, with the built-ins pre-registered.
+  static AlgorithmRegistry& Global();
+
+  /// Registers a factory for `id`. Aborts on a duplicate registration.
+  void Register(Algorithm id, Factory factory);
+
+  /// The shared default-options instance for `id` (aborts if unregistered).
+  const Anonymizer& Get(Algorithm id) const;
+
+  /// Case-insensitive lookup by canonical name ("tp", "TP+", "mondrian",
+  /// ...). Returns nullptr for an unknown name.
+  const Anonymizer* Find(std::string_view name) const;
+
+  /// A fresh instance of `id` with the given options.
+  std::unique_ptr<Anonymizer> Create(Algorithm id, const AnonymizerOptions& options) const;
+
+  /// All registered algorithms, in enum order.
+  std::vector<const Anonymizer*> All() const;
+
+ private:
+  struct Entry {
+    Factory factory = nullptr;
+    std::unique_ptr<Anonymizer> default_instance;
+  };
+  std::array<Entry, kAlgorithmCount> entries_;
+};
+
+}  // namespace ldv
+
+#endif  // LDIV_CORE_ALGORITHM_H_

@@ -1,61 +1,17 @@
 #include "core/anonymizer.h"
 
-#include "anonymity/eligibility.h"
-#include "anonymity/generalization.h"
-#include "common/check.h"
-
 namespace ldv {
 
-const char* AlgorithmName(Algorithm algorithm) {
-  switch (algorithm) {
-    case Algorithm::kTp:
-      return "TP";
-    case Algorithm::kTpPlus:
-      return "TP+";
-    case Algorithm::kHilbert:
-      return "Hilbert";
-  }
-  return "?";
+AnonymizationOutcome Anonymize(const Table& table, std::uint32_t l, Algorithm algorithm,
+                               const AnonymizerOptions& options) {
+  return AlgorithmRegistry::Global().Create(algorithm, options)->Run(table, l);
 }
 
 AnonymizationOutcome Anonymize(const Table& table, std::uint32_t l, Algorithm algorithm,
                                const HilbertOptions& hilbert_options) {
-  AnonymizationOutcome outcome;
-  outcome.algorithm = algorithm;
-  switch (algorithm) {
-    case Algorithm::kTp: {
-      TpResult r = RunTp(table, l);
-      if (!r.feasible) return outcome;
-      outcome.feasible = true;
-      outcome.partition = r.ToPartition();
-      outcome.seconds = r.seconds;
-      outcome.tp_stats = r.stats;
-      break;
-    }
-    case Algorithm::kTpPlus: {
-      TpPlusResult r = RunTpPlus(table, l, hilbert_options);
-      if (!r.feasible) return outcome;
-      outcome.feasible = true;
-      outcome.partition = std::move(r.partition);
-      outcome.seconds = r.seconds();
-      outcome.tp_stats = r.tp_stats;
-      break;
-    }
-    case Algorithm::kHilbert: {
-      HilbertResult r = HilbertAnonymize(table, l, hilbert_options);
-      if (!r.feasible) return outcome;
-      outcome.feasible = true;
-      outcome.partition = std::move(r.partition);
-      outcome.seconds = r.seconds;
-      break;
-    }
-  }
-  LDIV_DCHECK(outcome.partition.CoversExactly(table));
-  LDIV_DCHECK(IsLDiverse(table, outcome.partition, l));
-  GeneralizedTable generalized(table, outcome.partition);
-  outcome.stars = generalized.StarCount();
-  outcome.suppressed_tuples = generalized.SuppressedTupleCount();
-  return outcome;
+  AnonymizerOptions options;
+  options.hilbert = hilbert_options;
+  return Anonymize(table, l, algorithm, options);
 }
 
 }  // namespace ldv

@@ -2,44 +2,21 @@
 #define LDIV_CORE_ANONYMIZER_H_
 
 #include <cstdint>
-#include <string>
 
-#include "anonymity/partition.h"
-#include "common/table.h"
-#include "core/tp.h"
-#include "core/tp_plus.h"
+#include "core/algorithm.h"
 #include "hilbert/hilbert_partitioner.h"
 
 namespace ldv {
 
-/// The suppression-based l-diversity algorithms evaluated in Section 6.1.
-enum class Algorithm {
-  kTp,       ///< three-phase (l*d)-approximation (Section 5)
-  kTpPlus,   ///< hybrid: TP + Hilbert refinement of R (Section 6.1)
-  kHilbert,  ///< the Hilbert baseline of Ghinita et al. [16]
-};
+/// Convenience facade over the AlgorithmRegistry: runs `algorithm` on
+/// `table` with privacy parameter `l` and returns the uniform outcome with
+/// the shared utility metrics filled in. Equivalent to
+/// `AlgorithmRegistry::Global().Create(algorithm, options)->Run(table, l)`.
+AnonymizationOutcome Anonymize(const Table& table, std::uint32_t l, Algorithm algorithm,
+                               const AnonymizerOptions& options);
 
-const char* AlgorithmName(Algorithm algorithm);
-
-/// Uniform outcome for the partition-producing algorithms, carrying the
-/// utility measures the paper reports.
-struct AnonymizationOutcome {
-  bool feasible = false;
-  Algorithm algorithm = Algorithm::kTp;
-  Partition partition;
-  /// Number of stars of the induced generalization (Problem 1 objective).
-  std::uint64_t stars = 0;
-  /// Number of tuples with at least one star (Problem 2 objective).
-  std::uint64_t suppressed_tuples = 0;
-  /// Wall-clock seconds of the solve.
-  double seconds = 0.0;
-  /// TP phase statistics (meaningful for kTp / kTpPlus).
-  TpStats tp_stats;
-};
-
-/// Runs `algorithm` on `table` with privacy parameter `l` and computes the
-/// utility measures. This is the main convenience entry point used by the
-/// examples and the benchmark harness.
+/// Same, with default options except the Hilbert splitting knobs (kept for
+/// callers predating AnonymizerOptions).
 AnonymizationOutcome Anonymize(const Table& table, std::uint32_t l, Algorithm algorithm,
                                const HilbertOptions& hilbert_options = {});
 

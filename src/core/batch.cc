@@ -1,0 +1,53 @@
+#include "core/batch.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <thread>
+
+#include "common/check.h"
+
+namespace ldv {
+
+namespace {
+
+AnonymizationOutcome RunJob(const BatchJob& job) {
+  LDIV_CHECK(job.table != nullptr) << "BatchJob with null table";
+  return AlgorithmRegistry::Global().Create(job.algorithm, job.options)->Run(*job.table, job.l);
+}
+
+}  // namespace
+
+std::vector<AnonymizationOutcome> AnonymizeBatch(const std::vector<BatchJob>& jobs,
+                                                 const BatchOptions& options) {
+  std::vector<AnonymizationOutcome> results(jobs.size());
+  if (jobs.empty()) return results;
+
+  std::size_t threads = options.threads != 0 ? options.threads
+                                             : std::max(1u, std::thread::hardware_concurrency());
+  threads = std::min(threads, jobs.size());
+  if (threads <= 1) {
+    for (std::size_t i = 0; i < jobs.size(); ++i) results[i] = RunJob(jobs[i]);
+    return results;
+  }
+
+  // Touch the registry before spawning workers so no worker races the
+  // one-time built-in registration.
+  AlgorithmRegistry::Global();
+
+  std::atomic<std::size_t> next{0};
+  auto worker = [&] {
+    for (;;) {
+      std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= jobs.size()) return;
+      results[i] = RunJob(jobs[i]);
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  for (std::size_t t = 0; t < threads; ++t) pool.emplace_back(worker);
+  for (std::thread& t : pool) t.join();
+  return results;
+}
+
+}  // namespace ldv

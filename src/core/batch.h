@@ -1,0 +1,37 @@
+#ifndef LDIV_CORE_BATCH_H_
+#define LDIV_CORE_BATCH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/algorithm.h"
+
+namespace ldv {
+
+/// One unit of work for the batched driver: run `algorithm` on `*table`
+/// with privacy parameter `l`. The table is borrowed and must outlive the
+/// AnonymizeBatch call.
+struct BatchJob {
+  const Table* table = nullptr;
+  std::uint32_t l = 2;
+  Algorithm algorithm = Algorithm::kTp;
+  AnonymizerOptions options;
+};
+
+struct BatchOptions {
+  /// Worker threads; 0 means std::thread::hardware_concurrency().
+  unsigned threads = 0;
+};
+
+/// Runs every job through the AlgorithmRegistry on a pool of worker
+/// threads. Results are returned in job order (results[i] corresponds to
+/// jobs[i]) and are identical to a sequential run regardless of the thread
+/// count: every algorithm is deterministic in (table, l, options), jobs
+/// never share mutable state, and workers only claim job indices, so the
+/// schedule cannot leak into the outcomes.
+std::vector<AnonymizationOutcome> AnonymizeBatch(const std::vector<BatchJob>& jobs,
+                                                 const BatchOptions& options = {});
+
+}  // namespace ldv
+
+#endif  // LDIV_CORE_BATCH_H_

@@ -14,6 +14,9 @@ TEST(Anonymizer, NamesAreStable) {
   EXPECT_STREQ(AlgorithmName(Algorithm::kTp), "TP");
   EXPECT_STREQ(AlgorithmName(Algorithm::kTpPlus), "TP+");
   EXPECT_STREQ(AlgorithmName(Algorithm::kHilbert), "Hilbert");
+  EXPECT_STREQ(AlgorithmName(Algorithm::kMondrian), "Mondrian");
+  EXPECT_STREQ(AlgorithmName(Algorithm::kAnatomy), "Anatomy");
+  EXPECT_STREQ(AlgorithmName(Algorithm::kTds), "TDS");
 }
 
 TEST(Anonymizer, ComputesBothObjectives) {
@@ -38,7 +41,7 @@ TEST(Anonymizer, TpOnPaperTable1IsOptimal) {
 
 TEST(Anonymizer, InfeasibleForLBeyondMaxFeasible) {
   Table table = testutil::PaperTable1();  // max feasible l is 2
-  for (Algorithm algo : {Algorithm::kTp, Algorithm::kTpPlus, Algorithm::kHilbert}) {
+  for (Algorithm algo : kAllAlgorithms) {
     EXPECT_FALSE(Anonymize(table, 3, algo).feasible) << AlgorithmName(algo);
   }
 }

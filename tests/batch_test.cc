@@ -1,0 +1,105 @@
+// AnonymizeBatch tests: result ordering is the job ordering, and outcomes
+// are identical to a sequential run regardless of the thread count.
+
+#include "core/batch.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "data/acs_generator.h"
+#include "data/acs_schema.h"
+#include "test_util.h"
+
+namespace ldv {
+namespace {
+
+// Full structural equality of two outcomes (the acceptance criterion asks
+// for byte-identical results across thread counts; the partition's group
+// lists pin down everything the algorithms decide, the metrics pin down
+// the shared post-processing).
+void ExpectSameOutcome(const AnonymizationOutcome& a, const AnonymizationOutcome& b,
+                       const std::string& context) {
+  SCOPED_TRACE(context);
+  ASSERT_EQ(a.feasible, b.feasible);
+  EXPECT_EQ(a.algorithm, b.algorithm);
+  EXPECT_EQ(a.methodology, b.methodology);
+  if (!a.feasible) return;
+  EXPECT_EQ(a.stars, b.stars);
+  EXPECT_EQ(a.suppressed_tuples, b.suppressed_tuples);
+  EXPECT_EQ(a.kl_divergence, b.kl_divergence);  // exact: same arithmetic, same order
+  EXPECT_EQ(a.group_stats.group_count, b.group_stats.group_count);
+  EXPECT_EQ(a.group_stats.min_size, b.group_stats.min_size);
+  EXPECT_EQ(a.group_stats.max_size, b.group_stats.max_size);
+  EXPECT_EQ(a.partition.groups(), b.partition.groups());
+}
+
+std::vector<BatchJob> MakeJobs(const std::vector<const Table*>& tables) {
+  std::vector<BatchJob> jobs;
+  for (const Table* table : tables) {
+    for (std::uint32_t l : {2u, 4u}) {
+      for (Algorithm algorithm : kAllAlgorithms) {
+        jobs.push_back(BatchJob{table, l, algorithm, AnonymizerOptions{}});
+      }
+    }
+  }
+  return jobs;
+}
+
+TEST(Batch, EmptyJobListYieldsEmptyResults) {
+  EXPECT_TRUE(AnonymizeBatch({}).empty());
+}
+
+TEST(Batch, ResultsFollowJobOrder) {
+  Table table = GenerateSal(2000, 1).ProjectQi({kAge, kGender});
+  std::vector<BatchJob> jobs = MakeJobs({&table});
+  std::vector<AnonymizationOutcome> results = AnonymizeBatch(jobs, BatchOptions{4});
+  ASSERT_EQ(results.size(), jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    EXPECT_EQ(results[i].algorithm, jobs[i].algorithm) << "job " << i;
+  }
+}
+
+TEST(Batch, IdenticalAcrossThreadCounts) {
+  Table sal = GenerateSal(3000, 1).ProjectQi({kAge, kGender, kEducation});
+  Table occ = GenerateOcc(3000, 2).ProjectQi({kAge, kRace});
+  std::vector<BatchJob> jobs = MakeJobs({&sal, &occ});
+
+  std::vector<AnonymizationOutcome> sequential = AnonymizeBatch(jobs, BatchOptions{1});
+  ASSERT_EQ(sequential.size(), jobs.size());
+  for (unsigned threads : {2u, 4u, 7u}) {
+    std::vector<AnonymizationOutcome> parallel = AnonymizeBatch(jobs, BatchOptions{threads});
+    ASSERT_EQ(parallel.size(), jobs.size());
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      ExpectSameOutcome(sequential[i], parallel[i],
+                        "threads=" + std::to_string(threads) + " job=" + std::to_string(i) +
+                            " algo=" + AlgorithmName(jobs[i].algorithm));
+    }
+  }
+}
+
+TEST(Batch, InfeasibleJobsReportInfeasible) {
+  Table table = testutil::PaperTable1();  // max feasible l is 2
+  std::vector<BatchJob> jobs;
+  for (Algorithm algorithm : kAllAlgorithms) {
+    jobs.push_back(BatchJob{&table, 3, algorithm, AnonymizerOptions{}});
+  }
+  for (const AnonymizationOutcome& outcome : AnonymizeBatch(jobs, BatchOptions{3})) {
+    EXPECT_FALSE(outcome.feasible);
+  }
+}
+
+TEST(Batch, DefaultThreadCountRuns) {
+  Table table = GenerateSal(1000, 9).ProjectQi({kAge});
+  std::vector<BatchJob> jobs = {
+      BatchJob{&table, 2, Algorithm::kTp, AnonymizerOptions{}},
+      BatchJob{&table, 2, Algorithm::kAnatomy, AnonymizerOptions{}},
+  };
+  std::vector<AnonymizationOutcome> results = AnonymizeBatch(jobs);
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_TRUE(results[0].feasible);
+  EXPECT_TRUE(results[1].feasible);
+}
+
+}  // namespace
+}  // namespace ldv
