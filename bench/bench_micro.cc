@@ -2,18 +2,30 @@
 // DESIGN.md ablations: the Section 5.5 inverted list vs a naive O(m)
 // scanning multiset, grouped (multiset) processing vs the raw table, and
 // the greedy vs window-DP Hilbert splitters.
+//
+// The perf-regression rows (grouping / tp_solve / mondrian / kl_* at
+// n in {10k, 100k}) are additionally exported as BENCH_micro.json (or
+// $LDIV_BENCH_JSON) so every PR leaves a ns/op trajectory datapoint; see
+// the README's Performance section.
 
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
+
+#include "anonymity/generalization.h"
+#include "bench_util.h"
 #include "common/grouped_table.h"
 #include "common/histogram.h"
 #include "common/rng.h"
+#include "common/workspace.h"
 #include "core/pillar_index.h"
 #include "core/tp.h"
 #include "data/acs_generator.h"
 #include "data/acs_schema.h"
 #include "hilbert/hilbert_curve.h"
 #include "hilbert/hilbert_partitioner.h"
+#include "metrics/kl_divergence.h"
+#include "mondrian/mondrian.h"
 
 namespace ldv {
 namespace {
@@ -132,7 +144,119 @@ void BM_HilbertPartitionWindowDp(benchmark::State& state) {
 }
 BENCHMARK(BM_HilbertPartitionWindowDp);
 
+// ---- Perf-regression rows (exported to BENCH_micro.json) ----
+//
+// The l = 6 SAL-4 workload of the figure benches at two cardinalities.
+// Each benchmark reuses one Workspace across iterations -- the repeated-
+// solve regime the Workspace is designed for (sweeps, batch workers).
+
+const Table& SizedSal4(std::size_t n) {
+  static const Table* t10k = new Table(
+      GenerateSal(10000, 1).ProjectQi({kAge, kGender, kRace, kEducation}));
+  static const Table* t100k = new Table(
+      GenerateSal(100000, 1).ProjectQi({kAge, kGender, kRace, kEducation}));
+  return n == 10000 ? *t10k : *t100k;
+}
+
+void BM_Grouping(benchmark::State& state) {
+  const Table& t = SizedSal4(static_cast<std::size_t>(state.range(0)));
+  Workspace ws;
+  for (auto _ : state) {
+    GroupedTable grouped(t, &ws);
+    benchmark::DoNotOptimize(grouped.group_count());
+  }
+  state.SetItemsProcessed(state.iterations() * t.size());
+}
+BENCHMARK(BM_Grouping)->Name("grouping")->Arg(10000)->Arg(100000);
+
+void BM_TpSolve(benchmark::State& state) {
+  const Table& t = SizedSal4(static_cast<std::size_t>(state.range(0)));
+  GroupedTable grouped(t);
+  for (auto _ : state) {
+    TpResult result = RunTp(grouped, 6);
+    benchmark::DoNotOptimize(result.residue_rows.size());
+  }
+  state.SetItemsProcessed(state.iterations() * t.size());
+}
+BENCHMARK(BM_TpSolve)->Name("tp_solve")->Arg(10000)->Arg(100000);
+
+void BM_Mondrian(benchmark::State& state) {
+  const Table& t = SizedSal4(static_cast<std::size_t>(state.range(0)));
+  Workspace ws;
+  for (auto _ : state) {
+    MondrianResult result = MondrianAnonymize(t, 6, &ws);
+    benchmark::DoNotOptimize(result.partition.group_count());
+  }
+  state.SetItemsProcessed(state.iterations() * t.size());
+}
+BENCHMARK(BM_Mondrian)->Name("mondrian")->Arg(10000)->Arg(100000);
+
+void BM_KlSuppression(benchmark::State& state) {
+  const Table& t = SizedSal4(static_cast<std::size_t>(state.range(0)));
+  TpResult tp = RunTp(t, 6);
+  GeneralizedTable generalized(t, tp.ToPartition());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(KlDivergenceSuppression(t, generalized));
+  }
+  state.SetItemsProcessed(state.iterations() * t.size());
+}
+BENCHMARK(BM_KlSuppression)->Name("kl_suppression")->Arg(10000)->Arg(100000);
+
+void BM_KlMultiDim(benchmark::State& state) {
+  const Table& t = SizedSal4(static_cast<std::size_t>(state.range(0)));
+  MondrianResult mondrian = MondrianAnonymize(t, 6);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(KlDivergenceMultiDim(t, mondrian.generalization));
+  }
+  state.SetItemsProcessed(state.iterations() * t.size());
+}
+BENCHMARK(BM_KlMultiDim)->Name("kl_multidim")->Arg(10000)->Arg(100000);
+
+// google-benchmark < 1.8 flags failed runs with Run::error_occurred;
+// 1.8+ replaced it with the Run::skipped enum. Probe for whichever member
+// this library version has.
+template <typename R>
+bool RunFailed(const R& run) {
+  if constexpr (requires { run.error_occurred; }) {
+    return run.error_occurred;
+  } else {
+    return run.skipped != 0;
+  }
+}
+
+// Normal console output, plus every finished run collected into the JSON
+// trajectory report.
+class JsonTeeReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    benchmark::ConsoleReporter::ReportRuns(runs);
+    for (const Run& run : runs) {
+      if (run.run_type != Run::RT_Iteration || RunFailed(run)) continue;
+      // GetAdjustedRealTime reports in the run's time unit (ns by default).
+      report_.Add(run.benchmark_name(), run.GetAdjustedRealTime());
+    }
+  }
+
+  const bench::JsonReport& report() const { return report_; }
+
+ private:
+  bench::JsonReport report_{"bench_micro"};
+};
+
 }  // namespace
 }  // namespace ldv
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  ldv::JsonTeeReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  std::string path = ldv::bench::BenchJsonPath("BENCH_micro.json");
+  if (!reporter.report().WriteTo(path)) {
+    std::fprintf(stderr, "failed to write %s\n", path.c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "wrote %zu datapoints to %s\n", reporter.report().size(), path.c_str());
+  benchmark::Shutdown();
+  return 0;
+}

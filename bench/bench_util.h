@@ -11,6 +11,7 @@
 //   LDIV_BENCH_N=<n>    override the table cardinality
 //   LDIV_BENCH_PROJ=<k> override the number of projections per family
 
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <memory>
@@ -104,6 +105,50 @@ inline void PrintHeader(const std::string& title, const BenchConfig& config) {
                   ? "all"
                   : std::to_string(config.projections).c_str(),
               config.full ? " (paper scale)" : " (reduced scale; --full for paper scale)");
+}
+
+/// Minimal JSON writer for the BENCH_*.json perf-trajectory files: a tool
+/// name plus a flat list of (name, ns_per_op) datapoints. Kept free of any
+/// benchmark-library dependency so every bench binary can emit a
+/// trajectory file; bench_micro feeds it from a google-benchmark reporter.
+class JsonReport {
+ public:
+  explicit JsonReport(std::string tool) : tool_(std::move(tool)) {}
+
+  void Add(const std::string& name, double ns_per_op) {
+    entries_.push_back(Entry{name, ns_per_op});
+  }
+
+  std::size_t size() const { return entries_.size(); }
+
+  /// Writes the report to `path`. Returns false on I/O failure.
+  bool WriteTo(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) return false;
+    std::fprintf(f, "{\n  \"tool\": \"%s\",\n  \"benchmarks\": [\n", tool_.c_str());
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+      std::fprintf(f, "    {\"name\": \"%s\", \"ns_per_op\": %.1f}%s\n",
+                   entries_[i].name.c_str(), entries_[i].ns_per_op,
+                   i + 1 < entries_.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    return std::fclose(f) == 0;
+  }
+
+ private:
+  struct Entry {
+    std::string name;
+    double ns_per_op;
+  };
+  std::string tool_;
+  std::vector<Entry> entries_;
+};
+
+/// Destination of the JSON trajectory file: $LDIV_BENCH_JSON or the
+/// default `BENCH_micro.json` in the working directory.
+inline std::string BenchJsonPath(const char* fallback) {
+  if (const char* env = std::getenv("LDIV_BENCH_JSON")) return env;
+  return fallback;
 }
 
 }  // namespace bench

@@ -36,9 +36,18 @@ class BoxGeneralization {
   const QiBox& box(std::size_t g) const { return boxes_[g]; }
   const std::vector<RowId>& rows(std::size_t g) const { return rows_[g]; }
 
+  /// Declares that the boxes are pairwise disjoint (they tile the QI
+  /// space), so every point lies in at most one box. Set by producers
+  /// whose construction guarantees it -- Mondrian's boxes are global cuts
+  /// of the parent box -- and exploited by KlDivergenceMultiDim to stop
+  /// each point probe at its first hit.
+  void MarkTiling() { tiling_ = true; }
+  bool tiling() const { return tiling_; }
+
  private:
   std::vector<QiBox> boxes_;
   std::vector<std::vector<RowId>> rows_;
+  bool tiling_ = false;
 };
 
 /// The transformation described at the start of Section 6.2: any suppression

@@ -32,6 +32,9 @@ class Partition {
   /// Adds one group (ignored if empty).
   void AddGroup(std::vector<RowId> rows);
 
+  /// Reserves storage for `groups` groups.
+  void Reserve(std::size_t groups) { groups_.reserve(groups); }
+
   /// Verifies that the groups are disjoint and exactly cover rows
   /// [0, table.size()). Used by tests and by debug-mode validation.
   bool CoversExactly(const Table& table) const;

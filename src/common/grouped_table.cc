@@ -1,9 +1,9 @@
 #include "common/grouped_table.h"
 
 #include <algorithm>
-#include <unordered_map>
 
 #include "common/check.h"
+#include "common/flat_map.h"
 
 namespace ldv {
 
@@ -25,63 +25,121 @@ SaHistogram QiGroup::ToHistogram(std::size_t m) const {
 
 namespace {
 
-// Hash of the QI signature of a row (FNV-1a); full signatures are compared
-// on collision.
-struct QiKey {
-  const Table* table;
-  RowId row;
-};
-
-struct QiKeyHash {
-  std::size_t operator()(const QiKey& k) const {
-    std::uint64_t h = 1469598103934665603ULL;
-    for (Value v : k.table->qi_row(k.row)) {
-      h ^= v;
-      h *= 1099511628211ULL;
-    }
-    return static_cast<std::size_t>(h);
+// FNV-1a over the QI signature of a row; equal signatures hash equal, and
+// the open-addressing index below compares full signatures on every hash
+// hit, so collisions only cost an extra comparison.
+std::uint64_t QiSignatureHash(const Table& table, RowId row) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (Value v : table.qi_row(row)) {
+    h ^= v;
+    h *= 1099511628211ULL;
   }
-};
-
-struct QiKeyEq {
-  bool operator()(const QiKey& a, const QiKey& b) const {
-    auto ra = a.table->qi_row(a.row);
-    auto rb = b.table->qi_row(b.row);
-    return std::equal(ra.begin(), ra.end(), rb.begin(), rb.end());
-  }
-};
+  return h;
+}
 
 }  // namespace
 
-GroupedTable::GroupedTable(const Table& table) {
+GroupedTable::GroupedTable(const Table& table, Workspace* workspace) {
   row_count_ = table.size();
   sa_domain_size_ = table.schema().sa_domain_size();
+  if (table.empty()) return;
 
-  std::unordered_map<QiKey, GroupId, QiKeyHash, QiKeyEq> index;
-  index.reserve(table.size() * 2);
-  for (RowId r = 0; r < table.size(); ++r) {
-    QiKey key{&table, r};
-    auto [it, inserted] = index.try_emplace(key, static_cast<GroupId>(groups_.size()));
-    if (inserted) {
-      QiGroup group;
-      auto qi = table.qi_row(r);
-      group.qi_values.assign(qi.begin(), qi.end());
-      groups_.push_back(std::move(group));
+  Workspace local;
+  Workspace& ws = workspace != nullptr ? *workspace : local;
+  const std::size_t n = table.size();
+
+  // Row signature hashes, computed once.
+  auto hashes_s = ws.U64();
+  std::vector<std::uint64_t>& hashes = *hashes_s;
+  hashes.resize(n);
+  for (RowId r = 0; r < n; ++r) hashes[r] = QiSignatureHash(table, r);
+
+  // Open-addressing signature index: slot -> group id + 1 (0 = empty),
+  // sized to stay at most half full. Group ids are assigned in first-
+  // occurrence row order, exactly like the seed's unordered_map pass.
+  std::size_t cap = 16;
+  while (cap < 2 * n) cap <<= 1;
+  const std::size_t mask = cap - 1;
+  auto slots_s = ws.U32();
+  std::vector<std::uint32_t>& slots = *slots_s;
+  slots.assign(cap, 0);
+
+  auto group_of_s = ws.U32();
+  std::vector<std::uint32_t>& group_of = *group_of_s;
+  group_of.resize(n);
+  auto sizes_s = ws.U32();
+  std::vector<std::uint32_t>& sizes = *sizes_s;  // rows per group
+  auto reps_s = ws.U32();
+  std::vector<std::uint32_t>& reps = *reps_s;  // representative row per group
+
+  for (RowId r = 0; r < n; ++r) {
+    auto qi = table.qi_row(r);
+    std::size_t i = MixU64(hashes[r]) & mask;
+    for (;;) {
+      if (slots[i] == 0) {
+        slots[i] = static_cast<std::uint32_t>(reps.size()) + 1;
+        group_of[r] = static_cast<std::uint32_t>(reps.size());
+        reps.push_back(r);
+        sizes.push_back(1);
+        break;
+      }
+      std::uint32_t g = slots[i] - 1;
+      if (hashes[reps[g]] == hashes[r]) {
+        auto rep_qi = table.qi_row(reps[g]);
+        if (std::equal(qi.begin(), qi.end(), rep_qi.begin(), rep_qi.end())) {
+          group_of[r] = g;
+          ++sizes[g];
+          break;
+        }
+      }
+      i = (i + 1) & mask;
     }
-    groups_[it->second].rows.push_back(r);
   }
 
-  // Sort each group's rows by SA value (stable so row order within a value
-  // is deterministic), then build the runs.
+  // Materialize the groups with exact-size reservations.
+  const std::size_t s = reps.size();
+  groups_.resize(s);
+  for (GroupId g = 0; g < s; ++g) {
+    auto qi = table.qi_row(reps[g]);
+    groups_[g].qi_values.assign(qi.begin(), qi.end());
+    groups_[g].rows.reserve(sizes[g]);
+  }
+  for (RowId r = 0; r < n; ++r) groups_[group_of[r]].rows.push_back(r);
+
+  // Sort each group's rows by SA value and build the runs. A stable
+  // counting sort keeps the seed's stable_sort order (row order preserved
+  // within a value) at O(|Q| + distinct) per group with zero allocation:
+  // `counts` is a dense per-value counter reset through `distinct`, then
+  // reused as the per-run write cursor.
+  auto counts_s = ws.U32();
+  std::vector<std::uint32_t>& counts = *counts_s;
+  counts.assign(sa_domain_size_, 0);
+  auto distinct_s = ws.U32();
+  std::vector<std::uint32_t>& distinct = *distinct_s;
+  auto sorted_s = ws.U32();
+  std::vector<std::uint32_t>& sorted = *sorted_s;
   for (QiGroup& group : groups_) {
-    std::stable_sort(group.rows.begin(), group.rows.end(),
-                     [&](RowId a, RowId b) { return table.sa(a) < table.sa(b); });
-    for (std::uint32_t i = 0; i < group.rows.size(); ++i) {
-      SaValue v = table.sa(group.rows[i]);
-      if (group.sa_runs.empty() || group.sa_runs.back().first != v) {
-        group.sa_runs.emplace_back(v, i);
-      }
+    if (group.rows.size() == 1) {
+      group.sa_runs.emplace_back(table.sa(group.rows[0]), 0);
+      continue;
     }
+    distinct.clear();
+    for (RowId r : group.rows) {
+      SaValue v = table.sa(r);
+      if (counts[v]++ == 0) distinct.push_back(v);
+    }
+    std::sort(distinct.begin(), distinct.end());
+    group.sa_runs.reserve(distinct.size());
+    std::uint32_t offset = 0;
+    for (SaValue v : distinct) {
+      group.sa_runs.emplace_back(v, offset);
+      offset += counts[v];
+      counts[v] = group.sa_runs.back().second;  // becomes the write cursor
+    }
+    sorted.resize(group.rows.size());
+    for (RowId r : group.rows) sorted[counts[table.sa(r)]++] = r;
+    std::copy(sorted.begin(), sorted.end(), group.rows.begin());
+    for (SaValue v : distinct) counts[v] = 0;
   }
 }
 

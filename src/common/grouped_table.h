@@ -8,6 +8,7 @@
 #include "common/histogram.h"
 #include "common/table.h"
 #include "common/types.h"
+#include "common/workspace.h"
 
 namespace ldv {
 
@@ -50,8 +51,12 @@ struct QiGroup {
 /// paper's s.
 class GroupedTable {
  public:
-  /// Groups `table` by QI signature. O(n) expected time via hashing.
-  explicit GroupedTable(const Table& table);
+  /// Groups `table` by QI signature. O(n) expected time via hashing. When a
+  /// Workspace is supplied, the signature index, per-row assignment and the
+  /// counting-sort scratch all come from its pools, so repeated grouping
+  /// (sweeps, batch workers) does not touch the allocator for scratch
+  /// memory.
+  explicit GroupedTable(const Table& table, Workspace* workspace = nullptr);
 
   /// Number of groups s.
   std::size_t group_count() const { return groups_.size(); }

@@ -47,10 +47,17 @@ const char* MethodologyName(Methodology methodology) {
 }
 
 AnonymizationOutcome Anonymizer::Run(const Table& table, std::uint32_t l) const {
+  Workspace workspace;
+  return Run(table, l, &workspace);
+}
+
+AnonymizationOutcome Anonymizer::Run(const Table& table, std::uint32_t l,
+                                     Workspace* workspace) const {
+  LDIV_CHECK(workspace != nullptr);
   AnonymizationOutcome outcome;
   outcome.algorithm = id_;
   outcome.methodology = methodology_;
-  if (!RunRaw(table, l, &outcome)) return outcome;
+  if (!RunRaw(table, l, workspace, &outcome)) return outcome;
   outcome.feasible = true;
   LDIV_DCHECK(outcome.partition.CoversExactly(table));
   LDIV_DCHECK(IsLDiverse(table, outcome.partition, l));
@@ -90,8 +97,9 @@ class TpAnonymizer final : public Anonymizer {
   explicit TpAnonymizer(AnonymizerOptions options)
       : Anonymizer(Algorithm::kTp, Methodology::kSuppression, options) {}
 
-  bool RunRaw(const Table& table, std::uint32_t l, AnonymizationOutcome* out) const override {
-    TpResult r = RunTp(table, l);
+  bool RunRaw(const Table& table, std::uint32_t l, Workspace* workspace,
+              AnonymizationOutcome* out) const override {
+    TpResult r = RunTp(table, l, workspace);
     if (!r.feasible) return false;
     out->partition = r.ToPartition();
     out->seconds = r.seconds;
@@ -105,8 +113,9 @@ class TpPlusAnonymizer final : public Anonymizer {
   explicit TpPlusAnonymizer(AnonymizerOptions options)
       : Anonymizer(Algorithm::kTpPlus, Methodology::kSuppression, options) {}
 
-  bool RunRaw(const Table& table, std::uint32_t l, AnonymizationOutcome* out) const override {
-    TpPlusResult r = RunTpPlus(table, l, options().hilbert);
+  bool RunRaw(const Table& table, std::uint32_t l, Workspace* workspace,
+              AnonymizationOutcome* out) const override {
+    TpPlusResult r = RunTpPlus(table, l, options().hilbert, workspace);
     if (!r.feasible) return false;
     out->partition = std::move(r.partition);
     out->seconds = r.seconds();
@@ -120,8 +129,9 @@ class HilbertAnonymizer final : public Anonymizer {
   explicit HilbertAnonymizer(AnonymizerOptions options)
       : Anonymizer(Algorithm::kHilbert, Methodology::kSuppression, options) {}
 
-  bool RunRaw(const Table& table, std::uint32_t l, AnonymizationOutcome* out) const override {
-    HilbertResult r = HilbertAnonymize(table, l, options().hilbert);
+  bool RunRaw(const Table& table, std::uint32_t l, Workspace* workspace,
+              AnonymizationOutcome* out) const override {
+    HilbertResult r = HilbertAnonymize(table, l, options().hilbert, workspace);
     if (!r.feasible) return false;
     out->partition = std::move(r.partition);
     out->seconds = r.seconds;
@@ -134,8 +144,9 @@ class MondrianAnonymizer final : public Anonymizer {
   explicit MondrianAnonymizer(AnonymizerOptions options)
       : Anonymizer(Algorithm::kMondrian, Methodology::kMultiDimensional, options) {}
 
-  bool RunRaw(const Table& table, std::uint32_t l, AnonymizationOutcome* out) const override {
-    MondrianResult r = MondrianAnonymize(table, l);
+  bool RunRaw(const Table& table, std::uint32_t l, Workspace* workspace,
+              AnonymizationOutcome* out) const override {
+    MondrianResult r = MondrianAnonymize(table, l, workspace);
     if (!r.feasible) return false;
     out->partition = std::move(r.partition);
     out->boxes = std::make_shared<BoxGeneralization>(std::move(r.generalization));
@@ -149,7 +160,9 @@ class AnatomyAnonymizer final : public Anonymizer {
   explicit AnatomyAnonymizer(AnonymizerOptions options)
       : Anonymizer(Algorithm::kAnatomy, Methodology::kBucketization, options) {}
 
-  bool RunRaw(const Table& table, std::uint32_t l, AnonymizationOutcome* out) const override {
+  bool RunRaw(const Table& table, std::uint32_t l, Workspace* workspace,
+              AnonymizationOutcome* out) const override {
+    (void)workspace;  // Anatomy's random-shuffle bucketization has no hot scratch.
     AnatomyResult r = AnatomyAnonymize(table, l);
     if (!r.feasible) return false;
     out->partition = std::move(r.partition);
@@ -163,7 +176,9 @@ class TdsAnonymizer final : public Anonymizer {
   explicit TdsAnonymizer(AnonymizerOptions options)
       : Anonymizer(Algorithm::kTds, Methodology::kSingleDimensional, options) {}
 
-  bool RunRaw(const Table& table, std::uint32_t l, AnonymizationOutcome* out) const override {
+  bool RunRaw(const Table& table, std::uint32_t l, Workspace* workspace,
+              AnonymizationOutcome* out) const override {
+    (void)workspace;  // TDS is dominated by its taxonomy walks, not scratch churn.
     TdsResult r = RunTds(table, l);
     if (!r.feasible) return false;
     out->partition = std::move(r.partition);

@@ -11,6 +11,7 @@
 #include "anonymity/multidim.h"
 #include "anonymity/partition.h"
 #include "common/table.h"
+#include "common/workspace.h"
 #include "core/tp.h"
 #include "hilbert/hilbert_partitioner.h"
 #include "metrics/group_stats.h"
@@ -123,13 +124,22 @@ class Anonymizer {
   /// not l-eligible. Thread-safe: anonymizers are stateless.
   AnonymizationOutcome Run(const Table& table, std::uint32_t l) const;
 
+  /// Same, drawing every solver's scratch memory from `workspace` so
+  /// repeated solves stop re-allocating. The workspace is NOT thread-safe:
+  /// callers running solves concurrently use one workspace per thread
+  /// (AnonymizeBatch keeps one per worker). Outcomes are identical with or
+  /// without a workspace, and across reuses of one.
+  AnonymizationOutcome Run(const Table& table, std::uint32_t l, Workspace* workspace) const;
+
  protected:
   Anonymizer(Algorithm id, Methodology methodology, AnonymizerOptions options)
       : id_(id), methodology_(methodology), options_(options) {}
 
   /// The algorithm-specific solve. Fills partition, seconds and the
-  /// methodology artifacts; returns false iff infeasible.
-  virtual bool RunRaw(const Table& table, std::uint32_t l, AnonymizationOutcome* out) const = 0;
+  /// methodology artifacts; returns false iff infeasible. `workspace` is
+  /// never null.
+  virtual bool RunRaw(const Table& table, std::uint32_t l, Workspace* workspace,
+                      AnonymizationOutcome* out) const = 0;
 
  private:
   Algorithm id_;

@@ -12,8 +12,10 @@ namespace ldv {
 /// `table` with privacy parameter `l` and returns the uniform outcome with
 /// the shared utility metrics filled in. Equivalent to
 /// `AlgorithmRegistry::Global().Create(algorithm, options)->Run(table, l)`.
+/// Pass a Workspace to reuse solver scratch across repeated calls.
 AnonymizationOutcome Anonymize(const Table& table, std::uint32_t l, Algorithm algorithm,
-                               const AnonymizerOptions& options);
+                               const AnonymizerOptions& options,
+                               Workspace* workspace = nullptr);
 
 /// Same, with default options except the Hilbert splitting knobs (kept for
 /// callers predating AnonymizerOptions).

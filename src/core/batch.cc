@@ -11,9 +11,11 @@ namespace ldv {
 
 namespace {
 
-AnonymizationOutcome RunJob(const BatchJob& job) {
+AnonymizationOutcome RunJob(const BatchJob& job, Workspace* workspace) {
   LDIV_CHECK(job.table != nullptr) << "BatchJob with null table";
-  return AlgorithmRegistry::Global().Create(job.algorithm, job.options)->Run(*job.table, job.l);
+  return AlgorithmRegistry::Global()
+      .Create(job.algorithm, job.options)
+      ->Run(*job.table, job.l, workspace);
 }
 
 }  // namespace
@@ -27,7 +29,8 @@ std::vector<AnonymizationOutcome> AnonymizeBatch(const std::vector<BatchJob>& jo
                                              : std::max(1u, std::thread::hardware_concurrency());
   threads = std::min(threads, jobs.size());
   if (threads <= 1) {
-    for (std::size_t i = 0; i < jobs.size(); ++i) results[i] = RunJob(jobs[i]);
+    Workspace workspace;
+    for (std::size_t i = 0; i < jobs.size(); ++i) results[i] = RunJob(jobs[i], &workspace);
     return results;
   }
 
@@ -35,12 +38,17 @@ std::vector<AnonymizationOutcome> AnonymizeBatch(const std::vector<BatchJob>& jo
   // one-time built-in registration.
   AlgorithmRegistry::Global();
 
+  // Each worker owns one Workspace for its whole job stream: after the
+  // first few solves the scratch buffers reach steady state and later jobs
+  // run allocation-free. Workspaces never cross threads, and outcomes do
+  // not depend on workspace state, so determinism is preserved.
   std::atomic<std::size_t> next{0};
   auto worker = [&] {
+    Workspace workspace;
     for (;;) {
       std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= jobs.size()) return;
-      results[i] = RunJob(jobs[i]);
+      results[i] = RunJob(jobs[i], &workspace);
     }
   };
   std::vector<std::thread> pool;

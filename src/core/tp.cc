@@ -26,14 +26,26 @@ namespace ldv {
 // "remove all its entries (i, v) from C" step of Section 5.5.
 class TpEngine::CandidateList {
  public:
-  CandidateList(std::size_t m, std::size_t group_count, std::uint32_t bucket_cap)
+  /// `entry_capacity` is the exact number of AddEntry calls the caller will
+  /// make (one per (alive group, distinct SA value) pair), so the entry
+  /// arrays never reallocate during the build.
+  CandidateList(std::size_t m, std::size_t group_count, std::uint32_t bucket_cap,
+                std::size_t entry_capacity)
       : v_head_(m, kNil),
         v_prev_(m, kNil),
         v_next_(m, kNil),
         v_bucket_(m, kNil),
         group_head_(group_count, kNil),
         bucket_head_(bucket_cap + 1, kNil),
-        cap_(bucket_cap) {}
+        cap_(bucket_cap) {
+    e_group_.reserve(entry_capacity);
+    e_slot_.reserve(entry_capacity);
+    e_value_.reserve(entry_capacity);
+    e_prev_.reserve(entry_capacity);
+    e_next_.reserve(entry_capacity);
+    e_live_.reserve(entry_capacity);
+    e_gnext_.reserve(entry_capacity);
+  }
 
   /// Registers candidate (g, slot) for SA value `v`; `bucket` is the current
   /// h(R, v). Only used while building the list.
@@ -253,7 +265,13 @@ bool TpEngine::RunPhase2() {
   }
 #endif
 
-  CandidateList candidates(m_, groups_.size(), kResidueHeight);
+  std::size_t entry_capacity = 0;
+  for (GroupId g = 0; g < groups_.size(); ++g) {
+    const PillarIndex& idx = groups_[g].index;
+    if (idx.empty() || GroupIsDead(g)) continue;
+    entry_capacity += idx.slot_count();
+  }
+  CandidateList candidates(m_, groups_.size(), kResidueHeight, entry_capacity);
   for (GroupId g = 0; g < groups_.size(); ++g) {
     const PillarIndex& idx = groups_[g].index;
     if (idx.empty() || GroupIsDead(g)) continue;
@@ -463,6 +481,7 @@ std::vector<RowId> TpEngine::RemainingRows(GroupId g) const {
 
 Partition TpResult::ToPartition() const {
   Partition p;
+  p.Reserve(kept_groups.size() + 1);
   for (const auto& group : kept_groups) p.AddGroup(group);
   p.AddGroup(residue_rows);
   return p;
@@ -497,8 +516,8 @@ TpResult RunTp(const GroupedTable& grouped, std::uint32_t l) {
   return result;
 }
 
-TpResult RunTp(const Table& table, std::uint32_t l) {
-  GroupedTable grouped(table);
+TpResult RunTp(const Table& table, std::uint32_t l, Workspace* workspace) {
+  GroupedTable grouped(table, workspace);
   return RunTp(grouped, l);
 }
 

@@ -152,8 +152,9 @@ struct TpResult {
 };
 
 /// Runs the three-phase algorithm (paper's "TP") on `table` with privacy
-/// parameter `l`. Builds the QI-grouping internally.
-TpResult RunTp(const Table& table, std::uint32_t l);
+/// parameter `l`. Builds the QI-grouping internally (drawing its scratch
+/// from `workspace` when one is supplied).
+TpResult RunTp(const Table& table, std::uint32_t l, Workspace* workspace = nullptr);
 
 /// Same, over a pre-grouped table.
 TpResult RunTp(const GroupedTable& grouped, std::uint32_t l);

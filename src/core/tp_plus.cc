@@ -7,23 +7,26 @@
 namespace ldv {
 
 TpPlusResult RunTpPlus(const Table& table, std::uint32_t l,
-                       const HilbertOptions& hilbert_options) {
+                       const HilbertOptions& hilbert_options, Workspace* workspace) {
   TpPlusResult result;
-  TpResult tp = RunTp(table, l);
+  TpResult tp = RunTp(table, l, workspace);
   if (!tp.feasible) return result;
   result.feasible = true;
   result.tp_stats = tp.stats;
   result.tp_seconds = tp.seconds;
 
+  result.partition.Reserve(tp.kept_groups.size() + 1);
   for (auto& group : tp.kept_groups) result.partition.AddGroup(std::move(group));
 
   if (!tp.residue_rows.empty()) {
     // Refine R with the Hilbert baseline; R is l-eligible by construction,
     // so the sub-problem is always feasible.
     Table residue_table = table.SelectRows(tp.residue_rows);
-    HilbertResult refined = HilbertAnonymize(residue_table, l, hilbert_options);
+    HilbertResult refined = HilbertAnonymize(residue_table, l, hilbert_options, workspace);
     LDIV_CHECK(refined.feasible) << "residue set must be l-eligible";
     result.hilbert_seconds = refined.seconds;
+    result.partition.Reserve(result.partition.group_count() +
+                             refined.partition.group_count());
     for (const auto& sub_group : refined.partition.groups()) {
       std::vector<RowId> rows;
       rows.reserve(sub_group.size());

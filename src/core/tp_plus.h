@@ -31,9 +31,11 @@ struct TpPlusResult {
 /// smaller l-eligible QI-groups, reducing the number of suppressed values.
 /// Because R is l-eligible whenever TP succeeds, the refinement always
 /// applies, and by the discussion in Section 5.6 TP+ inherits the O(l * d)
-/// approximation guarantee of TP.
+/// approximation guarantee of TP. Both stages draw their scratch from
+/// `workspace` when one is supplied.
 TpPlusResult RunTpPlus(const Table& table, std::uint32_t l,
-                       const HilbertOptions& hilbert_options = {});
+                       const HilbertOptions& hilbert_options = {},
+                       Workspace* workspace = nullptr);
 
 }  // namespace ldv
 

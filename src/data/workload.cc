@@ -1,5 +1,7 @@
 #include "data/workload.h"
 
+#include <algorithm>
+
 #include "common/check.h"
 
 namespace ldv {
@@ -32,8 +34,10 @@ std::vector<std::vector<AttrId>> QiCombinations(std::size_t total, std::size_t c
 
 std::vector<Table> ProjectionFamily(const Table& source, std::size_t d,
                                     std::size_t max_tables) {
+  std::vector<std::vector<AttrId>> combos = QiCombinations(source.qi_count(), d);
   std::vector<Table> tables;
-  for (const auto& combo : QiCombinations(source.qi_count(), d)) {
+  tables.reserve(std::min(max_tables, combos.size()));
+  for (const auto& combo : combos) {
     if (tables.size() >= max_tables) break;
     tables.push_back(source.ProjectQi(combo));
   }

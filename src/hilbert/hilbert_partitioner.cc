@@ -9,16 +9,24 @@
 
 #include "anonymity/eligibility.h"
 #include "common/check.h"
+#include "common/workspace.h"
 #include "hilbert/hilbert_curve.h"
 
 namespace ldv {
 
 namespace {
 
-// Incremental l-eligibility tracker for a growing multiset of SA values.
+// Incremental l-eligibility tracker for a growing multiset of SA values,
+// backed by a caller-supplied dense counter so repeated splits reuse one
+// buffer.
 class GrowingEligibility {
  public:
-  explicit GrowingEligibility(std::size_t m) : counts_(m, 0) {}
+  GrowingEligibility(std::vector<std::uint32_t>* counts, std::vector<SaValue>* touched,
+                     std::size_t m)
+      : counts_(*counts), touched_(*touched) {
+    counts_.assign(m, 0);
+    touched_.clear();
+  }
 
   void Add(SaValue v) {
     ++counts_[v];
@@ -41,16 +49,16 @@ class GrowingEligibility {
   }
 
  private:
-  std::vector<std::uint32_t> counts_;
-  std::vector<SaValue> touched_;
+  std::vector<std::uint32_t>& counts_;
+  std::vector<SaValue>& touched_;
   std::uint32_t max_ = 0;
   std::uint64_t total_ = 0;
 };
 
-// Hilbert code per row. Domains larger than the representable grid are
-// right-shifted (graceful coarsening); the paper's workloads (d <= 7,
-// domains <= 79) always fit exactly.
-std::vector<std::uint64_t> ComputeCodes(const Table& table) {
+// Hilbert code per row, written into `codes`. Domains larger than the
+// representable grid are right-shifted (graceful coarsening); the paper's
+// workloads (d <= 7, domains <= 79) always fit exactly.
+void ComputeCodes(const Table& table, std::vector<std::uint64_t>* codes) {
   std::uint32_t d = static_cast<std::uint32_t>(table.qi_count());
   std::uint32_t bits_needed = 1;
   for (AttrId a = 0; a < d; ++a) {
@@ -61,30 +69,42 @@ std::vector<std::uint64_t> ComputeCodes(const Table& table) {
   std::uint32_t shift = bits_needed - bits;
   HilbertCurve curve(d, bits);
 
-  std::vector<std::uint64_t> codes(table.size());
+  codes->resize(table.size());
   std::vector<std::uint32_t> coords(d);
   for (RowId r = 0; r < table.size(); ++r) {
     auto qi = table.qi_row(r);
     for (std::uint32_t i = 0; i < d; ++i) coords[i] = qi[i] >> shift;
-    codes[r] = curve.Encode(coords);
+    (*codes)[r] = curve.Encode(coords);
   }
-  return codes;
+}
+
+// Sorted Hilbert order of the table's rows, drawn from the workspace.
+void ComputeOrder(const Table& table, Workspace& ws, std::vector<RowId>* order) {
+  auto codes_s = ws.U64();
+  std::vector<std::uint64_t>& codes = *codes_s;
+  ComputeCodes(table, &codes);
+  order->resize(table.size());
+  std::iota(order->begin(), order->end(), 0u);
+  std::sort(order->begin(), order->end(), [&](RowId a, RowId b) {
+    return codes[a] != codes[b] ? codes[a] < codes[b] : a < b;
+  });
 }
 
 // Greedy splitter: close each group as soon as it becomes l-eligible; merge
 // an ineligible tail backwards (the union of l-eligible groups stays
 // l-eligible by Lemma 1, and the whole table is l-eligible, so the merge
-// terminates).
-std::vector<std::size_t> GreedySplit(const Table& table, const std::vector<RowId>& order,
-                                     std::uint32_t l) {
-  std::vector<std::size_t> starts;
-  GrowingEligibility acc(table.schema().sa_domain_size());
+// terminates). Group start offsets are appended to `starts`.
+void GreedySplit(const Table& table, const std::vector<RowId>& order, std::uint32_t l,
+                 Workspace& ws, std::vector<std::uint32_t>* starts) {
+  auto counts_s = ws.U32();
+  auto touched_s = ws.U32();
+  GrowingEligibility acc(&*counts_s, &*touched_s, table.schema().sa_domain_size());
   std::size_t group_start = 0;
   for (std::size_t i = 0; i < order.size(); ++i) {
     if (acc.total() == 0) group_start = i;
     acc.Add(table.sa(order[i]));
     if (acc.Eligible(l)) {
-      starts.push_back(group_start);
+      starts->push_back(static_cast<std::uint32_t>(group_start));
       acc.Reset();
     }
   }
@@ -93,31 +113,36 @@ std::vector<std::size_t> GreedySplit(const Table& table, const std::vector<RowId
     // l-eligible (at worst the suffix becomes the whole table).
     std::size_t tail_start = group_start;
     while (!acc.Eligible(l)) {
-      LDIV_CHECK(!starts.empty());
-      std::size_t prev = starts.back();
-      starts.pop_back();
+      LDIV_CHECK(!starts->empty());
+      std::size_t prev = starts->back();
+      starts->pop_back();
       for (std::size_t i = prev; i < tail_start; ++i) acc.Add(table.sa(order[i]));
       tail_start = prev;
     }
-    starts.push_back(tail_start);
+    starts->push_back(static_cast<std::uint32_t>(tail_start));
   }
-  return starts;
 }
 
 // Sliding-window DP splitter: dp[i] = fewest stars for the first i rows in
 // Hilbert order, transitioning over the last group (j, i]. Groups larger
 // than the window are considered only when no in-window transition is
 // eligible, which keeps the DP feasible on adversarial SA runs.
-std::vector<std::size_t> WindowDpSplit(const Table& table, const std::vector<RowId>& order,
-                                       std::uint32_t l, std::uint32_t window) {
+void WindowDpSplit(const Table& table, const std::vector<RowId>& order, std::uint32_t l,
+                   std::uint32_t window, Workspace& ws, std::vector<std::uint32_t>* starts) {
   const std::size_t n = order.size();
   const std::size_t d = table.qi_count();
   const std::uint64_t kInf = std::numeric_limits<std::uint64_t>::max();
-  std::vector<std::uint64_t> dp(n + 1, kInf);
-  std::vector<std::size_t> parent(n + 1, 0);
+  auto dp_s = ws.U64();
+  std::vector<std::uint64_t>& dp = *dp_s;
+  dp.assign(n + 1, kInf);
+  auto parent_s = ws.U32();
+  std::vector<std::uint32_t>& parent = *parent_s;
+  parent.assign(n + 1, 0);
   dp[0] = 0;
 
-  GrowingEligibility acc(table.schema().sa_domain_size());
+  auto counts_s = ws.U32();
+  auto touched_s = ws.U32();
+  GrowingEligibility acc(&*counts_s, &*touched_s, table.schema().sa_domain_size());
   std::vector<Value> first_value(d);
   std::vector<char> uniform(d);
 
@@ -144,16 +169,24 @@ std::vector<std::size_t> WindowDpSplit(const Table& table, const std::vector<Row
       std::uint64_t stars = static_cast<std::uint64_t>(nonuniform) * (i - j);
       if (dp[j] + stars < dp[i]) {
         dp[i] = dp[j] + stars;
-        parent[i] = j;
+        parent[i] = static_cast<std::uint32_t>(j);
       }
     }
   }
   LDIV_CHECK_NE(dp[n], kInf);
 
-  std::vector<std::size_t> starts;
-  for (std::size_t i = n; i > 0; i = parent[i]) starts.push_back(parent[i]);
-  std::reverse(starts.begin(), starts.end());
-  return starts;
+  for (std::size_t i = n; i > 0; i = parent[i]) starts->push_back(parent[i]);
+  std::reverse(starts->begin(), starts->end());
+}
+
+// Emits order[starts[i], starts[i+1]) as the partition's groups.
+void EmitGroups(const std::vector<RowId>& order, const std::vector<std::uint32_t>& starts,
+                Partition* partition) {
+  partition->Reserve(starts.size());
+  for (std::size_t gi = 0; gi < starts.size(); ++gi) {
+    std::size_t end = (gi + 1 < starts.size()) ? starts[gi + 1] : order.size();
+    partition->AddGroup(std::vector<RowId>(order.begin() + starts[gi], order.begin() + end));
+  }
 }
 
 }  // namespace
@@ -171,22 +204,20 @@ HilbertResult HilbertAnonymizeWithSpec(const Table& table, const DiversitySpec& 
   }
   auto start_time = std::chrono::steady_clock::now();
 
-  std::vector<std::uint64_t> codes = ComputeCodes(table);
-  std::vector<RowId> order(table.size());
-  std::iota(order.begin(), order.end(), 0u);
-  std::sort(order.begin(), order.end(), [&](RowId a, RowId b) {
-    return codes[a] != codes[b] ? codes[a] < codes[b] : a < b;
-  });
+  Workspace ws;
+  auto order_s = ws.U32();
+  std::vector<RowId>& order = *order_s;
+  ComputeOrder(table, ws, &order);
 
   // Greedy close + backward merge, with the generic (monotone) predicate.
-  std::vector<std::size_t> starts;
+  std::vector<std::uint32_t> starts;
   SaHistogram acc(m);
   std::size_t group_start = 0;
   for (std::size_t i = 0; i < order.size(); ++i) {
     if (acc.empty()) group_start = i;
     acc.Add(table.sa(order[i]));
     if (SatisfiesDiversity(acc, spec)) {
-      starts.push_back(group_start);
+      starts.push_back(static_cast<std::uint32_t>(group_start));
       acc = SaHistogram(m);
     }
   }
@@ -199,14 +230,10 @@ HilbertResult HilbertAnonymizeWithSpec(const Table& table, const DiversitySpec& 
       for (std::size_t i = prev; i < tail_start; ++i) acc.Add(table.sa(order[i]));
       tail_start = prev;
     }
-    starts.push_back(tail_start);
+    starts.push_back(static_cast<std::uint32_t>(tail_start));
   }
 
-  for (std::size_t gi = 0; gi < starts.size(); ++gi) {
-    std::size_t end = (gi + 1 < starts.size()) ? starts[gi + 1] : order.size();
-    result.partition.AddGroup(
-        std::vector<RowId>(order.begin() + starts[gi], order.begin() + end));
-  }
+  EmitGroups(order, starts, &result.partition);
   result.feasible = true;
   result.seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start_time).count();
@@ -214,7 +241,7 @@ HilbertResult HilbertAnonymizeWithSpec(const Table& table, const DiversitySpec& 
 }
 
 HilbertResult HilbertAnonymize(const Table& table, std::uint32_t l,
-                               const HilbertOptions& options) {
+                               const HilbertOptions& options, Workspace* workspace) {
   HilbertResult result;
   if (table.empty() || !IsTableEligible(table, l)) {
     result.feasible = table.empty();
@@ -222,25 +249,21 @@ HilbertResult HilbertAnonymize(const Table& table, std::uint32_t l,
   }
   auto start_time = std::chrono::steady_clock::now();
 
-  std::vector<std::uint64_t> codes = ComputeCodes(table);
-  std::vector<RowId> order(table.size());
-  std::iota(order.begin(), order.end(), 0u);
-  std::sort(order.begin(), order.end(), [&](RowId a, RowId b) {
-    return codes[a] != codes[b] ? codes[a] < codes[b] : a < b;
-  });
+  Workspace local;
+  Workspace& ws = workspace != nullptr ? *workspace : local;
+  auto order_s = ws.U32();
+  std::vector<RowId>& order = *order_s;
+  ComputeOrder(table, ws, &order);
 
-  std::vector<std::size_t> starts;
+  auto starts_s = ws.U32();
+  std::vector<std::uint32_t>& starts = *starts_s;
   if (options.splitter == HilbertOptions::Splitter::kGreedy) {
-    starts = GreedySplit(table, order, l);
+    GreedySplit(table, order, l, ws, &starts);
   } else {
-    starts = WindowDpSplit(table, order, l, options.dp_window_factor * l);
+    WindowDpSplit(table, order, l, options.dp_window_factor * l, ws, &starts);
   }
 
-  for (std::size_t gi = 0; gi < starts.size(); ++gi) {
-    std::size_t end = (gi + 1 < starts.size()) ? starts[gi + 1] : order.size();
-    std::vector<RowId> rows(order.begin() + starts[gi], order.begin() + end);
-    result.partition.AddGroup(std::move(rows));
-  }
+  EmitGroups(order, starts, &result.partition);
   result.feasible = true;
   result.seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start_time).count();

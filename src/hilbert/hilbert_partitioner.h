@@ -6,6 +6,7 @@
 #include "anonymity/diversity.h"
 #include "anonymity/partition.h"
 #include "common/table.h"
+#include "common/workspace.h"
 
 namespace ldv {
 
@@ -40,8 +41,11 @@ struct HilbertResult {
 /// curve over the QI space, then cut the 1-D sequence into consecutive
 /// l-eligible QI-groups. Locality of the curve keeps tuples with similar QI
 /// values in the same group, which keeps the Definition-1 star count low.
+/// The code, order and split-offset buffers come from `workspace` when one
+/// is supplied, so repeated solves reuse their scratch memory.
 HilbertResult HilbertAnonymize(const Table& table, std::uint32_t l,
-                               const HilbertOptions& options = {});
+                               const HilbertOptions& options = {},
+                               Workspace* workspace = nullptr);
 
 /// Generic-predicate variant for the alternative l-diversity
 /// instantiations of [31] (entropy, recursive (c,l)): same Hilbert sort and

@@ -1,10 +1,11 @@
 #include "metrics/kl_divergence.h"
 
+#include <algorithm>
 #include <cmath>
-#include <unordered_map>
 #include <vector>
 
 #include "common/check.h"
+#include "common/flat_map.h"
 
 namespace ldv {
 
@@ -42,20 +43,30 @@ class PointPacker {
   std::uint64_t sa_stride_ = 0;
 };
 
-// Counts of distinct data points, each with one representative row.
+// One distinct data point: its packed id, a representative row and its
+// multiplicity.
 struct PointCount {
+  std::uint64_t key = 0;
   RowId representative = 0;
   std::uint32_t count = 0;
 };
 
-std::unordered_map<std::uint64_t, PointCount> DistinctPoints(const Table& table,
-                                                             const PointPacker& packer) {
-  std::unordered_map<std::uint64_t, PointCount> points;
+// The distinct data points of `table` in first-occurrence row order
+// (deterministic, unlike the seed's unordered_map bucket order). The
+// FlatMap only resolves duplicates; the sums below iterate the flat
+// vector.
+std::vector<PointCount> DistinctPoints(const Table& table, const PointPacker& packer) {
+  std::vector<PointCount> points;
   points.reserve(table.size());
+  FlatMap<std::uint32_t> index(table.size());
   for (RowId r = 0; r < table.size(); ++r) {
     std::uint64_t key = packer.Pack(table.qi_row(r), table.sa(r));
-    auto [it, inserted] = points.try_emplace(key, PointCount{r, 0});
-    ++it->second.count;
+    auto [slot, inserted] = index.TryEmplace(key, static_cast<std::uint32_t>(points.size()));
+    if (inserted) {
+      points.push_back(PointCount{key, r, 1});
+    } else {
+      ++points[*slot].count;
+    }
   }
   return points;
 }
@@ -68,21 +79,28 @@ double KlDivergenceSuppression(const Table& table, const GeneralizedTable& gener
   const std::size_t d = table.qi_count();
   LDIV_CHECK_LE(d, 20u);
   const double n = static_cast<double>(table.size());
+  const std::size_t m = schema.sa_domain_size();
 
   // Per star-mask aggregation: for each mask, map (projected unstarred
   // values, SA) -> accumulated count / volume over groups with that mask.
+  // Masks live in a small flat vector (first-occurrence order); each
+  // bucket's mass lives in a FlatMap keyed by the packed projection.
   struct MaskBucket {
+    std::uint32_t mask = 0;
     std::vector<AttrId> unstarred;
     std::vector<std::uint64_t> strides;  // one per unstarred attr, then SA
     std::uint64_t sa_stride = 0;
-    std::unordered_map<std::uint64_t, double> mass;
+    FlatMap<double> mass;
   };
-  std::unordered_map<std::uint32_t, MaskBucket> buckets;
+  std::vector<MaskBucket> buckets;
+  FlatMap<std::uint32_t> bucket_index;
 
   auto bucket_for_mask = [&](std::uint32_t mask) -> MaskBucket& {
-    auto [it, inserted] = buckets.try_emplace(mask);
+    auto [slot, inserted] =
+        bucket_index.TryEmplace(mask, static_cast<std::uint32_t>(buckets.size()));
     if (inserted) {
-      MaskBucket& b = it->second;
+      MaskBucket& b = buckets.emplace_back();
+      b.mask = mask;
       std::uint64_t stride = 1;
       for (AttrId a = 0; a < d; ++a) {
         if ((mask >> a) & 1u) continue;  // starred
@@ -92,9 +110,12 @@ double KlDivergenceSuppression(const Table& table, const GeneralizedTable& gener
       }
       b.sa_stride = stride;
     }
-    return it->second;
+    return buckets[*slot];
   };
 
+  // Dense per-group SA counter, reset through the touched list.
+  std::vector<std::uint32_t> sa_counts(m, 0);
+  std::vector<SaValue> sa_touched;
   for (GroupId g = 0; g < generalized.group_count(); ++g) {
     const std::vector<Value>& sig = generalized.signature(g);
     std::uint32_t mask = 0;
@@ -107,32 +128,42 @@ double KlDivergenceSuppression(const Table& table, const GeneralizedTable& gener
     }
     MaskBucket& bucket = bucket_for_mask(mask);
     // SA counts of the group.
-    std::unordered_map<SaValue, std::uint32_t> sa_counts;
-    for (RowId r : generalized.rows(g)) ++sa_counts[table.sa(r)];
+    sa_touched.clear();
+    for (RowId r : generalized.rows(g)) {
+      SaValue v = table.sa(r);
+      if (sa_counts[v]++ == 0) sa_touched.push_back(v);
+    }
     std::uint64_t base = 0;
     for (std::size_t i = 0; i < bucket.unstarred.size(); ++i) {
       base += bucket.strides[i] * sig[bucket.unstarred[i]];
     }
-    for (const auto& [sa, count] : sa_counts) {
-      bucket.mass[base + bucket.sa_stride * sa] += static_cast<double>(count) / volume;
+    for (SaValue v : sa_touched) {
+      bucket.mass[base + bucket.sa_stride * v] +=
+          static_cast<double>(sa_counts[v]) / volume;
+      sa_counts[v] = 0;
     }
   }
 
   PointPacker packer(schema);
   double kl = 0.0;
-  for (const auto& [key, pc] : DistinctPoints(table, packer)) {
-    (void)key;
+  for (const PointCount& pc : DistinctPoints(table, packer)) {
     auto qi = table.qi_row(pc.representative);
     SaValue sa = table.sa(pc.representative);
     double fstar_n = 0.0;  // n * f*(p)
-    for (auto& [mask, bucket] : buckets) {
-      (void)mask;
-      std::uint64_t probe = static_cast<std::uint64_t>(sa) * bucket.sa_stride;
-      for (std::size_t i = 0; i < bucket.unstarred.size(); ++i) {
-        probe += bucket.strides[i] * qi[bucket.unstarred[i]];
+    for (const MaskBucket& bucket : buckets) {
+      std::uint64_t probe;
+      if (bucket.mask == 0) {
+        // No stars: the bucket's packing coincides with the point packing
+        // (same strides in the same order), so the point id is the probe.
+        probe = pc.key;
+      } else {
+        probe = static_cast<std::uint64_t>(sa) * bucket.sa_stride;
+        for (std::size_t i = 0; i < bucket.unstarred.size(); ++i) {
+          probe += bucket.strides[i] * qi[bucket.unstarred[i]];
+        }
       }
-      auto it = bucket.mass.find(probe);
-      if (it != bucket.mass.end()) fstar_n += it->second;
+      const double* mass = bucket.mass.Find(probe);
+      if (mass != nullptr) fstar_n += *mass;
     }
     LDIV_CHECK_GT(fstar_n, 0.0) << "f* must cover every data point";
     double f = static_cast<double>(pc.count) / n;
@@ -145,33 +176,74 @@ double KlDivergenceMultiDim(const Table& table, const BoxGeneralization& gen) {
   if (table.empty()) return 0.0;
   const double n = static_cast<double>(table.size());
   const std::size_t m = table.schema().sa_domain_size();
+  const std::size_t d = table.qi_count();
 
-  // Per-group SA histograms (sparse) and volumes.
-  std::vector<std::vector<double>> mass(gen.group_count());  // per group: n*f* weight per SA
+  // Per-group SA histograms, flattened to one dense (group, SA) array so
+  // the stabbing loop below does one indexed load per hit.
+  std::vector<double> mass(gen.group_count() * m, 0.0);  // n*f* weight per (group, SA)
   for (std::size_t g = 0; g < gen.group_count(); ++g) {
-    mass[g].assign(m, 0.0);
     double volume = gen.box(g).Volume();
-    for (RowId r : gen.rows(g)) mass[g][table.sa(r)] += 1.0 / volume;
+    for (RowId r : gen.rows(g)) mass[g * m + table.sa(r)] += 1.0 / volume;
   }
 
-  // Inverted index on attribute 0: candidate groups per attribute-0 value.
-  const std::size_t attr0_domain = table.schema().qi(0).domain_size;
-  std::vector<std::vector<std::uint32_t>> candidates(attr0_domain);
+  // Flattened box bounds (lo/hi interleaved per group) so the containment
+  // loop below streams one contiguous array instead of dereferencing two
+  // heap vectors per QiBox.
+  std::vector<Value> bounds(2 * d * gen.group_count());
   for (std::size_t g = 0; g < gen.group_count(); ++g) {
-    for (Value v = gen.box(g).lo[0]; v < gen.box(g).hi[0]; ++v) {
-      candidates[v].push_back(static_cast<std::uint32_t>(g));
+    const QiBox& box = gen.box(g);
+    for (std::size_t a = 0; a < d; ++a) {
+      bounds[(2 * g) * d + a] = box.lo[a];
+      bounds[(2 * g + 1) * d + a] = box.hi[a];
+    }
+  }
+
+  // Tiling generalizations (Mondrian: boxes are global cuts, pairwise
+  // disjoint by construction) let the stabbing loop below stop at each
+  // point's first hit; overlapping box sets (relaxed suppression) sum
+  // every containing box, exactly as before.
+  const bool disjoint = gen.tiling();
+
+  // Inverted index on attribute 0 in CSR form: candidate groups per
+  // attribute-0 value (count pass, then fill pass -- no per-value vectors).
+  const std::size_t attr0_domain = table.schema().qi(0).domain_size;
+  std::vector<std::uint32_t> offsets(attr0_domain + 1, 0);
+  for (std::size_t g = 0; g < gen.group_count(); ++g) {
+    for (Value v = gen.box(g).lo[0]; v < gen.box(g).hi[0]; ++v) ++offsets[v + 1];
+  }
+  for (std::size_t v = 0; v < attr0_domain; ++v) offsets[v + 1] += offsets[v];
+  std::vector<std::uint32_t> candidates(offsets[attr0_domain]);
+  {
+    std::vector<std::uint32_t> cursor(offsets.begin(), offsets.end() - 1);
+    for (std::size_t g = 0; g < gen.group_count(); ++g) {
+      for (Value v = gen.box(g).lo[0]; v < gen.box(g).hi[0]; ++v) {
+        candidates[cursor[v]++] = static_cast<std::uint32_t>(g);
+      }
     }
   }
 
   PointPacker packer(table.schema());
   double kl = 0.0;
-  for (const auto& [key, pc] : DistinctPoints(table, packer)) {
-    (void)key;
+  for (const PointCount& pc : DistinctPoints(table, packer)) {
     auto qi = table.qi_row(pc.representative);
     SaValue sa = table.sa(pc.representative);
     double fstar_n = 0.0;
-    for (std::uint32_t g : candidates[qi[0]]) {
-      if (gen.box(g).Contains(qi)) fstar_n += mass[g][sa];
+    for (std::uint32_t i = offsets[qi[0]]; i < offsets[qi[0] + 1]; ++i) {
+      std::uint32_t g = candidates[i];
+      const Value* lo = bounds.data() + (2 * g) * d;
+      const Value* hi = lo + d;
+      // Attribute 0 is already filtered by the candidate index.
+      bool inside = true;
+      for (std::size_t a = 1; a < d; ++a) {
+        if (qi[a] < lo[a] || qi[a] >= hi[a]) {
+          inside = false;
+          break;
+        }
+      }
+      if (inside) {
+        fstar_n += mass[g * m + sa];
+        if (disjoint) break;  // tiling boxes: exactly one can contain p
+      }
     }
     LDIV_CHECK_GT(fstar_n, 0.0) << "every point lies in its own group's box";
     double f = static_cast<double>(pc.count) / n;
@@ -196,27 +268,38 @@ double KlDivergenceAnatomy(const Table& table, const Partition& buckets) {
     }
   }
 
-  // Rows grouped by exact QI signature (SA excluded): hash of the packed
-  // QI vector -> row list.
-  std::unordered_map<std::uint64_t, std::vector<RowId>> rows_by_qi;
+  // Rows grouped by exact QI signature (SA excluded), in CSR form: a
+  // FlatMap assigns every signature a class id, then a count/fill pass
+  // lays the rows out contiguously (ascending row id within a class,
+  // matching the seed's push_back order).
+  PointPacker packer(table.schema());
+  std::vector<std::uint32_t> class_of(table.size());
+  std::uint32_t class_count = 0;
   {
-    // Reuse the point packer with a fake SA of 0 to pack only QI values.
-    PointPacker packer(table.schema());
-    rows_by_qi.reserve(table.size());
+    FlatMap<std::uint32_t> classes(table.size());
     for (RowId r = 0; r < table.size(); ++r) {
-      rows_by_qi[packer.Pack(table.qi_row(r), 0)].push_back(r);
+      // Pack only QI values (fake SA of 0).
+      auto [slot, inserted] = classes.TryEmplace(packer.Pack(table.qi_row(r), 0), class_count);
+      class_of[r] = *slot;
+      if (inserted) ++class_count;
     }
   }
+  std::vector<std::uint32_t> class_offsets(class_count + 1, 0);
+  for (RowId r = 0; r < table.size(); ++r) ++class_offsets[class_of[r] + 1];
+  for (std::uint32_t c = 0; c < class_count; ++c) class_offsets[c + 1] += class_offsets[c];
+  std::vector<RowId> class_rows(table.size());
+  {
+    std::vector<std::uint32_t> cursor(class_offsets.begin(), class_offsets.end() - 1);
+    for (RowId r = 0; r < table.size(); ++r) class_rows[cursor[class_of[r]]++] = r;
+  }
 
-  PointPacker packer(table.schema());
   double kl = 0.0;
-  for (const auto& [key, pc] : DistinctPoints(table, packer)) {
-    (void)key;
-    auto qi = table.qi_row(pc.representative);
+  for (const PointCount& pc : DistinctPoints(table, packer)) {
     SaValue sa = table.sa(pc.representative);
+    std::uint32_t c = class_of[pc.representative];
     double fstar_n = 0.0;
-    for (RowId t : rows_by_qi.at(packer.Pack(qi, 0))) {
-      fstar_n += frequency[bucket_of[t]][sa];
+    for (std::uint32_t i = class_offsets[c]; i < class_offsets[c + 1]; ++i) {
+      fstar_n += frequency[bucket_of[class_rows[i]]][sa];
     }
     LDIV_CHECK_GT(fstar_n, 0.0);
     double f = static_cast<double>(pc.count) / n;
@@ -230,8 +313,7 @@ double KlDivergenceSingleDim(const Table& table, const SingleDimGeneralization& 
   const double n = static_cast<double>(table.size());
 
   // Per (cell, SA) counts; cells tile the space so each point probes one.
-  std::unordered_map<std::uint64_t, std::uint32_t> cell_sa_counts;
-  cell_sa_counts.reserve(table.size());
+  FlatMap<std::uint32_t> cell_sa_counts(table.size());
   const std::uint64_t m = table.schema().sa_domain_size();
   for (RowId r = 0; r < table.size(); ++r) {
     std::uint64_t cell = gen.PackedCellId(table.qi_row(r));
@@ -241,13 +323,14 @@ double KlDivergenceSingleDim(const Table& table, const SingleDimGeneralization& 
 
   PointPacker packer(table.schema());
   double kl = 0.0;
-  for (const auto& [key, pc] : DistinctPoints(table, packer)) {
-    (void)key;
+  for (const PointCount& pc : DistinctPoints(table, packer)) {
     auto qi = table.qi_row(pc.representative);
     SaValue sa = table.sa(pc.representative);
     std::uint64_t cell = gen.PackedCellId(qi);
     double volume = gen.CellVolume(qi);
-    double cell_count = static_cast<double>(cell_sa_counts.at(cell * m + sa));
+    const std::uint32_t* count = cell_sa_counts.Find(cell * m + sa);
+    LDIV_CHECK(count != nullptr);
+    double cell_count = static_cast<double>(*count);
     double fstar_n = cell_count / volume;
     double f = static_cast<double>(pc.count) / n;
     kl += f * std::log(static_cast<double>(pc.count) / fstar_n);

@@ -3,93 +3,265 @@
 #include <algorithm>
 #include <chrono>
 #include <numeric>
+#include <utility>
 #include <vector>
 
 #include "anonymity/eligibility.h"
 #include "common/check.h"
-#include "common/histogram.h"
+#include "common/workspace.h"
 
 namespace ldv {
 
 namespace {
 
+// In-place Mondrian recursion over a single shared RowId buffer. Each call
+// owns the half-open range [begin, end) of the buffer; an accepted cut
+// stably partitions that range in place (two passes through a shared
+// scratch buffer, preserving relative row order on both sides exactly like
+// the seed's left/right copies), a rejected cut leaves it untouched. The
+// SA column is materialized once and permuted alongside the row ids, so
+// the eligibility pass streams it sequentially.
+//
+// Per node, one pass over the rows builds a small per-attribute value
+// histogram (the QI domains are categorical codes, so the histograms fit
+// comfortably in cache); spread, minimum and median all fall out of a walk
+// over that histogram, replacing the seed's per-split copy-and-sort. When
+// the combined domains outgrow the range the node falls back to min/max
+// scans plus nth_element selection -- both paths produce the identical
+// median, so the partitions cannot depend on the mode. All scratch lives
+// in the Workspace; a whole solve allocates only the published groups.
 class MondrianState {
  public:
   MondrianState(const Table& table, std::uint32_t l, BoxGeneralization* out,
-                ldv::Partition* partition)
-      : table_(table), l_(l), out_(out), partition_(partition) {}
-
-  void Recurse(std::vector<RowId> rows, QiBox box) {
-    // Candidate attributes by descending normalized spread inside `rows`.
-    const std::size_t d = table_.qi_count();
-    std::vector<std::pair<double, AttrId>> spreads;
-    spreads.reserve(d);
-    for (AttrId a = 0; a < d; ++a) {
-      auto [min_it, max_it] = std::minmax_element(
-          rows.begin(), rows.end(),
-          [&](RowId x, RowId y) { return table_.qi(x, a) < table_.qi(y, a); });
-      double spread = static_cast<double>(table_.qi(*max_it, a) - table_.qi(*min_it, a)) /
-                      static_cast<double>(table_.schema().qi(a).domain_size);
-      spreads.push_back({spread, a});
+                ldv::Partition* partition, Workspace& ws)
+      : table_(table),
+        l_(l),
+        n_(table.size()),
+        d_(table.qi_count()),
+        m_(table.schema().sa_domain_size()),
+        out_(out),
+        partition_(partition),
+        rows_s_(ws.U32()),
+        sa_s_(ws.U32()),
+        scratch_s_(ws.U32()),
+        values_s_(ws.U32()),
+        vhist_s_(ws.U32()),
+        left_counts_s_(ws.U32()),
+        right_counts_s_(ws.U32()),
+        touched_s_(ws.U32()),
+        rows_(*rows_s_),
+        sa_(*sa_s_),
+        scratch_(*scratch_s_),
+        values_(*values_s_),
+        vhist_(*vhist_s_),
+        left_counts_(*left_counts_s_),
+        right_counts_(*right_counts_s_),
+        touched_(*touched_s_) {
+    rows_.resize(n_);
+    std::iota(rows_.begin(), rows_.end(), 0u);
+    sa_.resize(n_);
+    for (RowId r = 0; r < n_; ++r) sa_[r] = table.sa(r);
+    left_counts_.assign(m_, 0);
+    right_counts_.assign(m_, 0);
+    spreads_.reserve(d_);
+    mins_.resize(d_);
+    maxs_.resize(d_);
+    medians_.resize(d_);
+    vhist_offset_.resize(d_ + 1);
+    vhist_offset_[0] = 0;
+    for (AttrId a = 0; a < d_; ++a) {
+      vhist_offset_[a + 1] =
+          vhist_offset_[a] + static_cast<std::uint32_t>(table.schema().qi(a).domain_size);
     }
-    std::sort(spreads.begin(), spreads.end(), [](const auto& x, const auto& y) {
+    vhist_.resize(vhist_offset_[d_]);
+    box_.lo.assign(d_, 0);
+    box_.hi.resize(d_);
+    for (AttrId a = 0; a < d_; ++a) {
+      box_.hi[a] = static_cast<Value>(table.schema().qi(a).domain_size);
+    }
+  }
+
+  void Run() { Recurse(0, n_); }
+
+ private:
+  void Recurse(std::size_t begin, std::size_t end) {
+    // Per-attribute min / max / median for the range, via one histogram
+    // pass when the combined domains are no larger than the range, via
+    // min-max scans plus lazy nth_element selection otherwise.
+    const bool use_hist = vhist_offset_[d_] <= end - begin;
+    if (use_hist) {
+      std::fill(vhist_.begin(), vhist_.end(), 0u);
+      for (std::size_t i = begin; i < end; ++i) {
+        auto qi = table_.qi_row(rows_[i]);
+        const std::uint32_t* off = vhist_offset_.data();
+        for (AttrId a = 0; a < d_; ++a) ++vhist_[off[a] + qi[a]];
+      }
+      const std::size_t k = (end - begin) / 2;  // median = (k+1)-th smallest
+      for (AttrId a = 0; a < d_; ++a) {
+        const std::uint32_t* hist = vhist_.data() + vhist_offset_[a];
+        const std::uint32_t domain = vhist_offset_[a + 1] - vhist_offset_[a];
+        std::uint32_t mn = 0, mx = 0, median = 0;
+        std::uint64_t cum = 0;
+        bool first = true, median_found = false;
+        for (std::uint32_t v = 0; v < domain; ++v) {
+          if (hist[v] == 0) continue;
+          if (first) {
+            mn = v;
+            first = false;
+          }
+          mx = v;
+          cum += hist[v];
+          if (!median_found && cum >= k + 1) {
+            median = v;
+            median_found = true;
+          }
+        }
+        mins_[a] = mn;
+        maxs_[a] = mx;
+        medians_[a] = median;
+      }
+    } else {
+      auto qi0 = table_.qi_row(rows_[begin]);
+      for (AttrId a = 0; a < d_; ++a) mins_[a] = maxs_[a] = qi0[a];
+      for (std::size_t i = begin + 1; i < end; ++i) {
+        auto qi = table_.qi_row(rows_[i]);
+        for (AttrId a = 0; a < d_; ++a) {
+          Value v = qi[a];
+          mins_[a] = std::min(mins_[a], v);
+          maxs_[a] = std::max(maxs_[a], v);
+        }
+      }
+    }
+
+    // Candidate attributes by descending normalized spread inside the
+    // range; the per-attribute min doubles as the median cut's lower guard.
+    spreads_.clear();
+    for (AttrId a = 0; a < d_; ++a) {
+      double spread = static_cast<double>(maxs_[a] - mins_[a]) /
+                      static_cast<double>(table_.schema().qi(a).domain_size);
+      spreads_.push_back({spread, a});
+    }
+    std::sort(spreads_.begin(), spreads_.end(), [](const auto& x, const auto& y) {
       return x.first != y.first ? x.first > y.first : x.second < y.second;
     });
 
-    for (const auto& [spread, attr] : spreads) {
+    // spreads_ is shared across recursion levels; that is safe because a
+    // frame returns immediately after recursing, so once a child clobbers
+    // the buffer the parent never reads it again. The index loop (rather
+    // than iterators) keeps that clobbering well-defined.
+    for (std::size_t si = 0; si < spreads_.size(); ++si) {
+      const double spread = spreads_[si].first;
+      const AttrId attr = spreads_[si].second;
       if (spread <= 0.0) break;  // no attribute with two distinct values
-      Value split = MedianSplitValue(rows, attr);
+      Value split = MedianSplitValue(begin, end, attr, use_hist);
       if (split == 0) continue;  // all rows share one value on attr
-      std::vector<RowId> left, right;
-      SaHistogram left_hist(table_.schema().sa_domain_size());
-      SaHistogram right_hist(table_.schema().sa_domain_size());
-      for (RowId r : rows) {
-        if (table_.qi(r, attr) < split) {
-          left.push_back(r);
-          left_hist.Add(table_.sa(r));
+
+      // Counting pass: side sizes and SA histograms, without moving
+      // anything, so a rejected cut leaves the range untouched.
+      for (SaValue v : touched_) left_counts_[v] = right_counts_[v] = 0;
+      touched_.clear();
+      std::uint64_t left_total = 0, right_total = 0;
+      std::uint32_t left_max = 0, right_max = 0;
+      for (std::size_t i = begin; i < end; ++i) {
+        SaValue v = sa_[i];
+        if (left_counts_[v] == 0 && right_counts_[v] == 0) touched_.push_back(v);
+        if (table_.qi(rows_[i], attr) < split) {
+          left_max = std::max(left_max, ++left_counts_[v]);
+          ++left_total;
         } else {
-          right.push_back(r);
-          right_hist.Add(table_.sa(r));
+          right_max = std::max(right_max, ++right_counts_[v]);
+          ++right_total;
         }
       }
-      if (left.empty() || right.empty()) continue;
-      if (!left_hist.IsEligible(l_) || !right_hist.IsEligible(l_)) continue;
-      QiBox left_box = box, right_box = box;
-      left_box.hi[attr] = split;
-      right_box.lo[attr] = split;
-      Recurse(std::move(left), std::move(left_box));
-      Recurse(std::move(right), std::move(right_box));
+      if (left_total == 0 || right_total == 0) continue;
+      if (left_total < static_cast<std::uint64_t>(l_) * left_max ||
+          right_total < static_cast<std::uint64_t>(l_) * right_max) {
+        continue;  // a side would not be l-eligible
+      }
+
+      // Commit: stable two-way partition of rows_ and sa_ in place. The
+      // right side detours through the scratch buffer so both sides keep
+      // their relative order (identical to the seed's push_back copies).
+      scratch_.clear();
+      std::size_t write = begin;
+      for (std::size_t i = begin; i < end; ++i) {
+        RowId r = rows_[i];
+        if (table_.qi(r, attr) < split) {
+          rows_[write++] = r;
+        } else {
+          scratch_.push_back(r);
+        }
+      }
+      std::copy(scratch_.begin(), scratch_.end(), rows_.begin() + write);
+      const std::size_t mid = write;
+      for (std::size_t i = begin; i < end; ++i) sa_[i] = table_.sa(rows_[i]);
+
+      // Recurse with the shared box mutated and restored around each side.
+      Value old_hi = box_.hi[attr];
+      box_.hi[attr] = split;
+      Recurse(begin, mid);
+      box_.hi[attr] = old_hi;
+      Value old_lo = box_.lo[attr];
+      box_.lo[attr] = split;
+      Recurse(mid, end);
+      box_.lo[attr] = old_lo;
       return;
     }
     // No allowable cut: emit the group.
-    partition_->AddGroup(rows);
-    out_->AddGroup(std::move(box), std::move(rows));
+    std::vector<RowId> group(rows_.begin() + begin, rows_.begin() + end);
+    partition_->AddGroup(group);
+    out_->AddGroup(box_, std::move(group));
   }
 
- private:
-  /// The median cut point for `attr` within `rows`: the smallest value v
-  /// such that at least half the rows are strictly below v, or 0 when the
-  /// rows share a single value (no cut).
-  Value MedianSplitValue(const std::vector<RowId>& rows, AttrId attr) const {
-    std::vector<Value> values;
-    values.reserve(rows.size());
-    for (RowId r : rows) values.push_back(table_.qi(r, attr));
-    std::sort(values.begin(), values.end());
-    if (values.front() == values.back()) return 0;
-    Value median = values[values.size() / 2];
+  /// The median cut point for `attr` within [begin, end): the smallest
+  /// value v such that at least half the rows are strictly below v, or 0
+  /// when the rows share a single value (no cut). The histogram pass
+  /// already computed the median; the fallback selects it with
+  /// nth_element -- the (k+1)-th smallest value either way, exactly the
+  /// seed's values[size/2] after a full sort.
+  Value MedianSplitValue(std::size_t begin, std::size_t end, AttrId attr, bool use_hist) {
+    if (mins_[attr] == maxs_[attr]) return 0;
+    Value median;
+    if (use_hist) {
+      median = medians_[attr];
+    } else {
+      values_.clear();
+      for (std::size_t i = begin; i < end; ++i) values_.push_back(table_.qi(rows_[i], attr));
+      const std::size_t k = values_.size() / 2;
+      std::nth_element(values_.begin(), values_.begin() + k, values_.end());
+      median = values_[k];
+    }
     // Cut strictly above the minimum so both sides are nonempty.
-    return median > values.front() ? median : median + 1;
+    return median > mins_[attr] ? median : median + 1;
   }
 
   const Table& table_;
-  std::uint32_t l_;
+  const std::uint32_t l_;
+  const std::size_t n_;
+  const std::size_t d_;
+  const std::size_t m_;
   BoxGeneralization* out_;
   ldv::Partition* partition_;
+
+  ScratchVec<std::uint32_t> rows_s_, sa_s_, scratch_s_, values_s_, vhist_s_;
+  ScratchVec<std::uint32_t> left_counts_s_, right_counts_s_, touched_s_;
+  std::vector<RowId>& rows_;             // the single shared row index buffer
+  std::vector<SaValue>& sa_;             // SA column, permuted alongside rows_
+  std::vector<std::uint32_t>& scratch_;  // right-side staging for stable partition
+  std::vector<Value>& values_;           // nth_element fallback scratch
+  std::vector<std::uint32_t>& vhist_;    // concatenated per-attr value histograms
+  std::vector<std::uint32_t>& left_counts_;   // dense SA histograms,
+  std::vector<std::uint32_t>& right_counts_;  // reset via touched_
+  std::vector<SaValue>& touched_;
+  std::vector<std::uint32_t> vhist_offset_;
+  std::vector<std::pair<double, AttrId>> spreads_;
+  std::vector<Value> mins_, maxs_, medians_;
+  QiBox box_;  // current box, mutated and restored around recursion
 };
 
 }  // namespace
 
-MondrianResult MondrianAnonymize(const Table& table, std::uint32_t l) {
+MondrianResult MondrianAnonymize(const Table& table, std::uint32_t l, Workspace* workspace) {
   MondrianResult result;
   if (table.empty()) {
     result.feasible = true;
@@ -98,16 +270,13 @@ MondrianResult MondrianAnonymize(const Table& table, std::uint32_t l) {
   if (!IsTableEligible(table, l)) return result;
   auto start = std::chrono::steady_clock::now();
 
-  std::vector<RowId> all(table.size());
-  std::iota(all.begin(), all.end(), 0u);
-  QiBox root;
-  root.lo.assign(table.qi_count(), 0);
-  root.hi.resize(table.qi_count());
-  for (AttrId a = 0; a < table.qi_count(); ++a) {
-    root.hi[a] = static_cast<Value>(table.schema().qi(a).domain_size);
-  }
-  MondrianState state(table, l, &result.generalization, &result.partition);
-  state.Recurse(std::move(all), std::move(root));
+  Workspace local;
+  MondrianState state(table, l, &result.generalization, &result.partition,
+                      workspace != nullptr ? *workspace : local);
+  state.Run();
+  // Splits are global cuts of the parent box, so the boxes tile the QI
+  // space (see MondrianResult::generalization).
+  result.generalization.MarkTiling();
 
   result.feasible = true;
   result.seconds =

@@ -6,6 +6,7 @@
 #include "anonymity/multidim.h"
 #include "anonymity/partition.h"
 #include "common/table.h"
+#include "common/workspace.h"
 
 namespace ldv {
 
@@ -28,7 +29,13 @@ struct MondrianResult {
 /// Section 2 / 6.2 representative of the multi-dimensional category:
 /// recursively bisect the QI space at the median of the attribute with the
 /// widest normalized spread, as long as both halves remain l-eligible.
-MondrianResult MondrianAnonymize(const Table& table, std::uint32_t l);
+///
+/// The recursion runs in place over one shared RowId buffer (medians by
+/// selection, partitions by stable in-range swaps); when a Workspace is
+/// supplied all scratch memory is drawn from (and returned to) its pools,
+/// so repeated solves allocate only the published groups.
+MondrianResult MondrianAnonymize(const Table& table, std::uint32_t l,
+                                 Workspace* workspace = nullptr);
 
 }  // namespace ldv
 

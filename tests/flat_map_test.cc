@@ -1,0 +1,157 @@
+// Unit tests for the open-addressing FlatMap / FlatSet and the Workspace
+// buffer pools backing the allocation-lean hot paths.
+
+#include "common/flat_map.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/workspace.h"
+
+namespace ldv {
+namespace {
+
+TEST(FlatMap, EmptyMapFindsNothing) {
+  FlatMap<std::uint32_t> map;
+  EXPECT_EQ(map.size(), 0u);
+  EXPECT_TRUE(map.empty());
+  EXPECT_EQ(map.Find(0), nullptr);
+  EXPECT_EQ(map.Find(42), nullptr);
+}
+
+TEST(FlatMap, InsertFindAndUpdate) {
+  FlatMap<std::uint32_t> map;
+  auto [v1, inserted1] = map.TryEmplace(7, 100);
+  EXPECT_TRUE(inserted1);
+  EXPECT_EQ(*v1, 100u);
+  auto [v2, inserted2] = map.TryEmplace(7, 200);
+  EXPECT_FALSE(inserted2);
+  EXPECT_EQ(*v2, 100u);  // first value wins
+  *v2 = 300;
+  EXPECT_EQ(*map.Find(7), 300u);
+  EXPECT_EQ(map.size(), 1u);
+}
+
+TEST(FlatMap, ExtremeKeysAreOrdinary) {
+  // 0 and ~0 are valid keys (occupancy is tracked separately, not via a
+  // sentinel key).
+  FlatMap<double> map;
+  map[0] = 1.5;
+  map[~std::uint64_t{0}] = 2.5;
+  EXPECT_EQ(map.size(), 2u);
+  EXPECT_DOUBLE_EQ(*map.Find(0), 1.5);
+  EXPECT_DOUBLE_EQ(*map.Find(~std::uint64_t{0}), 2.5);
+}
+
+TEST(FlatMap, OperatorBracketAccumulates) {
+  FlatMap<double> map;
+  for (int i = 0; i < 10; ++i) map[3] += 0.5;
+  EXPECT_DOUBLE_EQ(*map.Find(3), 5.0);
+}
+
+TEST(FlatMap, MatchesUnorderedMapUnderRandomChurn) {
+  Rng rng(99);
+  FlatMap<std::uint32_t> map;
+  std::unordered_map<std::uint64_t, std::uint32_t> reference;
+  for (int i = 0; i < 20000; ++i) {
+    // Structured keys (multiples of a large stride) exercise the mixer.
+    std::uint64_t key = static_cast<std::uint64_t>(rng.Below(4096)) * 0x10000001ULL;
+    std::uint32_t value = rng.Below(1000);
+    auto [slot, inserted] = map.TryEmplace(key, value);
+    auto [it, ref_inserted] = reference.try_emplace(key, value);
+    EXPECT_EQ(inserted, ref_inserted);
+    EXPECT_EQ(*slot, it->second);
+  }
+  EXPECT_EQ(map.size(), reference.size());
+  for (const auto& [key, value] : reference) {
+    ASSERT_NE(map.Find(key), nullptr);
+    EXPECT_EQ(*map.Find(key), value);
+  }
+  // ForEach visits every entry exactly once.
+  std::size_t visited = 0;
+  map.ForEach([&](std::uint64_t key, std::uint32_t value) {
+    ++visited;
+    EXPECT_EQ(reference.at(key), value);
+  });
+  EXPECT_EQ(visited, reference.size());
+}
+
+TEST(FlatMap, ClearKeepsCapacityAndWorks) {
+  FlatMap<std::uint32_t> map;
+  for (std::uint64_t k = 0; k < 1000; ++k) map[k] = static_cast<std::uint32_t>(k);
+  std::size_t capacity = map.capacity();
+  map.Clear();
+  EXPECT_EQ(map.size(), 0u);
+  EXPECT_EQ(map.capacity(), capacity);
+  EXPECT_EQ(map.Find(5), nullptr);
+  for (std::uint64_t k = 0; k < 1000; ++k) map[k] = 1;
+  EXPECT_EQ(map.size(), 1000u);
+  EXPECT_EQ(map.capacity(), capacity);  // no regrowth needed
+}
+
+TEST(FlatMap, ReservePreventsRehash) {
+  FlatMap<std::uint32_t> map(10000);
+  std::size_t capacity = map.capacity();
+  for (std::uint64_t k = 0; k < 10000; ++k) map[k] = 0;
+  EXPECT_EQ(map.capacity(), capacity);
+}
+
+TEST(FlatSet, InsertAndContains) {
+  FlatSet set;
+  EXPECT_FALSE(set.Contains(11));
+  EXPECT_TRUE(set.Insert(11));
+  EXPECT_FALSE(set.Insert(11));
+  EXPECT_TRUE(set.Contains(11));
+  EXPECT_FALSE(set.Contains(12));
+  EXPECT_EQ(set.size(), 1u);
+}
+
+TEST(Workspace, BuffersAreRecycledWithCapacity) {
+  Workspace ws;
+  std::uint32_t* data = nullptr;
+  {
+    auto buffer = ws.U32();
+    buffer->resize(4096);
+    data = buffer->data();
+  }  // released back to the pool
+  EXPECT_EQ(ws.u32_pool().idle(), 1u);
+  {
+    auto buffer = ws.U32();
+    EXPECT_TRUE(buffer->empty());            // handed out cleared...
+    EXPECT_GE(buffer->capacity(), 4096u);    // ...but with its capacity
+    EXPECT_EQ(buffer->data(), data);         // and the same storage
+    EXPECT_EQ(ws.u32_pool().idle(), 0u);
+  }
+  EXPECT_EQ(ws.u32_pool().idle(), 1u);
+}
+
+TEST(Workspace, NestedAcquisitionsGetDistinctBuffers) {
+  Workspace ws;
+  auto a = ws.U32();
+  auto b = ws.U32();
+  a->push_back(1);
+  b->push_back(2);
+  EXPECT_NE(a->data(), b->data());
+  auto c = ws.U64();
+  c->push_back(3);
+  EXPECT_EQ((*a)[0], 1u);
+  EXPECT_EQ((*b)[0], 2u);
+}
+
+TEST(Workspace, MoveTransfersOwnership) {
+  Workspace ws;
+  {
+    ScratchVec<std::uint32_t> a = ws.U32();
+    a->resize(16);
+    ScratchVec<std::uint32_t> b = std::move(a);
+    EXPECT_EQ(b->size(), 16u);
+  }  // exactly one release
+  EXPECT_EQ(ws.u32_pool().idle(), 1u);
+}
+
+}  // namespace
+}  // namespace ldv

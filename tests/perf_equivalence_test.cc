@@ -1,0 +1,407 @@
+// Equivalence regression tests for the allocation-lean hot-path rewrites:
+// the in-place Mondrian, the flat-map KL estimators and the
+// workspace-threaded solvers must reproduce the seed implementations'
+// outputs. The reference implementations below are verbatim copies of the
+// pre-rewrite (seed) algorithms, kept simple and allocation-heavy on
+// purpose -- they are the spec.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+#include <vector>
+
+#include "anonymity/eligibility.h"
+#include "anonymity/generalization.h"
+#include "anonymity/multidim.h"
+#include "anonymity/partition.h"
+#include "common/histogram.h"
+#include "common/workspace.h"
+#include "core/anonymizer.h"
+#include "data/acs_generator.h"
+#include "data/acs_schema.h"
+#include "metrics/kl_divergence.h"
+#include "mondrian/mondrian.h"
+#include "test_util.h"
+
+namespace ldv {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Reference Mondrian: the seed's copy-and-sort recursion.
+// ---------------------------------------------------------------------------
+
+class ReferenceMondrianState {
+ public:
+  ReferenceMondrianState(const Table& table, std::uint32_t l, BoxGeneralization* out,
+                         ldv::Partition* partition)
+      : table_(table), l_(l), out_(out), partition_(partition) {}
+
+  void Recurse(std::vector<RowId> rows, QiBox box) {
+    const std::size_t d = table_.qi_count();
+    std::vector<std::pair<double, AttrId>> spreads;
+    spreads.reserve(d);
+    for (AttrId a = 0; a < d; ++a) {
+      auto [min_it, max_it] = std::minmax_element(
+          rows.begin(), rows.end(),
+          [&](RowId x, RowId y) { return table_.qi(x, a) < table_.qi(y, a); });
+      double spread =
+          static_cast<double>(table_.qi(*max_it, a) - table_.qi(*min_it, a)) /
+          static_cast<double>(table_.schema().qi(a).domain_size);
+      spreads.push_back({spread, a});
+    }
+    std::sort(spreads.begin(), spreads.end(), [](const auto& x, const auto& y) {
+      return x.first != y.first ? x.first > y.first : x.second < y.second;
+    });
+
+    for (const auto& [spread, attr] : spreads) {
+      if (spread <= 0.0) break;
+      Value split = MedianSplitValue(rows, attr);
+      if (split == 0) continue;
+      std::vector<RowId> left, right;
+      SaHistogram left_hist(table_.schema().sa_domain_size());
+      SaHistogram right_hist(table_.schema().sa_domain_size());
+      for (RowId r : rows) {
+        if (table_.qi(r, attr) < split) {
+          left.push_back(r);
+          left_hist.Add(table_.sa(r));
+        } else {
+          right.push_back(r);
+          right_hist.Add(table_.sa(r));
+        }
+      }
+      if (left.empty() || right.empty()) continue;
+      if (!left_hist.IsEligible(l_) || !right_hist.IsEligible(l_)) continue;
+      QiBox left_box = box, right_box = box;
+      left_box.hi[attr] = split;
+      right_box.lo[attr] = split;
+      Recurse(std::move(left), std::move(left_box));
+      Recurse(std::move(right), std::move(right_box));
+      return;
+    }
+    partition_->AddGroup(rows);
+    out_->AddGroup(std::move(box), std::move(rows));
+  }
+
+ private:
+  Value MedianSplitValue(const std::vector<RowId>& rows, AttrId attr) const {
+    std::vector<Value> values;
+    values.reserve(rows.size());
+    for (RowId r : rows) values.push_back(table_.qi(r, attr));
+    std::sort(values.begin(), values.end());
+    if (values.front() == values.back()) return 0;
+    Value median = values[values.size() / 2];
+    return median > values.front() ? median : median + 1;
+  }
+
+  const Table& table_;
+  std::uint32_t l_;
+  BoxGeneralization* out_;
+  ldv::Partition* partition_;
+};
+
+MondrianResult ReferenceMondrian(const Table& table, std::uint32_t l) {
+  MondrianResult result;
+  if (table.empty()) {
+    result.feasible = true;
+    return result;
+  }
+  if (!IsTableEligible(table, l)) return result;
+  std::vector<RowId> all(table.size());
+  for (RowId r = 0; r < table.size(); ++r) all[r] = r;
+  QiBox root;
+  root.lo.assign(table.qi_count(), 0);
+  root.hi.resize(table.qi_count());
+  for (AttrId a = 0; a < table.qi_count(); ++a) {
+    root.hi[a] = static_cast<Value>(table.schema().qi(a).domain_size);
+  }
+  ReferenceMondrianState state(table, l, &result.generalization, &result.partition);
+  state.Recurse(std::move(all), std::move(root));
+  result.feasible = true;
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Reference KL estimators: the seed's unordered_map accumulation.
+// ---------------------------------------------------------------------------
+
+class ReferencePointPacker {
+ public:
+  explicit ReferencePointPacker(const Schema& schema) {
+    std::uint64_t stride = 1;
+    for (std::size_t a = 0; a < schema.qi_count(); ++a) {
+      strides_.push_back(stride);
+      stride *= schema.qi(static_cast<AttrId>(a)).domain_size;
+    }
+    sa_stride_ = stride;
+  }
+
+  std::uint64_t Pack(std::span<const Value> qi, SaValue sa) const {
+    std::uint64_t key = static_cast<std::uint64_t>(sa) * sa_stride_;
+    for (std::size_t a = 0; a < qi.size(); ++a) key += strides_[a] * qi[a];
+    return key;
+  }
+
+ private:
+  std::vector<std::uint64_t> strides_;
+  std::uint64_t sa_stride_ = 0;
+};
+
+struct ReferencePointCount {
+  RowId representative = 0;
+  std::uint32_t count = 0;
+};
+
+std::unordered_map<std::uint64_t, ReferencePointCount> ReferenceDistinctPoints(
+    const Table& table, const ReferencePointPacker& packer) {
+  std::unordered_map<std::uint64_t, ReferencePointCount> points;
+  points.reserve(table.size());
+  for (RowId r = 0; r < table.size(); ++r) {
+    std::uint64_t key = packer.Pack(table.qi_row(r), table.sa(r));
+    auto [it, inserted] = points.try_emplace(key, ReferencePointCount{r, 0});
+    ++it->second.count;
+  }
+  return points;
+}
+
+double ReferenceKlSuppression(const Table& table, const GeneralizedTable& generalized) {
+  if (table.empty()) return 0.0;
+  const Schema& schema = table.schema();
+  const std::size_t d = table.qi_count();
+  const double n = static_cast<double>(table.size());
+
+  struct MaskBucket {
+    std::vector<AttrId> unstarred;
+    std::vector<std::uint64_t> strides;
+    std::uint64_t sa_stride = 0;
+    std::unordered_map<std::uint64_t, double> mass;
+  };
+  std::unordered_map<std::uint32_t, MaskBucket> buckets;
+
+  auto bucket_for_mask = [&](std::uint32_t mask) -> MaskBucket& {
+    auto [it, inserted] = buckets.try_emplace(mask);
+    if (inserted) {
+      MaskBucket& b = it->second;
+      std::uint64_t stride = 1;
+      for (AttrId a = 0; a < d; ++a) {
+        if ((mask >> a) & 1u) continue;
+        b.unstarred.push_back(a);
+        b.strides.push_back(stride);
+        stride *= schema.qi(a).domain_size;
+      }
+      b.sa_stride = stride;
+    }
+    return it->second;
+  };
+
+  for (GroupId g = 0; g < generalized.group_count(); ++g) {
+    const std::vector<Value>& sig = generalized.signature(g);
+    std::uint32_t mask = 0;
+    double volume = 1.0;
+    for (AttrId a = 0; a < d; ++a) {
+      if (IsStar(sig[a])) {
+        mask |= 1u << a;
+        volume *= static_cast<double>(schema.qi(a).domain_size);
+      }
+    }
+    MaskBucket& bucket = bucket_for_mask(mask);
+    std::unordered_map<SaValue, std::uint32_t> sa_counts;
+    for (RowId r : generalized.rows(g)) ++sa_counts[table.sa(r)];
+    std::uint64_t base = 0;
+    for (std::size_t i = 0; i < bucket.unstarred.size(); ++i) {
+      base += bucket.strides[i] * sig[bucket.unstarred[i]];
+    }
+    for (const auto& [sa, count] : sa_counts) {
+      bucket.mass[base + bucket.sa_stride * sa] += static_cast<double>(count) / volume;
+    }
+  }
+
+  ReferencePointPacker packer(schema);
+  double kl = 0.0;
+  for (const auto& [key, pc] : ReferenceDistinctPoints(table, packer)) {
+    (void)key;
+    auto qi = table.qi_row(pc.representative);
+    SaValue sa = table.sa(pc.representative);
+    double fstar_n = 0.0;
+    for (auto& [mask, bucket] : buckets) {
+      (void)mask;
+      std::uint64_t probe = static_cast<std::uint64_t>(sa) * bucket.sa_stride;
+      for (std::size_t i = 0; i < bucket.unstarred.size(); ++i) {
+        probe += bucket.strides[i] * qi[bucket.unstarred[i]];
+      }
+      auto it = bucket.mass.find(probe);
+      if (it != bucket.mass.end()) fstar_n += it->second;
+    }
+    double f = static_cast<double>(pc.count) / n;
+    kl += f * std::log(static_cast<double>(pc.count) / fstar_n);
+  }
+  return kl;
+}
+
+double ReferenceKlMultiDim(const Table& table, const BoxGeneralization& gen) {
+  if (table.empty()) return 0.0;
+  const double n = static_cast<double>(table.size());
+  const std::size_t m = table.schema().sa_domain_size();
+
+  std::vector<std::vector<double>> mass(gen.group_count());
+  for (std::size_t g = 0; g < gen.group_count(); ++g) {
+    mass[g].assign(m, 0.0);
+    double volume = gen.box(g).Volume();
+    for (RowId r : gen.rows(g)) mass[g][table.sa(r)] += 1.0 / volume;
+  }
+
+  const std::size_t attr0_domain = table.schema().qi(0).domain_size;
+  std::vector<std::vector<std::uint32_t>> candidates(attr0_domain);
+  for (std::size_t g = 0; g < gen.group_count(); ++g) {
+    for (Value v = gen.box(g).lo[0]; v < gen.box(g).hi[0]; ++v) {
+      candidates[v].push_back(static_cast<std::uint32_t>(g));
+    }
+  }
+
+  ReferencePointPacker packer(table.schema());
+  double kl = 0.0;
+  for (const auto& [key, pc] : ReferenceDistinctPoints(table, packer)) {
+    (void)key;
+    auto qi = table.qi_row(pc.representative);
+    SaValue sa = table.sa(pc.representative);
+    double fstar_n = 0.0;
+    for (std::uint32_t g : candidates[qi[0]]) {
+      if (gen.box(g).Contains(qi)) fstar_n += mass[g][sa];
+    }
+    double f = static_cast<double>(pc.count) / n;
+    kl += f * std::log(static_cast<double>(pc.count) / fstar_n);
+  }
+  return kl;
+}
+
+// ---------------------------------------------------------------------------
+// Equivalence tests
+// ---------------------------------------------------------------------------
+
+void ExpectSamePartition(const Partition& a, const Partition& b) {
+  ASSERT_EQ(a.group_count(), b.group_count());
+  for (GroupId g = 0; g < a.group_count(); ++g) {
+    EXPECT_EQ(a.group(g), b.group(g)) << "group " << g;
+  }
+}
+
+void ExpectSameBoxes(const BoxGeneralization& a, const BoxGeneralization& b) {
+  ASSERT_EQ(a.group_count(), b.group_count());
+  for (std::size_t g = 0; g < a.group_count(); ++g) {
+    EXPECT_EQ(a.box(g).lo, b.box(g).lo) << "box " << g;
+    EXPECT_EQ(a.box(g).hi, b.box(g).hi) << "box " << g;
+    EXPECT_EQ(a.rows(g), b.rows(g)) << "box rows " << g;
+  }
+}
+
+TEST(MondrianEquivalence, MatchesSeedOnRandomTables) {
+  Rng rng(2026);
+  struct Shape {
+    std::size_t n;
+    std::vector<std::size_t> qi_domains;
+    std::size_t m;
+    std::uint32_t l;
+  };
+  const Shape shapes[] = {
+      {400, {16, 8, 4}, 6, 3},
+      {800, {32, 2, 9}, 8, 2},
+      {1500, {79, 2, 9, 17}, 10, 6},
+      {300, {6, 6}, 5, 2},
+      {64, {4}, 2, 2},
+  };
+  for (const Shape& shape : shapes) {
+    Table table = testutil::RandomEligibleTable(rng, shape.n, shape.qi_domains, shape.m, shape.l);
+    MondrianResult expected = ReferenceMondrian(table, shape.l);
+    Workspace ws;
+    MondrianResult actual = MondrianAnonymize(table, shape.l, &ws);
+    ASSERT_EQ(expected.feasible, actual.feasible);
+    if (!expected.feasible) continue;
+    ExpectSamePartition(expected.partition, actual.partition);
+    ExpectSameBoxes(expected.generalization, actual.generalization);
+  }
+}
+
+TEST(MondrianEquivalence, MatchesSeedOnAcsWorkload) {
+  Table sal = GenerateSal(3000, 1);
+  Table t = sal.ProjectQi({kAge, kGender, kRace, kEducation});
+  MondrianResult expected = ReferenceMondrian(t, 6);
+  MondrianResult actual = MondrianAnonymize(t, 6);
+  ASSERT_TRUE(expected.feasible);
+  ASSERT_TRUE(actual.feasible);
+  ExpectSamePartition(expected.partition, actual.partition);
+  ExpectSameBoxes(expected.generalization, actual.generalization);
+}
+
+TEST(KlEquivalence, SuppressionMatchesSeedAcrossAlgorithms) {
+  Rng rng(4051);
+  for (int trial = 0; trial < 4; ++trial) {
+    Table table = testutil::RandomEligibleTable(rng, 300, {8, 6, 4}, 5, 3);
+    for (Algorithm algo : {Algorithm::kTp, Algorithm::kTpPlus, Algorithm::kHilbert}) {
+      AnonymizationOutcome outcome = Anonymize(table, 3, algo);
+      ASSERT_TRUE(outcome.feasible);
+      GeneralizedTable gen(table, outcome.partition);
+      double expected = ReferenceKlSuppression(table, gen);
+      double actual = KlDivergenceSuppression(table, gen);
+      // The flat rewrite sums in first-occurrence order instead of hash-
+      // bucket order, so agreement is to rounding, not bit-for-bit.
+      EXPECT_NEAR(actual, expected, 1e-9) << "trial " << trial;
+    }
+  }
+}
+
+TEST(KlEquivalence, MultiDimMatchesSeedOnMondrianBoxes) {
+  Rng rng(4053);
+  for (int trial = 0; trial < 4; ++trial) {
+    Table table = testutil::RandomEligibleTable(rng, 500, {16, 9, 5}, 6, 2);
+    MondrianResult mondrian = MondrianAnonymize(table, 2);
+    ASSERT_TRUE(mondrian.feasible);
+    double expected = ReferenceKlMultiDim(table, mondrian.generalization);
+    double actual = KlDivergenceMultiDim(table, mondrian.generalization);
+    EXPECT_NEAR(actual, expected, 1e-9) << "trial " << trial;
+  }
+}
+
+TEST(WorkspaceEquivalence, ReusedWorkspaceGivesIdenticalOutcomes) {
+  // Run every algorithm three ways -- fresh workspace, first reuse, second
+  // reuse -- and require bit-identical outcomes: a workspace must never
+  // leak state between solves.
+  Rng rng(4055);
+  Table table = testutil::RandomEligibleTable(rng, 400, {8, 8, 3}, 6, 3);
+  Workspace ws;
+  for (Algorithm algo : kAllAlgorithms) {
+    AnonymizationOutcome fresh = Anonymize(table, 3, algo, AnonymizerOptions{});
+    AnonymizationOutcome reused1 = Anonymize(table, 3, algo, AnonymizerOptions{}, &ws);
+    AnonymizationOutcome reused2 = Anonymize(table, 3, algo, AnonymizerOptions{}, &ws);
+    ASSERT_TRUE(fresh.feasible) << AlgorithmName(algo);
+    for (const AnonymizationOutcome* outcome : {&reused1, &reused2}) {
+      ASSERT_TRUE(outcome->feasible) << AlgorithmName(algo);
+      EXPECT_EQ(fresh.stars, outcome->stars) << AlgorithmName(algo);
+      EXPECT_EQ(fresh.suppressed_tuples, outcome->suppressed_tuples) << AlgorithmName(algo);
+      EXPECT_EQ(fresh.kl_divergence, outcome->kl_divergence) << AlgorithmName(algo);
+      ExpectSamePartition(fresh.partition, outcome->partition);
+    }
+  }
+}
+
+TEST(WorkspaceEquivalence, MixedAlgorithmsShareOneWorkspace) {
+  // Interleave algorithms on one workspace (the AnonymizeBatch worker
+  // regime) and compare against fresh runs.
+  Table sal = GenerateSal(2000, 7);
+  Table t = sal.ProjectQi({kAge, kRace, kEducation});
+  Workspace ws;
+  for (int round = 0; round < 2; ++round) {
+    for (Algorithm algo : kAllAlgorithms) {
+      AnonymizationOutcome fresh = Anonymize(t, 4, algo, AnonymizerOptions{});
+      AnonymizationOutcome shared = Anonymize(t, 4, algo, AnonymizerOptions{}, &ws);
+      ASSERT_EQ(fresh.feasible, shared.feasible) << AlgorithmName(algo);
+      if (!fresh.feasible) continue;
+      EXPECT_EQ(fresh.stars, shared.stars) << AlgorithmName(algo);
+      EXPECT_EQ(fresh.kl_divergence, shared.kl_divergence) << AlgorithmName(algo);
+      ExpectSamePartition(fresh.partition, shared.partition);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ldv
