@@ -1,0 +1,166 @@
+#include "cli/cli_options.h"
+
+#include <array>
+
+#include "common/flags.h"
+#include "common/schema_spec.h"
+
+namespace ldv {
+
+namespace {
+
+constexpr std::array<std::string_view, 16> kKnownFlags = {
+    "algo",
+    "l",
+    "input",
+    "schema",
+    "dataset",
+    "n",
+    "d",
+    "seed",
+    "out",
+    "sweep",
+    "config",
+    "write-releases",
+    "kl",
+    "no-timings",
+    "threads",
+    "emit-input",
+};
+
+}  // namespace
+
+bool ParseCliOptions(int argc, const char* const* argv, CliOptions* options, std::string* error) {
+  FlagSet flags;
+  if (!flags.ParseArgs(argc, argv, error)) return false;
+  if (flags.Has("help")) {
+    options->help = true;
+    return true;
+  }
+
+  std::string config;
+  if (!flags.GetString("config", "", &config, error)) return false;
+  if (!config.empty() && !flags.ParseConfigFile(config, error)) return false;
+
+  std::vector<std::string> unknown = flags.UnknownKeys(kKnownFlags);
+  if (!unknown.empty()) {
+    *error = "unknown flag --" + unknown.front() + " (see --help)";
+    return false;
+  }
+
+  std::string algo_list;
+  if (!flags.GetString("algo", "tp+", &algo_list, error)) return false;
+  if (!ParseAlgorithmList(algo_list, &options->algorithms, error)) return false;
+
+  constexpr std::array<std::uint32_t, 1> kDefaultL = {2};
+  if (!flags.GetUint32List("l", kDefaultL, &options->ls, error)) return false;
+  for (std::uint32_t l : options->ls) {
+    if (l == 0) {
+      *error = "--l: the privacy parameter must be at least 1";
+      return false;
+    }
+  }
+
+  if (!flags.GetString("input", "", &options->input, error)) return false;
+  std::string schema_spec;
+  if (!flags.GetString("schema", "", &schema_spec, error)) return false;
+  if (!options->input.empty()) {
+    if (schema_spec.empty()) {
+      *error = "--input requires --schema (e.g. --schema=Age:79,Gender:2|Income:50)";
+      return false;
+    }
+    std::optional<Schema> schema = ParseSchemaSpec(schema_spec, error);
+    if (!schema) return false;
+    options->schema = std::move(*schema);
+  } else if (!schema_spec.empty()) {
+    *error = "--schema only applies to --input CSV data (synthetic datasets carry their own)";
+    return false;
+  }
+
+  if (!flags.GetString("dataset", "sal", &options->dataset.name, error)) return false;
+  std::uint64_t seed = 0;
+  if (!flags.GetUint64("seed", 0, &seed, error)) return false;
+  options->dataset.seed = seed;
+  constexpr std::array<std::uint64_t, 1> kDefaultN = {10000};
+  constexpr std::array<std::uint64_t, 1> kDefaultD = {3};
+  if (!flags.GetUint64List("n", kDefaultN, &options->ns, error)) return false;
+  if (!flags.GetUint64List("d", kDefaultD, &options->ds, error)) return false;
+  if (!options->input.empty()) {
+    for (std::string_view f : {"dataset", "n", "d", "seed"}) {
+      if (flags.Has(f)) {
+        *error = "--" + std::string(f) + " applies to synthetic data and conflicts with --input";
+        return false;
+      }
+    }
+    options->ns = {0};
+    options->ds = {0};
+  } else {
+    // Validate every (n, d) grid cell up front: spec mistakes are usage
+    // errors (exit 1), not pipeline failures.
+    for (std::uint64_t n : options->ns) {
+      for (std::uint64_t d : options->ds) {
+        DatasetSpec cell = options->dataset;
+        cell.n = static_cast<std::size_t>(n);
+        cell.d = static_cast<std::size_t>(d);
+        if (!ResolveDatasetSpec(cell, error).has_value()) return false;
+      }
+    }
+  }
+
+  if (!flags.GetString("out", "ldiv_out", &options->out, error)) return false;
+  if (options->out.empty()) {
+    *error = "--out must not be empty";
+    return false;
+  }
+  if (!flags.GetBool("sweep", false, &options->sweep, error)) return false;
+  if (!flags.GetBool("write-releases", false, &options->write_releases, error)) return false;
+  if (!flags.GetBool("kl", true, &options->compute_kl, error)) return false;
+  bool no_timings = false;
+  if (!flags.GetBool("no-timings", false, &no_timings, error)) return false;
+  options->timings = !no_timings;
+  if (!flags.GetUint32("threads", 0, &options->threads, error)) return false;
+  if (!flags.GetString("emit-input", "", &options->emit_input, error)) return false;
+  if (!options->emit_input.empty() && options->input.empty() &&
+      options->ns.size() * options->ds.size() != 1) {
+    *error = "--emit-input needs a single input table; the (n, d) grid has " +
+             std::to_string(options->ns.size() * options->ds.size());
+    return false;
+  }
+  return true;
+}
+
+std::string CliUsage(std::string_view program) {
+  std::string usage;
+  usage += "usage: " + std::string(program) + " [flags]\n";
+  usage += "\n";
+  usage += "End-to-end l-diversity pipeline: load or generate a microdata table, run\n";
+  usage += "one registered algorithm (or a sweep grid through the batch driver), and\n";
+  usage += "write the anonymized release plus a JSON/CSV metrics report.\n";
+  usage += "\n";
+  usage += "  --algo=LIST        algorithms to run: comma-separated registry names, or\n";
+  usage += "                     'all' (registered: " + RegisteredAlgorithmNames(", ") +
+           "). default: TP+\n";
+  usage += "  --l=LIST           privacy parameters, e.g. --l=4 or --l=2,4,6. default: 2\n";
+  usage += "  --input=FILE       coded CSV microdata (requires --schema)\n";
+  usage += "  --schema=SPEC      e.g. Age:79,Gender:2|Income:50 (names optional)\n";
+  usage += "  --dataset=NAME     synthetic input when no --input: sal | occ. default: sal\n";
+  usage += "  --n=LIST           synthetic rows per table, e.g. --n=10000,100000\n";
+  usage += "  --d=LIST           QI prefix dimensionality 1..7, e.g. --d=3,4. default: 3\n";
+  usage += "  --seed=SEED        generator seed (0 = dataset default)\n";
+  usage += "  --out=STEM         output stem: STEM.csv release, STEM.json report,\n";
+  usage += "                     STEM_metrics.csv. default: ldiv_out\n";
+  usage += "  --sweep            run through the batch driver even for one job\n";
+  usage += "                     (grids with >1 job sweep automatically)\n";
+  usage += "  --write-releases   sweep mode: write one release per job (STEM.jobK.csv)\n";
+  usage += "  --threads=T        batch worker threads (0 = hardware). default: 0\n";
+  usage += "  --kl=false         skip the KL-divergence estimate\n";
+  usage += "  --no-timings       omit wall-clock fields (byte-deterministic reports)\n";
+  usage += "  --emit-input=FILE  also write the input table as coded CSV\n";
+  usage += "  --config=FILE      key = value file of the flags above (flags win)\n";
+  usage += "  --help             this text\n";
+  usage += "\n";
+  usage += "exit codes: 0 ok, 1 usage error, 2 infeasible instance, 3 I/O error\n";
+  return usage;
+}
+
+}  // namespace ldv

@@ -1,0 +1,66 @@
+#ifndef LDIV_CLI_CLI_OPTIONS_H_
+#define LDIV_CLI_CLI_OPTIONS_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/schema.h"
+#include "core/run_spec.h"
+#include "data/dataset.h"
+
+namespace ldv {
+
+/// Fully resolved options of one `ldiv` invocation: flags (and the
+/// optional `--config` file, which flags override) parsed, validated and
+/// expanded into typed values. Everything here is user input, so parsing
+/// reports through error strings -- an `ldiv` user can never trip an
+/// LDIV_CHECK from the command line.
+struct CliOptions {
+  /// Algorithms to run, in job order ("--algo=tp,mondrian" or "all").
+  std::vector<Algorithm> algorithms = {Algorithm::kTpPlus};
+  /// Privacy parameters to run ("--l=2,4,6").
+  std::vector<std::uint32_t> ls = {2};
+
+  /// CSV input path; empty means synthetic data. Requires `schema`.
+  std::string input;
+  /// Schema of the CSV input (from "--schema=Age:79,...|Income:50").
+  Schema schema;
+
+  /// Synthetic-input spec ("--dataset", "--seed"); `ns` and `ds` sweep its
+  /// row count and QI prefix dimensionality, one table per (n, d) cell.
+  DatasetSpec dataset;
+  std::vector<std::uint64_t> ns = {10000};
+  std::vector<std::uint64_t> ds = {3};
+
+  /// Output stem: releases land at <out>.csv (plus <out>_sa.csv for a
+  /// bucketization), metrics at <out>.json and <out>_metrics.csv.
+  std::string out = "ldiv_out";
+  /// Force the AnonymizeBatch path even for a single job; any grid with
+  /// more than one job sweeps automatically.
+  bool sweep = false;
+  /// In sweep mode, also write one release per job (<out>.jobK.csv).
+  bool write_releases = false;
+  /// Skip the Equation-2 KL estimate (timing-focused runs).
+  bool compute_kl = true;
+  /// Omit wall-clock fields from reports, making output byte-deterministic.
+  bool timings = true;
+  /// Batch worker threads; 0 = hardware concurrency.
+  std::uint32_t threads = 0;
+  /// When non-empty, also write the (first) input table as CSV here.
+  std::string emit_input;
+  bool help = false;
+};
+
+/// Parses argv (and any `--config` file) into `*options`. Returns false
+/// with a one-line message on any malformed, unknown or inconsistent
+/// flag; `*options` is default-complete on success.
+bool ParseCliOptions(int argc, const char* const* argv, CliOptions* options, std::string* error);
+
+/// The usage text printed by --help and on parse errors.
+std::string CliUsage(std::string_view program);
+
+}  // namespace ldv
+
+#endif  // LDIV_CLI_CLI_OPTIONS_H_

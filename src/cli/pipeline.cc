@@ -1,0 +1,95 @@
+#include "cli/pipeline.h"
+
+#include <optional>
+#include <utility>
+
+#include "common/csv.h"
+#include "common/workspace.h"
+#include "core/batch.h"
+#include "data/dataset.h"
+
+namespace ldv {
+
+namespace {
+
+bool MaterializeTables(const CliOptions& options, PipelineResult* result, std::string* error) {
+  if (!options.input.empty()) {
+    std::optional<Table> table = ReadTableCsv(options.schema, options.input);
+    if (!table) {
+      *error = "cannot read '" + options.input + "' with schema " + options.schema.ToString() +
+               " (missing file, wrong column count, or value outside its domain)";
+      return false;
+    }
+    if (table->empty()) {
+      *error = "'" + options.input + "' holds no data rows";
+      return false;
+    }
+    PipelineTable input(std::move(*table));
+    input.source = "csv:" + options.input;
+    result->tables.push_back(std::move(input));
+    return true;
+  }
+
+  // Synthetic grid: one table per (n, d) cell, n-major -- the job order
+  // the report documents.
+  for (std::uint64_t n : options.ns) {
+    for (std::uint64_t d : options.ds) {
+      DatasetSpec spec = options.dataset;
+      spec.n = static_cast<std::size_t>(n);
+      spec.d = static_cast<std::size_t>(d);
+      std::optional<Table> table = GenerateDataset(spec, error);
+      if (!table) return false;
+      PipelineTable input(std::move(*table));
+      input.source = DatasetLabel(spec);
+      result->tables.push_back(std::move(input));
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+bool RunPipeline(const CliOptions& options, PipelineResult* result, std::string* error) {
+  if (options.algorithms.empty() || options.ls.empty()) {
+    *error = "nothing to run: the algorithm and l lists must be non-empty";
+    return false;
+  }
+  if (!MaterializeTables(options, result, error)) return false;
+  if (result->tables.empty()) {
+    *error = "nothing to run: the (n, d) grid produced no input tables";
+    return false;
+  }
+
+  AnonymizerOptions algo_options;
+  algo_options.compute_kl = options.compute_kl;
+  std::vector<RunSpec> specs = ExpandRunGrid(options.algorithms, options.ls,
+                                             result->tables.size(), algo_options);
+  result->jobs.reserve(specs.size());
+
+  if (specs.size() == 1 && !options.sweep) {
+    // Single invocation: run inline so errors and timings stay on the
+    // calling thread.
+    const RunSpec& spec = specs.front();
+    Workspace workspace;
+    AnonymizationOutcome outcome =
+        AlgorithmRegistry::Global()
+            .Create(spec.algorithm, spec.options)
+            ->Run(result->tables[spec.table_index].table, spec.l, &workspace);
+    result->jobs.push_back({spec, std::move(outcome)});
+    return true;
+  }
+
+  std::vector<const Table*> tables;
+  tables.reserve(result->tables.size());
+  for (const PipelineTable& input : result->tables) tables.push_back(&input.table);
+  BatchOptions batch_options;
+  batch_options.threads = options.threads;
+  std::vector<AnonymizationOutcome> outcomes =
+      AnonymizeBatch(ToBatchJobs(specs, tables), batch_options);
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    result->jobs.push_back({specs[i], std::move(outcomes[i])});
+  }
+  return true;
+}
+
+}  // namespace ldv

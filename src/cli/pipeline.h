@@ -1,0 +1,45 @@
+#ifndef LDIV_CLI_PIPELINE_H_
+#define LDIV_CLI_PIPELINE_H_
+
+#include <string>
+#include <vector>
+
+#include "cli/cli_options.h"
+#include "common/table.h"
+#include "core/run_spec.h"
+
+namespace ldv {
+
+/// One materialized input table plus where it came from, for reports.
+struct PipelineTable {
+  Table table;
+  /// Provenance label, e.g. "csv:micro.csv" or "sal(n=10000, seed=1, d=3)".
+  std::string source;
+
+  explicit PipelineTable(Table t) : table(std::move(t)) {}
+};
+
+/// One completed pipeline job: its spec and the algorithm outcome.
+struct PipelineJobResult {
+  RunSpec spec;
+  AnonymizationOutcome outcome;
+};
+
+/// Everything one `ldiv` invocation produced, in deterministic job order
+/// (the ExpandRunGrid order: table-major, then algorithm, then l).
+struct PipelineResult {
+  std::vector<PipelineTable> tables;
+  std::vector<PipelineJobResult> jobs;
+};
+
+/// Runs the full pipeline described by `options`: materialize the input
+/// table(s) (CSV load or synthetic generation), expand the run grid, and
+/// execute it -- inline with one Workspace for a single job, through
+/// AnonymizeBatch for a grid (or when options.sweep forces it). Returns
+/// false with a message on load/generation failure; infeasible jobs are
+/// not an error (they are reported with feasible = false).
+bool RunPipeline(const CliOptions& options, PipelineResult* result, std::string* error);
+
+}  // namespace ldv
+
+#endif  // LDIV_CLI_PIPELINE_H_

@@ -1,0 +1,215 @@
+#include "cli/report.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include "anonymity/release.h"
+
+namespace ldv {
+
+namespace {
+
+void AppendJsonString(const std::string& text, std::string* out) {
+  out->push_back('"');
+  for (char c : text) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+// Shortest-ish locale-independent double rendering; %.9g keeps every
+// metric digit the tests compare while "12.5" stays "12.5".
+std::string FormatDouble(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.9g", value);
+  return buf;
+}
+
+// Quotes one CSV cell (provenance labels contain commas).
+std::string CsvQuote(const std::string& text) {
+  std::string quoted = "\"";
+  for (char c : text) {
+    if (c == '"') {
+      quoted += "\"\"";
+    } else {
+      quoted.push_back(c);
+    }
+  }
+  quoted += "\"";
+  return quoted;
+}
+
+bool WriteFile(const std::string& content, const std::string& path, std::string* error) {
+  std::ofstream out(path);
+  if (out) out << content;
+  // Close before checking: some failures (e.g. a full disk behind a
+  // buffered stream) only surface at flush/close time.
+  out.close();
+  if (out.fail()) {
+    *error = "cannot write '" + path + "'";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string RenderJsonReport(const PipelineResult& result, const ReportOptions& options) {
+  std::string json;
+  json += "{\n";
+  json += "  \"ldiv_report_version\": 1,\n";
+  json += "  \"job_count\": " + std::to_string(result.jobs.size()) + ",\n";
+
+  json += "  \"tables\": [\n";
+  for (std::size_t t = 0; t < result.tables.size(); ++t) {
+    const PipelineTable& input = result.tables[t];
+    json += "    {\"index\": " + std::to_string(t) + ", \"source\": ";
+    AppendJsonString(input.source, &json);
+    json += ", \"rows\": " + std::to_string(input.table.size());
+    json += ", \"qi_attributes\": " + std::to_string(input.table.qi_count());
+    json += ", \"schema\": ";
+    AppendJsonString(input.table.schema().ToString(), &json);
+    json += t + 1 < result.tables.size() ? "},\n" : "}\n";
+  }
+  json += "  ],\n";
+
+  json += "  \"jobs\": [\n";
+  for (std::size_t i = 0; i < result.jobs.size(); ++i) {
+    const PipelineJobResult& job = result.jobs[i];
+    const AnonymizationOutcome& outcome = job.outcome;
+    json += "    {\n";
+    json += "      \"job\": " + std::to_string(i) + ",\n";
+    json += "      \"table\": " + std::to_string(job.spec.table_index) + ",\n";
+    json += "      \"algorithm\": ";
+    AppendJsonString(AlgorithmName(job.spec.algorithm), &json);
+    json += ",\n";
+    json += "      \"methodology\": ";
+    AppendJsonString(MethodologyName(outcome.methodology), &json);
+    json += ",\n";
+    json += "      \"l\": " + std::to_string(job.spec.l) + ",\n";
+    json += std::string("      \"feasible\": ") + (outcome.feasible ? "true" : "false") + ",\n";
+    json += "      \"stars\": " + std::to_string(outcome.stars) + ",\n";
+    json += "      \"suppressed_tuples\": " + std::to_string(outcome.suppressed_tuples) + ",\n";
+    json += "      \"groups\": " + std::to_string(outcome.group_stats.group_count) + ",\n";
+    json += "      \"min_group\": " + std::to_string(outcome.group_stats.min_size) + ",\n";
+    json += "      \"max_group\": " + std::to_string(outcome.group_stats.max_size) + ",\n";
+    json += "      \"mean_group\": " + FormatDouble(outcome.group_stats.mean_size) + ",\n";
+    json += "      \"kl_divergence\": " + FormatDouble(outcome.kl_divergence) + ",\n";
+    json += "      \"specializations\": " + std::to_string(outcome.specializations);
+    if (options.include_seconds) {
+      json += ",\n      \"seconds\": " + FormatDouble(outcome.seconds);
+    }
+    json += "\n";
+    json += i + 1 < result.jobs.size() ? "    },\n" : "    }\n";
+  }
+  json += "  ]\n";
+  json += "}\n";
+  return json;
+}
+
+std::string RenderMetricsCsv(const PipelineResult& result, const ReportOptions& options) {
+  std::string csv =
+      "job,table,source,algorithm,methodology,l,rows,feasible,stars,"
+      "suppressed_tuples,groups,min_group,max_group,mean_group,kl_divergence,"
+      "specializations";
+  if (options.include_seconds) csv += ",seconds";
+  csv += "\n";
+  for (std::size_t i = 0; i < result.jobs.size(); ++i) {
+    const PipelineJobResult& job = result.jobs[i];
+    const AnonymizationOutcome& outcome = job.outcome;
+    const PipelineTable& input = result.tables[job.spec.table_index];
+    csv += std::to_string(i) + "," + std::to_string(job.spec.table_index) + ",";
+    csv += CsvQuote(input.source) + ",";
+    csv += std::string(AlgorithmName(job.spec.algorithm)) + ",";
+    csv += std::string(MethodologyName(outcome.methodology)) + ",";
+    csv += std::to_string(job.spec.l) + ",";
+    csv += std::to_string(input.table.size()) + ",";
+    csv += std::string(outcome.feasible ? "true" : "false") + ",";
+    csv += std::to_string(outcome.stars) + ",";
+    csv += std::to_string(outcome.suppressed_tuples) + ",";
+    csv += std::to_string(outcome.group_stats.group_count) + ",";
+    csv += std::to_string(outcome.group_stats.min_size) + ",";
+    csv += std::to_string(outcome.group_stats.max_size) + ",";
+    csv += FormatDouble(outcome.group_stats.mean_size) + ",";
+    csv += FormatDouble(outcome.kl_divergence) + ",";
+    csv += std::to_string(outcome.specializations);
+    if (options.include_seconds) {
+      csv += ",";
+      csv += FormatDouble(outcome.seconds);
+    }
+    csv += "\n";
+  }
+  return csv;
+}
+
+bool WriteJsonReport(const PipelineResult& result, const std::string& path,
+                     const ReportOptions& options, std::string* error) {
+  return WriteFile(RenderJsonReport(result, options), path, error);
+}
+
+bool WriteMetricsCsv(const PipelineResult& result, const std::string& path,
+                     const ReportOptions& options, std::string* error) {
+  return WriteFile(RenderMetricsCsv(result, options), path, error);
+}
+
+bool WriteReleaseForOutcome(const Table& table, const AnonymizationOutcome& outcome,
+                            const std::string& stem, std::string* error) {
+  if (!outcome.feasible) return true;
+
+  if (outcome.generalized != nullptr) {
+    std::string path = stem + ".csv";
+    if (!WriteReleaseCsv(table, *outcome.generalized, path)) {
+      *error = "cannot write '" + path + "'";
+      return false;
+    }
+    return true;
+  }
+
+  // Anatomy pair: exact QI values linked to the sensitive table only
+  // through bucket ids (Section 2's bucketization trade-off).
+  const Schema& schema = table.schema();
+  std::string qit;
+  for (std::size_t a = 0; a < schema.qi_count(); ++a) {
+    qit += schema.qi(static_cast<AttrId>(a)).name + ",";
+  }
+  qit += "Bucket\n";
+  std::string st = "Bucket," + schema.sensitive().name + ",Count\n";
+  std::vector<std::uint32_t> sa_counts(schema.sa_domain_size(), 0);
+  const Partition& buckets = outcome.partition;
+  for (GroupId g = 0; g < buckets.group_count(); ++g) {
+    for (RowId row : buckets.group(g)) {
+      for (Value v : table.qi_row(row)) qit += std::to_string(v) + ",";
+      qit += std::to_string(g) + "\n";
+      ++sa_counts[table.sa(row)];
+    }
+    for (SaValue v = 0; v < sa_counts.size(); ++v) {
+      if (sa_counts[v] == 0) continue;
+      st += std::to_string(g) + "," + std::to_string(v) + "," + std::to_string(sa_counts[v]) + "\n";
+      sa_counts[v] = 0;
+    }
+  }
+  return WriteFile(qit, stem + ".csv", error) && WriteFile(st, stem + "_sa.csv", error);
+}
+
+}  // namespace ldv

@@ -1,0 +1,225 @@
+#include "common/flags.h"
+
+#include <fstream>
+#include <limits>
+
+namespace ldv {
+
+namespace {
+
+std::string_view Trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t' || s.front() == '\r')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t' || s.back() == '\r')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+bool IsFlagToken(std::string_view token) {
+  return token.size() > 2 && token[0] == '-' && token[1] == '-';
+}
+
+template <typename T>
+bool ParseListValue(std::string_view name, const std::string& raw, std::vector<T>* out,
+                    std::string* error) {
+  out->clear();
+  std::string_view rest = raw;
+  while (true) {
+    std::size_t comma = rest.find(',');
+    std::string_view cell = Trim(rest.substr(0, comma));
+    std::uint64_t value = 0;
+    if (!ParseUint64(cell, &value) || value > std::numeric_limits<T>::max()) {
+      *error = "--" + std::string(name) + ": bad list element '" + std::string(cell) + "' in '" +
+               raw + "'";
+      return false;
+    }
+    out->push_back(static_cast<T>(value));
+    if (comma == std::string_view::npos) return true;
+    rest.remove_prefix(comma + 1);
+  }
+}
+
+}  // namespace
+
+bool ParseUint64(std::string_view text, std::uint64_t* out) {
+  if (text.empty()) return false;
+  std::uint64_t value = 0;
+  for (char c : text) {
+    if (c < '0' || c > '9') return false;
+    std::uint64_t digit = static_cast<std::uint64_t>(c - '0');
+    if (value > (std::numeric_limits<std::uint64_t>::max() - digit) / 10) return false;
+    value = value * 10 + digit;
+  }
+  *out = value;
+  return true;
+}
+
+bool FlagSet::ParseArgs(int argc, const char* const* argv, std::string* error) {
+  for (int i = 1; i < argc; ++i) {
+    std::string_view token = argv[i];
+    if (!IsFlagToken(token)) {
+      *error = "unexpected argument '" + std::string(token) + "' (flags are --key=value)";
+      return false;
+    }
+    token.remove_prefix(2);
+    std::size_t eq = token.find('=');
+    if (eq != std::string_view::npos) {
+      Insert(std::string(token.substr(0, eq)), std::string(token.substr(eq + 1)),
+             /*override_existing=*/true);
+      continue;
+    }
+    // `--key value` when the next token is not itself a flag; a bare
+    // `--key` is a boolean switch.
+    if (i + 1 < argc && !IsFlagToken(argv[i + 1])) {
+      Insert(std::string(token), argv[++i], /*override_existing=*/true);
+    } else {
+      Insert(std::string(token), "true", /*override_existing=*/true);
+    }
+  }
+  return true;
+}
+
+bool FlagSet::ParseConfigFile(const std::string& path, std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    *error = "cannot open config file '" + path + "'";
+    return false;
+  }
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    std::string_view body = Trim(line);
+    std::size_t hash = body.find('#');
+    if (hash != std::string_view::npos) body = Trim(body.substr(0, hash));
+    if (body.empty()) continue;
+    std::size_t eq = body.find('=');
+    if (eq == std::string_view::npos) {
+      *error = path + ":" + std::to_string(lineno) + ": expected 'key = value', got '" +
+               std::string(body) + "'";
+      return false;
+    }
+    std::string_view key = Trim(body.substr(0, eq));
+    std::string_view value = Trim(body.substr(eq + 1));
+    if (key.empty()) {
+      *error = path + ":" + std::to_string(lineno) + ": empty key";
+      return false;
+    }
+    // Command-line flags (parsed first) win over the config file.
+    Insert(std::string(key), std::string(value), /*override_existing=*/false);
+  }
+  return true;
+}
+
+bool FlagSet::Has(std::string_view name) const { return Find(name) != nullptr; }
+
+bool FlagSet::GetString(std::string_view name, std::string_view def, std::string* out,
+                        std::string* error) const {
+  (void)error;
+  const std::string* raw = Find(name);
+  *out = raw != nullptr ? *raw : std::string(def);
+  return true;
+}
+
+bool FlagSet::GetUint32(std::string_view name, std::uint32_t def, std::uint32_t* out,
+                        std::string* error) const {
+  std::uint64_t wide = 0;
+  if (!GetUint64(name, def, &wide, error)) return false;
+  if (wide > std::numeric_limits<std::uint32_t>::max()) {
+    *error = "--" + std::string(name) + ": value out of range";
+    return false;
+  }
+  *out = static_cast<std::uint32_t>(wide);
+  return true;
+}
+
+bool FlagSet::GetUint64(std::string_view name, std::uint64_t def, std::uint64_t* out,
+                        std::string* error) const {
+  const std::string* raw = Find(name);
+  if (raw == nullptr) {
+    *out = def;
+    return true;
+  }
+  if (!ParseUint64(*raw, out)) {
+    *error = "--" + std::string(name) + ": expected a non-negative integer, got '" + *raw + "'";
+    return false;
+  }
+  return true;
+}
+
+bool FlagSet::GetBool(std::string_view name, bool def, bool* out, std::string* error) const {
+  const std::string* raw = Find(name);
+  if (raw == nullptr) {
+    *out = def;
+    return true;
+  }
+  if (*raw == "true" || *raw == "1" || *raw == "yes" || *raw == "on") {
+    *out = true;
+    return true;
+  }
+  if (*raw == "false" || *raw == "0" || *raw == "no" || *raw == "off") {
+    *out = false;
+    return true;
+  }
+  *error = "--" + std::string(name) + ": expected a boolean, got '" + *raw + "'";
+  return false;
+}
+
+bool FlagSet::GetUint32List(std::string_view name, std::span<const std::uint32_t> def,
+                            std::vector<std::uint32_t>* out, std::string* error) const {
+  const std::string* raw = Find(name);
+  if (raw == nullptr) {
+    out->assign(def.begin(), def.end());
+    return true;
+  }
+  return ParseListValue(name, *raw, out, error);
+}
+
+bool FlagSet::GetUint64List(std::string_view name, std::span<const std::uint64_t> def,
+                            std::vector<std::uint64_t>* out, std::string* error) const {
+  const std::string* raw = Find(name);
+  if (raw == nullptr) {
+    out->assign(def.begin(), def.end());
+    return true;
+  }
+  return ParseListValue(name, *raw, out, error);
+}
+
+std::vector<std::string> FlagSet::UnknownKeys(std::span<const std::string_view> known) const {
+  std::vector<std::string> unknown;
+  for (const auto& [key, value] : entries_) {
+    bool is_known = false;
+    for (std::string_view k : known) {
+      if (key == k) {
+        is_known = true;
+        break;
+      }
+    }
+    bool seen = false;
+    for (const std::string& u : unknown) {
+      if (u == key) {
+        seen = true;
+        break;
+      }
+    }
+    if (!is_known && !seen) unknown.push_back(key);
+  }
+  return unknown;
+}
+
+const std::string* FlagSet::Find(std::string_view name) const {
+  const std::string* found = nullptr;
+  for (const auto& [key, value] : entries_) {
+    if (key == name) found = &value;
+  }
+  return found;
+}
+
+void FlagSet::Insert(std::string key, std::string value, bool override_existing) {
+  if (!override_existing && Has(key)) return;
+  entries_.emplace_back(std::move(key), std::move(value));
+}
+
+}  // namespace ldv

@@ -1,0 +1,69 @@
+#ifndef LDIV_COMMON_FLAGS_H_
+#define LDIV_COMMON_FLAGS_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ldv {
+
+/// A parsed set of `--key=value` flags, the front-end substrate of the
+/// `ldiv` CLI. Unlike the LDIV_CHECK family, nothing here ever aborts:
+/// every malformed input is reported through an error string so command
+/// line mistakes surface as usage messages, not crashes.
+///
+/// Accepted argv forms: `--key=value`, `--key value`, and a bare `--key`
+/// (stored as "true", for boolean switches). A later occurrence of a key
+/// overrides an earlier one. Config files (`ParseConfigFile`) hold one
+/// `key = value` pair per line with `#` comments; keys already present
+/// keep their value, so command-line flags override the config file.
+class FlagSet {
+ public:
+  /// Parses `argv[1..argc)`. Returns false (with `*error` set) on a token
+  /// that is not a flag.
+  bool ParseArgs(int argc, const char* const* argv, std::string* error);
+
+  /// Parses a config file of `key = value` lines. Returns false on I/O
+  /// failure or a malformed line. Existing keys are not overridden.
+  bool ParseConfigFile(const std::string& path, std::string* error);
+
+  bool Has(std::string_view name) const;
+
+  /// Typed getters: `*out` receives the parsed value when the flag is
+  /// present, `def` when absent. Returns false (with `*error` set) only
+  /// when the flag is present but does not parse.
+  bool GetString(std::string_view name, std::string_view def, std::string* out,
+                 std::string* error) const;
+  bool GetUint32(std::string_view name, std::uint32_t def, std::uint32_t* out,
+                 std::string* error) const;
+  bool GetUint64(std::string_view name, std::uint64_t def, std::uint64_t* out,
+                 std::string* error) const;
+  bool GetBool(std::string_view name, bool def, bool* out, std::string* error) const;
+
+  /// Comma-separated list of unsigned integers, e.g. `--l=2,4,6`.
+  bool GetUint32List(std::string_view name, std::span<const std::uint32_t> def,
+                     std::vector<std::uint32_t>* out, std::string* error) const;
+  bool GetUint64List(std::string_view name, std::span<const std::uint64_t> def,
+                     std::vector<std::uint64_t>* out, std::string* error) const;
+
+  /// Keys present in the set but not in `known` (insertion order, no
+  /// duplicates) -- lets front-ends reject typos like `--algos`.
+  std::vector<std::string> UnknownKeys(std::span<const std::string_view> known) const;
+
+ private:
+  const std::string* Find(std::string_view name) const;
+  void Insert(std::string key, std::string value, bool override_existing);
+
+  // Insertion-ordered; Find returns the latest occurrence of a key.
+  std::vector<std::pair<std::string, std::string>> entries_;
+};
+
+/// Parses a non-negative decimal integer. Returns false on empty input,
+/// a non-digit character, or overflow past 2^64 - 1.
+bool ParseUint64(std::string_view text, std::uint64_t* out);
+
+}  // namespace ldv
+
+#endif  // LDIV_COMMON_FLAGS_H_

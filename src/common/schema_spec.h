@@ -1,0 +1,33 @@
+#ifndef LDIV_COMMON_SCHEMA_SPEC_H_
+#define LDIV_COMMON_SCHEMA_SPEC_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "common/schema.h"
+
+namespace ldv {
+
+/// Parses a one-line schema specification into a Schema. The grammar is
+///
+///   spec      := qi-list '|' attribute        (explicit SA)
+///              | attribute ',' attribute ...  (>= 2 entries; last is SA)
+///   qi-list   := attribute (',' attribute)*
+///   attribute := [name ':'] domain-size
+///
+/// so `Age:79,Gender:2|Income:50`, `79,2|50` and `79,2,50` all describe a
+/// two-QI table with a 50-value sensitive attribute. Unnamed attributes
+/// get the generated names Q1..Qd and S. Returns std::nullopt (with
+/// `*error` set to a usage-grade message) on an empty spec, a malformed or
+/// zero domain size, or a spec without a sensitive attribute -- this is
+/// user input, so failures must never reach an LDIV_CHECK.
+std::optional<Schema> ParseSchemaSpec(std::string_view spec, std::string* error);
+
+/// Renders `schema` as a spec string that ParseSchemaSpec parses back to
+/// an equal schema, e.g. "Age:79,Gender:2|Income:50".
+std::string FormatSchemaSpec(const Schema& schema);
+
+}  // namespace ldv
+
+#endif  // LDIV_COMMON_SCHEMA_SPEC_H_

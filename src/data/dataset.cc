@@ -1,0 +1,67 @@
+#include "data/dataset.h"
+
+#include <cctype>
+#include <string_view>
+
+#include "data/acs_generator.h"
+#include "data/acs_schema.h"
+
+namespace ldv {
+
+namespace {
+
+std::string Lowered(std::string_view text) {
+  std::string lowered(text);
+  for (char& c : lowered) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return lowered;
+}
+
+}  // namespace
+
+std::optional<DatasetSpec> ResolveDatasetSpec(const DatasetSpec& spec, std::string* error) {
+  DatasetSpec resolved = spec;
+  resolved.name = Lowered(spec.name);
+  if (resolved.name != "sal" && resolved.name != "occ") {
+    *error = "unknown dataset '" + spec.name + "' (available: sal, occ)";
+    return std::nullopt;
+  }
+  if (resolved.n == 0) {
+    *error = "dataset needs at least one row (--n=0)";
+    return std::nullopt;
+  }
+  if (resolved.d > kAcsQiCount) {
+    *error = "dataset has " + std::to_string(kAcsQiCount) + " QI attributes; --d=" +
+             std::to_string(spec.d) + " is out of range";
+    return std::nullopt;
+  }
+  if (resolved.seed == 0) resolved.seed = resolved.name == "occ" ? 2 : 1;
+  if (resolved.d == 0) resolved.d = kAcsQiCount;
+  return resolved;
+}
+
+std::optional<Table> GenerateDataset(const DatasetSpec& spec, std::string* error) {
+  std::optional<DatasetSpec> resolved = ResolveDatasetSpec(spec, error);
+  if (!resolved) return std::nullopt;
+
+  Table table = resolved->name == "sal" ? GenerateSal(resolved->n, resolved->seed)
+                                        : GenerateOcc(resolved->n, resolved->seed);
+  if (resolved->d == kAcsQiCount) return table;
+
+  // Prefix projection: the first d of the seven Table-6 attributes. The
+  // paper's SAL-d family takes every C(7, d) combination (see
+  // data/workload.h); the CLI pins the lexicographically first one so a
+  // (d, n) grid stays one table per cell.
+  std::vector<AttrId> prefix(resolved->d);
+  for (std::size_t i = 0; i < resolved->d; ++i) prefix[i] = static_cast<AttrId>(i);
+  return table.ProjectQi(prefix);
+}
+
+std::string DatasetLabel(const DatasetSpec& spec) {
+  std::string error;
+  std::optional<DatasetSpec> resolved = ResolveDatasetSpec(spec, &error);
+  if (!resolved) return "invalid(" + error + ")";
+  return resolved->name + "(n=" + std::to_string(resolved->n) +
+         ", seed=" + std::to_string(resolved->seed) + ", d=" + std::to_string(resolved->d) + ")";
+}
+
+}  // namespace ldv

@@ -1,0 +1,41 @@
+#ifndef LDIV_DATA_DATASET_H_
+#define LDIV_DATA_DATASET_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "common/table.h"
+
+namespace ldv {
+
+/// Specification of one synthetic dataset, the CLI front-end over the ACS
+/// generators: which extract, how many rows, which seed, and an optional
+/// prefix projection onto the first `d` of the seven QI attributes (the
+/// dimensionality knob of the paper's SAL-d / OCC-d sweeps).
+struct DatasetSpec {
+  std::string name = "sal";  ///< "sal" or "occ" (case-insensitive)
+  std::size_t n = 10000;     ///< rows to generate
+  std::uint64_t seed = 0;    ///< 0 = the generator's default seed
+  std::size_t d = 0;         ///< 0 = keep all seven QI attributes
+};
+
+/// Validates `spec` and resolves its defaults (lower-cased name, the
+/// generator's default seed, d = all attributes). Returns std::nullopt
+/// (with `*error` set) on an unknown dataset name, n == 0, or d out of
+/// range -- all front-end input, so failures report instead of aborting.
+/// Flag parsing calls this up front so spec mistakes surface as usage
+/// errors; GenerateDataset and DatasetLabel resolve through it, so the
+/// provenance label always matches the generated data.
+std::optional<DatasetSpec> ResolveDatasetSpec(const DatasetSpec& spec, std::string* error);
+
+/// Materializes the table described by `spec` (resolved internally).
+std::optional<Table> GenerateDataset(const DatasetSpec& spec, std::string* error);
+
+/// One-line description of the spec, e.g. "sal(n=10000, seed=1, d=3)";
+/// reports and job labels use it to record where a table came from.
+std::string DatasetLabel(const DatasetSpec& spec);
+
+}  // namespace ldv
+
+#endif  // LDIV_DATA_DATASET_H_

@@ -1,0 +1,84 @@
+#!/usr/bin/env bash
+# End-to-end gate for the `ldiv` CLI binary. Run by ctest (ldiv_e2e) and
+# by CI's e2e-smoke job:
+#
+#   ldiv_e2e.sh <path-to-ldiv-binary> <repo-source-dir>
+#
+# For every registered algorithm: anonymize the committed micro CSV and
+# check that the release and the JSON/CSV metrics reports exist and are
+# well-formed. Then run a 12-job sweep (all algorithms x l in {2,4})
+# through the batch driver twice with different thread counts and require
+# byte-identical --no-timings reports (deterministic, job-ordered output).
+set -euo pipefail
+
+BIN=$1
+SRC=$2
+INPUT="$SRC/tests/data/micro.csv"
+SCHEMA='Age:79,Gender:2,Race:9|Income:50'
+
+TMP=$(mktemp -d)
+trap 'rm -rf "$TMP"' EXIT
+
+HAVE_PYTHON=0
+command -v python3 > /dev/null && HAVE_PYTHON=1
+
+check_json() {
+  # Validate report shape: version, expected job count, every job feasible
+  # with non-negative metrics.
+  [ "$HAVE_PYTHON" = 1 ] || return 0
+  python3 - "$1" "$2" << 'EOF'
+import json, sys
+report = json.load(open(sys.argv[1]))
+want_jobs = int(sys.argv[2])
+assert report["ldiv_report_version"] == 1, "bad report version"
+assert report["job_count"] == want_jobs, f"expected {want_jobs} jobs, got {report['job_count']}"
+assert len(report["jobs"]) == want_jobs
+for job in report["jobs"]:
+    for key in ("algorithm", "methodology", "l", "feasible", "stars",
+                "suppressed_tuples", "groups", "kl_divergence"):
+        assert key in job, f"job {job.get('job')} is missing '{key}'"
+    assert job["feasible"], f"job {job['job']} ({job['algorithm']}) infeasible"
+    assert job["stars"] >= 0 and job["groups"] > 0
+EOF
+}
+
+echo "== single runs: every registered algorithm =="
+for algo in tp tp+ hilbert mondrian anatomy tds; do
+  "$BIN" --algo="$algo" --l=2 --input="$INPUT" --schema="$SCHEMA" \
+    --out="$TMP/$algo" 2> /dev/null
+  [ -s "$TMP/$algo.csv" ] || { echo "FAIL: $algo wrote no release"; exit 1; }
+  [ -s "$TMP/$algo.json" ] || { echo "FAIL: $algo wrote no JSON report"; exit 1; }
+  [ -s "$TMP/${algo}_metrics.csv" ] || { echo "FAIL: $algo wrote no metrics CSV"; exit 1; }
+  check_json "$TMP/$algo.json" 1
+  echo "ok: $algo"
+done
+[ -s "$TMP/anatomy_sa.csv" ] || { echo "FAIL: anatomy wrote no sensitive table"; exit 1; }
+
+echo "== usage errors exit with the documented codes, never an abort =="
+expect_exit() {
+  local want=$1
+  shift
+  local got=0
+  "$@" > /dev/null 2>&1 || got=$?
+  [ "$got" -eq "$want" ] ||
+    { echo "FAIL: expected exit $want, got $got for: $*"; exit 1; }
+}
+expect_exit 1 "$BIN" --algo=bogus --out="$TMP/x"
+expect_exit 1 "$BIN" --input="$INPUT" --out="$TMP/x"
+expect_exit 1 "$BIN" --dataset=bogus --out="$TMP/x"
+expect_exit 1 "$BIN" --d=9 --out="$TMP/x"
+expect_exit 2 "$BIN" --algo=tp --l=100000 --input="$INPUT" --schema="$SCHEMA" --out="$TMP/x"
+expect_exit 3 "$BIN" --input="$TMP/no_such_file.csv" --schema="$SCHEMA" --out="$TMP/x"
+
+echo "== sweep: 12-job grid, deterministic across thread counts =="
+for threads in 1 4; do
+  "$BIN" --algo=all --l=2,4 --input="$INPUT" --schema="$SCHEMA" --sweep \
+    --threads="$threads" --no-timings --out="$TMP/sweep$threads" 2> /dev/null
+  check_json "$TMP/sweep$threads.json" 12
+done
+cmp "$TMP/sweep1.json" "$TMP/sweep4.json" ||
+  { echo "FAIL: sweep JSON depends on thread count"; exit 1; }
+cmp "$TMP/sweep1_metrics.csv" "$TMP/sweep4_metrics.csv" ||
+  { echo "FAIL: sweep metrics depend on thread count"; exit 1; }
+
+echo "ldiv e2e: all checks passed"
