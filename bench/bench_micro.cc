@@ -212,6 +212,43 @@ void BM_KlMultiDim(benchmark::State& state) {
 }
 BENCHMARK(BM_KlMultiDim)->Name("kl_multidim")->Arg(10000)->Arg(100000);
 
+// ---- Columnar scan-layout series ----
+//
+// The same grouping / KL workloads over the full-width (all seven QI
+// attributes) SAL tables, where the column-at-a-time scans of the
+// columnar Table matter most: signature hashing folds seven contiguous
+// columns and point packing accumulates seven stride multiplies per row.
+// Tracked as their own BENCH_micro.json series so the scan-layout win
+// (vs the row-major trajectory recorded before the columnar refactor)
+// stays visible PR over PR.
+
+const Table& SizedSal7(std::size_t n) {
+  static const Table* t10k = new Table(GenerateSal(10000, 1));
+  static const Table* t100k = new Table(GenerateSal(100000, 1));
+  return n == 10000 ? *t10k : *t100k;
+}
+
+void BM_GroupingColumnar(benchmark::State& state) {
+  const Table& t = SizedSal7(static_cast<std::size_t>(state.range(0)));
+  Workspace ws;
+  for (auto _ : state) {
+    GroupedTable grouped(t, &ws);
+    benchmark::DoNotOptimize(grouped.group_count());
+  }
+  state.SetItemsProcessed(state.iterations() * t.size());
+}
+BENCHMARK(BM_GroupingColumnar)->Name("grouping_columnar")->Arg(10000)->Arg(100000);
+
+void BM_KlMultiDimColumnar(benchmark::State& state) {
+  const Table& t = SizedSal7(static_cast<std::size_t>(state.range(0)));
+  MondrianResult mondrian = MondrianAnonymize(t, 6);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(KlDivergenceMultiDim(t, mondrian.generalization));
+  }
+  state.SetItemsProcessed(state.iterations() * t.size());
+}
+BENCHMARK(BM_KlMultiDimColumnar)->Name("kl_multidim_columnar")->Arg(10000)->Arg(100000);
+
 // google-benchmark < 1.8 flags failed runs with Run::error_occurred;
 // 1.8+ replaced it with the Run::skipped enum. Probe for whichever member
 // this library version has.

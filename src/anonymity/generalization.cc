@@ -9,14 +9,21 @@ namespace ldv {
 namespace {
 
 // Computes the Definition-1 signature of one group: per attribute, the
-// common value or kStar.
+// common value or kStar. Column-major: one gathered scan per attribute
+// with a first-disagreement early exit.
 std::vector<Value> ComputeSignature(const Table& table, const std::vector<RowId>& rows) {
   LDIV_CHECK(!rows.empty());
-  std::vector<Value> sig(table.qi_row(rows[0]).begin(), table.qi_row(rows[0]).end());
-  for (std::size_t i = 1; i < rows.size(); ++i) {
-    auto qi = table.qi_row(rows[i]);
-    for (std::size_t a = 0; a < sig.size(); ++a) {
-      if (sig[a] != qi[a]) sig[a] = kStar;
+  const std::size_t d = table.qi_count();
+  std::vector<Value> sig(d);
+  for (AttrId a = 0; a < d; ++a) {
+    const Value* col = table.column(a).data();
+    const Value first = col[rows[0]];
+    sig[a] = first;
+    for (std::size_t i = 1; i < rows.size(); ++i) {
+      if (col[rows[i]] != first) {
+        sig[a] = kStar;
+        break;
+      }
     }
   }
   return sig;
@@ -83,10 +90,11 @@ std::string GeneralizedTable::ToString(const Table& table, std::size_t max_rows)
 std::uint64_t GroupStarCount(const Table& table, const std::vector<RowId>& rows) {
   if (rows.empty()) return 0;
   std::uint32_t starred = 0;
-  auto first = table.qi_row(rows[0]);
-  for (std::size_t a = 0; a < first.size(); ++a) {
+  for (AttrId a = 0; a < table.qi_count(); ++a) {
+    const Value* col = table.column(a).data();
+    const Value first = col[rows[0]];
     for (std::size_t i = 1; i < rows.size(); ++i) {
-      if (table.qi(rows[i], static_cast<AttrId>(a)) != first[a]) {
+      if (col[rows[i]] != first) {
         ++starred;
         break;
       }

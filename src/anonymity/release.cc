@@ -1,8 +1,8 @@
 #include "anonymity/release.h"
 
-#include <cstdio>
 #include <fstream>
-#include <sstream>
+
+#include "common/csv.h"
 
 namespace ldv {
 
@@ -12,20 +12,20 @@ bool WriteReleaseCsv(const Table& table, const GeneralizedTable& generalized,
   if (!out) return false;
   const Schema& schema = table.schema();
   for (std::size_t a = 0; a < schema.qi_count(); ++a) {
-    out << schema.qi(static_cast<AttrId>(a)).name << ",";
+    out << CsvEscapeCell(schema.qi(static_cast<AttrId>(a)).name) << ",";
   }
-  out << schema.sensitive().name << "\n";
+  out << CsvEscapeCell(schema.sensitive().name) << "\n";
   for (GroupId g = 0; g < generalized.group_count(); ++g) {
     const std::vector<Value>& sig = generalized.signature(g);
     for (RowId r : generalized.rows(g)) {
-      for (Value v : sig) {
-        if (IsStar(v)) {
+      for (std::size_t a = 0; a < sig.size(); ++a) {
+        if (IsStar(sig[a])) {
           out << "*,";
         } else {
-          out << v << ",";
+          out << DecodeCsvValue(schema.qi(static_cast<AttrId>(a)), sig[a]) << ",";
         }
       }
-      out << table.sa(r) << "\n";
+      out << DecodeCsvValue(schema.sensitive(), table.sa(r)) << "\n";
     }
   }
   return static_cast<bool>(out);
@@ -33,19 +33,28 @@ bool WriteReleaseCsv(const Table& table, const GeneralizedTable& generalized,
 
 namespace {
 
-// Parses one cell: '*' or a non-negative integer below `bound`.
-bool ParseCell(const std::string& cell, std::uint64_t bound, Value* out) {
-  if (cell == "*") {
+// Parses one cell back into a code: '*' maps to kStar, a dictionary-backed
+// attribute looks its label up, and a plain attribute parses a
+// non-negative integer below its domain size.
+bool ParseCell(const std::string& cell, const Attribute& attr, bool allow_star, Value* out) {
+  if (allow_star && cell == "*") {
     *out = kStar;
     return true;
   }
   if (cell.empty()) return false;
+  if (attr.has_dictionary()) {
+    const Value* code = attr.dictionary.Find(cell);
+    if (code == nullptr) return false;
+    *out = *code;
+    return true;
+  }
+  if (cell.size() > 10) return false;  // cannot be a Value code; avoids wrap
   std::uint64_t v = 0;
   for (char c : cell) {
     if (c < '0' || c > '9') return false;
     v = v * 10 + static_cast<std::uint64_t>(c - '0');
   }
-  if (v >= bound) return false;
+  if (v >= attr.domain_size) return false;
   *out = static_cast<Value>(v);
   return true;
 }
@@ -60,22 +69,23 @@ std::optional<std::vector<ReleaseRow>> ReadReleaseCsv(const Schema& schema,
   if (!std::getline(in, line)) return std::nullopt;  // header
 
   std::vector<ReleaseRow> rows;
+  std::vector<std::string> cells;
   while (std::getline(in, line)) {
-    if (line.empty()) continue;
+    if (IsBlankCsvLine(line)) continue;
+    SplitCsvLine(line, &cells);
+    if (cells.size() != schema.qi_count() + 1) return std::nullopt;
     ReleaseRow row;
-    std::stringstream ss(line);
-    std::string cell;
     for (std::size_t a = 0; a < schema.qi_count(); ++a) {
-      if (!std::getline(ss, cell, ',')) return std::nullopt;
       Value v;
-      if (!ParseCell(cell, schema.qi(static_cast<AttrId>(a)).domain_size, &v)) {
+      if (!ParseCell(cells[a], schema.qi(static_cast<AttrId>(a)), /*allow_star=*/true, &v)) {
         return std::nullopt;
       }
       row.qi.push_back(v);
     }
-    if (!std::getline(ss, cell, ',')) return std::nullopt;
     Value sa;
-    if (!ParseCell(cell, schema.sa_domain_size(), &sa) || IsStar(sa)) return std::nullopt;
+    if (!ParseCell(cells.back(), schema.sensitive(), /*allow_star=*/false, &sa)) {
+      return std::nullopt;
+    }
     row.sa = sa;
     rows.push_back(std::move(row));
   }

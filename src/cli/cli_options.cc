@@ -9,10 +9,11 @@ namespace ldv {
 
 namespace {
 
-constexpr std::array<std::string_view, 16> kKnownFlags = {
+constexpr std::array<std::string_view, 17> kKnownFlags = {
     "algo",
     "l",
     "input",
+    "format",
     "schema",
     "dataset",
     "n",
@@ -62,16 +63,38 @@ bool ParseCliOptions(int argc, const char* const* argv, CliOptions* options, std
   }
 
   if (!flags.GetString("input", "", &options->input, error)) return false;
+  std::string format_text;
+  if (!flags.GetString("format", "auto", &format_text, error)) return false;
+  if (!ParseCsvFormat(format_text, &options->format, error)) {
+    *error = "--format: " + *error;
+    return false;
+  }
+  if (options->input.empty() && flags.Has("format")) {
+    *error = "--format only applies to --input CSV data";
+    return false;
+  }
   std::string schema_spec;
   if (!flags.GetString("schema", "", &schema_spec, error)) return false;
   if (!options->input.empty()) {
-    if (schema_spec.empty()) {
-      *error = "--input requires --schema (e.g. --schema=Age:79,Gender:2|Income:50)";
+    if (!schema_spec.empty()) {
+      if (options->format == CsvFormat::kRaw) {
+        *error = "--format=raw infers the schema from the file's labels; drop --schema";
+        return false;
+      }
+      options->schema = ParseSchemaSpec(schema_spec, error);
+      if (!options->schema) return false;
+    } else if (options->format == CsvFormat::kCoded) {
+      *error = "--format=coded requires --schema (e.g. --schema=Age:79,Gender:2|Income:50)";
       return false;
     }
-    std::optional<Schema> schema = ParseSchemaSpec(schema_spec, error);
-    if (!schema) return false;
-    options->schema = std::move(*schema);
+    // Resolve kAuto at parse time so a coded-looking file without --schema
+    // is a usage error (exit 1), not a silent raw ingestion of digit
+    // strings; detection I/O failures resolve to raw and the loader's own
+    // open error reports through the pipeline's exit code.
+    if (!ResolveCsvFormat(options->input, options->format, options->schema.has_value(),
+                          &options->format, error)) {
+      return false;
+    }
   } else if (!schema_spec.empty()) {
     *error = "--schema only applies to --input CSV data (synthetic datasets carry their own)";
     return false;
@@ -141,14 +164,20 @@ std::string CliUsage(std::string_view program) {
   usage += "                     'all' (registered: " + RegisteredAlgorithmNames(", ") +
            "). default: TP+\n";
   usage += "  --l=LIST           privacy parameters, e.g. --l=4 or --l=2,4,6. default: 2\n";
-  usage += "  --input=FILE       coded CSV microdata (requires --schema)\n";
-  usage += "  --schema=SPEC      e.g. Age:79,Gender:2|Income:50 (names optional)\n";
+  usage += "  --input=FILE       CSV microdata, coded (integer codes + --schema) or raw\n";
+  usage += "                     (string labels; per-column dictionaries are built and\n";
+  usage += "                     releases decode back to labels)\n";
+  usage += "  --format=F         input cell encoding: auto | coded | raw. default: auto\n";
+  usage += "                     (sniffs the file; --schema implies coded)\n";
+  usage += "  --schema=SPEC      e.g. Age:79,Gender:2|Income:50 (names optional); coded\n";
+  usage += "                     inputs only -- the header row is validated against it\n";
   usage += "  --dataset=NAME     synthetic input when no --input: sal | occ. default: sal\n";
   usage += "  --n=LIST           synthetic rows per table, e.g. --n=10000,100000\n";
   usage += "  --d=LIST           QI prefix dimensionality 1..7, e.g. --d=3,4. default: 3\n";
   usage += "  --seed=SEED        generator seed (0 = dataset default)\n";
   usage += "  --out=STEM         output stem: STEM.csv release, STEM.json report,\n";
-  usage += "                     STEM_metrics.csv. default: ldiv_out\n";
+  usage += "                     STEM_metrics.csv; raw inputs add STEM_dict.csv\n";
+  usage += "                     (attribute,code,label). default: ldiv_out\n";
   usage += "  --sweep            run through the batch driver even for one job\n";
   usage += "                     (grids with >1 job sweep automatically)\n";
   usage += "  --write-releases   sweep mode: write one release per job (STEM.jobK.csv)\n";

@@ -2,6 +2,7 @@
 #define LDIV_CLI_CLI_OPTIONS_H_
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -23,10 +24,15 @@ struct CliOptions {
   /// Privacy parameters to run ("--l=2,4,6").
   std::vector<std::uint32_t> ls = {2};
 
-  /// CSV input path; empty means synthetic data. Requires `schema`.
+  /// CSV input path; empty means synthetic data. Coded inputs require
+  /// `schema`; raw inputs build per-column dictionaries instead.
   std::string input;
-  /// Schema of the CSV input (from "--schema=Age:79,...|Income:50").
-  Schema schema;
+  /// Input cell encoding ("--format=coded|raw|auto"). ParseCliOptions
+  /// resolves kAuto, so the pipeline only ever sees kCoded or kRaw.
+  CsvFormat format = CsvFormat::kAuto;
+  /// Schema of a coded CSV input (from "--schema=Age:79,...|Income:50");
+  /// disengaged for raw inputs, which infer theirs from the file.
+  std::optional<Schema> schema;
 
   /// Synthetic-input spec ("--dataset", "--seed"); `ns` and `ds` sweep its
   /// row count and QI prefix dimensionality, one table per (n, d) cell.

@@ -3,7 +3,6 @@
 #include <optional>
 #include <utility>
 
-#include "common/csv.h"
 #include "common/workspace.h"
 #include "core/batch.h"
 #include "data/dataset.h"
@@ -14,18 +13,15 @@ namespace {
 
 bool MaterializeTables(const CliOptions& options, PipelineResult* result, std::string* error) {
   if (!options.input.empty()) {
-    std::optional<Table> table = ReadTableCsv(options.schema, options.input);
-    if (!table) {
-      *error = "cannot read '" + options.input + "' with schema " + options.schema.ToString() +
-               " (missing file, wrong column count, or value outside its domain)";
-      return false;
-    }
+    const Schema* schema = options.schema.has_value() ? &*options.schema : nullptr;
+    std::optional<Table> table = LoadTableCsv(options.input, options.format, schema, error);
+    if (!table) return false;
     if (table->empty()) {
       *error = "'" + options.input + "' holds no data rows";
       return false;
     }
     PipelineTable input(std::move(*table));
-    input.source = "csv:" + options.input;
+    input.source = (options.format == CsvFormat::kRaw ? "csv-raw:" : "csv:") + options.input;
     result->tables.push_back(std::move(input));
     return true;
   }

@@ -4,6 +4,7 @@
 #include <fstream>
 
 #include "anonymity/release.h"
+#include "common/csv.h"
 
 namespace ldv {
 
@@ -187,25 +188,30 @@ bool WriteReleaseForOutcome(const Table& table, const AnonymizationOutcome& outc
   }
 
   // Anatomy pair: exact QI values linked to the sensitive table only
-  // through bucket ids (Section 2's bucketization trade-off).
+  // through bucket ids (Section 2's bucketization trade-off). Dictionary-
+  // backed attributes decode to their labels through the same
+  // DecodeCsvValue as the suppression-view releases.
   const Schema& schema = table.schema();
   std::string qit;
   for (std::size_t a = 0; a < schema.qi_count(); ++a) {
-    qit += schema.qi(static_cast<AttrId>(a)).name + ",";
+    qit += CsvEscapeCell(schema.qi(static_cast<AttrId>(a)).name) + ",";
   }
   qit += "Bucket\n";
-  std::string st = "Bucket," + schema.sensitive().name + ",Count\n";
+  std::string st = "Bucket," + CsvEscapeCell(schema.sensitive().name) + ",Count\n";
   std::vector<std::uint32_t> sa_counts(schema.sa_domain_size(), 0);
   const Partition& buckets = outcome.partition;
   for (GroupId g = 0; g < buckets.group_count(); ++g) {
     for (RowId row : buckets.group(g)) {
-      for (Value v : table.qi_row(row)) qit += std::to_string(v) + ",";
+      for (AttrId a = 0; a < table.qi_count(); ++a) {
+        qit += DecodeCsvValue(schema.qi(a), table.qi(row, a)) + ",";
+      }
       qit += std::to_string(g) + "\n";
       ++sa_counts[table.sa(row)];
     }
     for (SaValue v = 0; v < sa_counts.size(); ++v) {
       if (sa_counts[v] == 0) continue;
-      st += std::to_string(g) + "," + std::to_string(v) + "," + std::to_string(sa_counts[v]) + "\n";
+      st += std::to_string(g) + "," + DecodeCsvValue(schema.sensitive(), v) + "," +
+            std::to_string(sa_counts[v]) + "\n";
       sa_counts[v] = 0;
     }
   }

@@ -1,73 +1,315 @@
 #include "common/csv.h"
 
 #include <fstream>
-#include <sstream>
-#include <vector>
+#include <limits>
 
 namespace ldv {
 
 namespace {
 
-// Parses one CSV line of non-negative integers. Returns false on any
-// malformed cell.
-bool ParseIntLine(const std::string& line, std::vector<std::uint64_t>& out) {
-  out.clear();
-  std::size_t pos = 0;
-  while (pos <= line.size()) {
-    std::size_t comma = line.find(',', pos);
-    std::string cell = line.substr(pos, comma == std::string::npos ? std::string::npos
-                                                                   : comma - pos);
-    if (cell.empty()) return false;
-    std::uint64_t value = 0;
-    for (char c : cell) {
-      if (c < '0' || c > '9') return false;
-      value = value * 10 + static_cast<std::uint64_t>(c - '0');
-    }
-    out.push_back(value);
-    if (comma == std::string::npos) break;
-    pos = comma + 1;
+// Parses one cell as a non-negative integer code. Returns false on any
+// malformed character, an empty cell, or a value that cannot be a Value
+// code (more than 10 digits would wrap the accumulator).
+bool ParseUintCell(const std::string& cell, std::uint64_t* out) {
+  if (cell.empty() || cell.size() > 10) return false;
+  std::uint64_t value = 0;
+  for (char c : cell) {
+    if (c < '0' || c > '9') return false;
+    value = value * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  if (value > std::numeric_limits<Value>::max()) return false;
+  *out = value;
+  return true;
+}
+
+void SetError(CsvError* error, const std::string& path, std::size_t line, std::size_t column,
+              std::string reason) {
+  if (error == nullptr) return;
+  error->path = path;
+  error->line = line;
+  error->column = column;
+  error->reason = std::move(reason);
+}
+
+// True when `name` is the generated placeholder ParseSchemaSpec assigns to
+// an unnamed attribute ("Q1".."Qd" for QI position `index`, "S" for the
+// SA); placeholder names accept any header spelling.
+bool IsPlaceholderName(const std::string& name, std::size_t index, bool is_sa) {
+  if (is_sa) return name == "S";
+  return name == "Q" + std::to_string(index + 1);
+}
+
+// Validates the header row of a coded CSV against the schema: d+1 columns,
+// each named column matching its schema attribute (placeholders excepted).
+bool ValidateHeader(const Schema& schema, const std::vector<std::string>& header,
+                    const std::string& path, CsvError* error) {
+  const std::size_t want = schema.qi_count() + 1;
+  if (header.size() != want) {
+    SetError(error, path, 1, 0,
+             "header has " + std::to_string(header.size()) + " columns; schema " +
+                 schema.ToString() + " expects " + std::to_string(want) + " (QI attributes + SA)");
+    return false;
+  }
+  for (std::size_t i = 0; i < header.size(); ++i) {
+    const bool is_sa = i + 1 == header.size();
+    const std::string& want_name =
+        is_sa ? schema.sensitive().name : schema.qi(static_cast<AttrId>(i)).name;
+    if (header[i] == want_name || IsPlaceholderName(want_name, i, is_sa)) continue;
+    SetError(error, path, 1, i + 1,
+             "header column '" + header[i] + "' does not match schema attribute '" + want_name +
+                 "'");
+    return false;
   }
   return true;
 }
 
 }  // namespace
 
+std::string CsvError::ToString() const {
+  std::string out = path;
+  if (line > 0) out += ":" + std::to_string(line);
+  out += ": ";
+  if (column > 0) out += "column " + std::to_string(column) + ": ";
+  out += reason;
+  return out;
+}
+
+void SplitCsvLine(const std::string& line, std::vector<std::string>* cells) {
+  cells->clear();
+  std::size_t length = line.size();
+  if (length > 0 && line[length - 1] == '\r') --length;  // CRLF input
+  std::string cell;
+  bool in_quotes = false;
+  for (std::size_t i = 0; i < length; ++i) {
+    char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < length && line[i + 1] == '"') {
+          cell.push_back('"');
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        cell.push_back(c);
+      }
+    } else if (c == '"' && cell.empty()) {
+      in_quotes = true;
+    } else if (c == ',') {
+      cells->push_back(std::move(cell));
+      cell.clear();
+    } else {
+      cell.push_back(c);
+    }
+  }
+  cells->push_back(std::move(cell));
+}
+
+bool IsBlankCsvLine(const std::string& line) { return line.empty() || line == "\r"; }
+
+std::string CsvEscapeCell(const std::string& cell) {
+  bool needs_quotes = false;
+  for (char c : cell) {
+    if (c == ',' || c == '"') {
+      needs_quotes = true;
+      break;
+    }
+  }
+  if (!cell.empty() && (cell.front() == ' ' || cell.back() == ' ')) needs_quotes = true;
+  if (!needs_quotes) return cell;
+  std::string quoted = "\"";
+  for (char c : cell) {
+    if (c == '"') {
+      quoted += "\"\"";
+    } else {
+      quoted.push_back(c);
+    }
+  }
+  quoted += "\"";
+  return quoted;
+}
+
+std::string DecodeCsvValue(const Attribute& attr, Value v) {
+  if (attr.has_dictionary()) return CsvEscapeCell(attr.dictionary.label(v));
+  return std::to_string(v);
+}
+
 bool WriteTableCsv(const Table& table, const std::string& path) {
   std::ofstream out(path);
   if (!out) return false;
   const Schema& schema = table.schema();
   for (std::size_t i = 0; i < schema.qi_count(); ++i) {
-    out << schema.qi(static_cast<AttrId>(i)).name << ",";
+    out << CsvEscapeCell(schema.qi(static_cast<AttrId>(i)).name) << ",";
   }
-  out << schema.sensitive().name << "\n";
+  out << CsvEscapeCell(schema.sensitive().name) << "\n";
   for (RowId r = 0; r < table.size(); ++r) {
-    for (Value v : table.qi_row(r)) out << v << ",";
+    for (AttrId a = 0; a < table.qi_count(); ++a) out << table.qi(r, a) << ",";
     out << table.sa(r) << "\n";
   }
   return static_cast<bool>(out);
 }
 
-std::optional<Table> ReadTableCsv(const Schema& schema, const std::string& path) {
+std::optional<Table> ReadTableCsv(const Schema& schema, const std::string& path, CsvError* error) {
   std::ifstream in(path);
-  if (!in) return std::nullopt;
+  if (!in) {
+    SetError(error, path, 0, 0, "cannot open file");
+    return std::nullopt;
+  }
   std::string line;
-  if (!std::getline(in, line)) return std::nullopt;  // header
+  if (!std::getline(in, line)) {
+    SetError(error, path, 1, 0, "empty file (missing header row)");
+    return std::nullopt;
+  }
+  std::vector<std::string> cells;
+  SplitCsvLine(line, &cells);
+  if (!ValidateHeader(schema, cells, path, error)) return std::nullopt;
 
+  const std::size_t d = schema.qi_count();
   Table table(schema);
-  std::vector<std::uint64_t> cells;
-  std::vector<Value> qi(schema.qi_count());
+  std::vector<Value> qi(d);
+  std::size_t line_number = 1;
   while (std::getline(in, line)) {
-    if (line.empty()) continue;
-    if (!ParseIntLine(line, cells)) return std::nullopt;
-    if (cells.size() != schema.qi_count() + 1) return std::nullopt;
-    for (std::size_t i = 0; i < schema.qi_count(); ++i) {
-      if (cells[i] >= schema.qi(static_cast<AttrId>(i)).domain_size) return std::nullopt;
-      qi[i] = static_cast<Value>(cells[i]);
+    ++line_number;
+    if (IsBlankCsvLine(line)) continue;
+    SplitCsvLine(line, &cells);
+    if (cells.size() != d + 1) {
+      SetError(error, path, line_number, 0,
+               "row has " + std::to_string(cells.size()) + " cells; expected " +
+                   std::to_string(d + 1));
+      return std::nullopt;
     }
-    if (cells.back() >= schema.sa_domain_size()) return std::nullopt;
-    table.AppendRow(qi, static_cast<SaValue>(cells.back()));
+    SaValue sa = 0;
+    for (std::size_t i = 0; i <= d; ++i) {
+      const bool is_sa = i == d;
+      const Attribute& attr = is_sa ? schema.sensitive() : schema.qi(static_cast<AttrId>(i));
+      std::uint64_t value = 0;
+      if (!ParseUintCell(cells[i], &value)) {
+        SetError(error, path, line_number, i + 1,
+                 "cell '" + cells[i] + "' is not a non-negative integer code (is this a raw " +
+                     "string-valued CSV? load it with format 'raw')");
+        return std::nullopt;
+      }
+      if (value >= attr.domain_size) {
+        SetError(error, path, line_number, i + 1,
+                 "value " + std::to_string(value) + " is outside the domain [0, " +
+                     std::to_string(attr.domain_size) + ") of attribute '" + attr.name + "'");
+        return std::nullopt;
+      }
+      if (is_sa) {
+        sa = static_cast<SaValue>(value);
+      } else {
+        qi[i] = static_cast<Value>(value);
+      }
+    }
+    table.AppendRow(qi, sa);
   }
   return table;
+}
+
+std::optional<Table> ReadRawTableCsv(const std::string& path, CsvError* error) {
+  std::ifstream in(path);
+  if (!in) {
+    SetError(error, path, 0, 0, "cannot open file");
+    return std::nullopt;
+  }
+  std::string line;
+  if (!std::getline(in, line)) {
+    SetError(error, path, 1, 0, "empty file (missing header row)");
+    return std::nullopt;
+  }
+  std::vector<std::string> header;
+  SplitCsvLine(line, &header);
+  if (header.size() < 2) {
+    SetError(error, path, 1, 0,
+             "header names " + std::to_string(header.size()) +
+                 " columns; raw ingestion needs at least one QI column plus the sensitive " +
+                 "attribute (last column)");
+    return std::nullopt;
+  }
+  for (std::size_t i = 0; i < header.size(); ++i) {
+    if (header[i].empty()) {
+      SetError(error, path, 1, i + 1, "empty attribute name in header");
+      return std::nullopt;
+    }
+    for (std::size_t j = 0; j < i; ++j) {
+      if (header[i] == header[j]) {
+        SetError(error, path, 1, i + 1,
+                 "duplicate attribute name '" + header[i] +
+                     "' in header (the dictionary sidecar keys labels by attribute name)");
+        return std::nullopt;
+      }
+    }
+  }
+
+  const std::size_t d = header.size() - 1;
+  std::vector<ValueDictionary> dictionaries(d + 1);
+  std::vector<std::vector<Value>> columns(d);
+  std::vector<SaValue> sa_column;
+  std::vector<std::string> cells;
+  std::size_t line_number = 1;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (IsBlankCsvLine(line)) continue;
+    SplitCsvLine(line, &cells);
+    if (cells.size() != d + 1) {
+      SetError(error, path, line_number, 0,
+               "row has " + std::to_string(cells.size()) + " cells; the header names " +
+                   std::to_string(d + 1));
+      return std::nullopt;
+    }
+    for (std::size_t i = 0; i <= d; ++i) {
+      if (cells[i].empty()) {
+        SetError(error, path, line_number, i + 1,
+                 "empty cell (labels must be non-empty under attribute '" + header[i] + "')");
+        return std::nullopt;
+      }
+      if (cells[i] == "*") {
+        SetError(error, path, line_number, i + 1,
+                 "the label '*' is reserved for the suppression marker releases use");
+        return std::nullopt;
+      }
+      Value code = dictionaries[i].GetOrAdd(cells[i]);
+      if (i < d) {
+        columns[i].push_back(code);
+      } else {
+        sa_column.push_back(static_cast<SaValue>(code));
+      }
+    }
+  }
+  if (sa_column.empty()) {
+    SetError(error, path, line_number, 0, "no data rows after the header");
+    return std::nullopt;
+  }
+
+  std::vector<Attribute> qi_attributes(d);
+  for (std::size_t i = 0; i < d; ++i) {
+    qi_attributes[i].name = header[i];
+    qi_attributes[i].domain_size = dictionaries[i].size();
+    qi_attributes[i].dictionary = std::move(dictionaries[i]);
+  }
+  Attribute sensitive;
+  sensitive.name = header[d];
+  sensitive.domain_size = dictionaries[d].size();
+  sensitive.dictionary = std::move(dictionaries[d]);
+  return Table::FromColumns(Schema(std::move(qi_attributes), std::move(sensitive)),
+                            std::move(columns), std::move(sa_column));
+}
+
+bool WriteDictionaryCsv(const Schema& schema, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << "attribute,code,label\n";
+  auto write_attribute = [&out](const Attribute& attr) {
+    for (Value code = 0; code < attr.dictionary.size(); ++code) {
+      out << CsvEscapeCell(attr.name) << "," << code << ","
+          << CsvEscapeCell(attr.dictionary.label(code)) << "\n";
+    }
+  };
+  for (std::size_t a = 0; a < schema.qi_count(); ++a) {
+    write_attribute(schema.qi(static_cast<AttrId>(a)));
+  }
+  write_attribute(schema.sensitive());
+  return static_cast<bool>(out);
 }
 
 }  // namespace ldv

@@ -3,20 +3,82 @@
 
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "common/table.h"
 
 namespace ldv {
+
+/// Structured description of one CSV load failure: which line (1-based,
+/// counting the header; 0 = file-level), which column (1-based; 0 = the
+/// whole line), and why. Everything here is user input, so load failures
+/// report through this struct instead of aborting -- the CLI renders
+/// ToString() as its one-line usage error.
+struct CsvError {
+  std::string path;
+  std::size_t line = 0;
+  std::size_t column = 0;
+  std::string reason;
+
+  /// One-line rendering, e.g. "micro.csv:5: column 3: value 12 is outside
+  /// the domain [0, 9) of attribute 'Race'".
+  std::string ToString() const;
+};
+
+/// Splits one CSV line into cells on commas, honoring RFC-4180 double
+/// quotes ("a,b" is one cell; "" inside quotes is a literal quote). A
+/// trailing carriage return (CRLF files saved on Windows) is stripped
+/// before splitting so it can never leak into the last cell's label.
+/// Embedded newlines are not supported -- ingestion is line-oriented.
+void SplitCsvLine(const std::string& line, std::vector<std::string>* cells);
+
+/// True when the line holds no cells at all: empty, or a bare carriage
+/// return left behind by CRLF line endings. Readers skip such lines.
+bool IsBlankCsvLine(const std::string& line);
+
+/// Quotes `cell` for CSV output when it contains a comma, a quote, or
+/// leading/trailing whitespace; returns it verbatim otherwise.
+std::string CsvEscapeCell(const std::string& cell);
+
+/// Renders one attribute value for human-readable output: its dictionary
+/// label (CSV-escaped) when the attribute carries one, its integer code
+/// otherwise. Shared by the release writers so the suppression view and
+/// the Anatomy pair decode identically.
+std::string DecodeCsvValue(const Attribute& attr, Value v);
 
 /// Writes `table` as CSV with a header row (QI attribute names then the SA
 /// name). Values are written as their integer codes; suppression markers
 /// never appear in raw microdata. Returns false on I/O failure.
 bool WriteTableCsv(const Table& table, const std::string& path);
 
-/// Reads a CSV file produced by WriteTableCsv back into a table with the
-/// given schema. Returns std::nullopt on I/O or parse failure (wrong column
-/// count, non-numeric cell, value outside its domain).
-std::optional<Table> ReadTableCsv(const Schema& schema, const std::string& path);
+/// Reads a coded CSV produced by WriteTableCsv back into a table with the
+/// given schema. The header row is validated against the schema: the
+/// column count must be d+1 and every named column must match the schema's
+/// attribute name (generated placeholder names Q1..Qd / S accept any
+/// header). Returns std::nullopt on I/O or parse failure (header mismatch,
+/// wrong column count, non-numeric cell, value outside its domain) and
+/// fills `*error` with the line/column/reason when provided.
+std::optional<Table> ReadTableCsv(const Schema& schema, const std::string& path,
+                                  CsvError* error = nullptr);
+
+/// Reads a raw (string-valued) CSV into a table, building one value
+/// dictionary per column on the fly: the header names the attributes (the
+/// last column is the sensitive attribute), every distinct cell label gets
+/// the next insertion-ordered code, and the resulting schema's domain
+/// sizes are the distinct-label counts. The label '*' is rejected (it is
+/// reserved for the suppression marker in releases), as are duplicate
+/// attribute names in the header (the dictionary sidecar keys labels by
+/// attribute name). Returns std::nullopt (with `*error` filled when
+/// provided) on I/O failure, a ragged row, an empty cell, or a file
+/// without data rows.
+std::optional<Table> ReadRawTableCsv(const std::string& path, CsvError* error = nullptr);
+
+/// Serializes the schema's value dictionaries as CSV rows of
+/// (attribute, code, label), QI attributes first, then the sensitive
+/// attribute -- the sidecar the CLI writes next to a decoded release so
+/// codes remain machine-recoverable. Attributes without a dictionary are
+/// skipped. Returns false on I/O failure.
+bool WriteDictionaryCsv(const Schema& schema, const std::string& path);
 
 }  // namespace ldv
 

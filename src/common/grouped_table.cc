@@ -23,22 +23,6 @@ SaHistogram QiGroup::ToHistogram(std::size_t m) const {
   return h;
 }
 
-namespace {
-
-// FNV-1a over the QI signature of a row; equal signatures hash equal, and
-// the open-addressing index below compares full signatures on every hash
-// hit, so collisions only cost an extra comparison.
-std::uint64_t QiSignatureHash(const Table& table, RowId row) {
-  std::uint64_t h = 1469598103934665603ULL;
-  for (Value v : table.qi_row(row)) {
-    h ^= v;
-    h *= 1099511628211ULL;
-  }
-  return h;
-}
-
-}  // namespace
-
 GroupedTable::GroupedTable(const Table& table, Workspace* workspace) {
   row_count_ = table.size();
   sa_domain_size_ = table.schema().sa_domain_size();
@@ -47,12 +31,28 @@ GroupedTable::GroupedTable(const Table& table, Workspace* workspace) {
   Workspace local;
   Workspace& ws = workspace != nullptr ? *workspace : local;
   const std::size_t n = table.size();
+  const std::size_t d = table.qi_count();
 
-  // Row signature hashes, computed once.
+  // Per-attribute column base pointers, hoisted once so the scans below
+  // stream contiguous columns instead of striding rows.
+  std::vector<const Value*> cols(d);
+  for (AttrId a = 0; a < d; ++a) cols[a] = table.column(a).data();
+
+  // Row signature hashes, computed once. FNV-1a folded column by column:
+  // every row's hash absorbs its values in attribute order (identical to a
+  // per-row FNV over the signature), but each pass streams one contiguous
+  // column. Equal signatures hash equal, and the open-addressing index
+  // below compares full signatures on every hash hit, so collisions only
+  // cost an extra comparison.
   auto hashes_s = ws.U64();
   std::vector<std::uint64_t>& hashes = *hashes_s;
-  hashes.resize(n);
-  for (RowId r = 0; r < n; ++r) hashes[r] = QiSignatureHash(table, r);
+  hashes.assign(n, 1469598103934665603ULL);
+  for (AttrId a = 0; a < d; ++a) {
+    const Value* col = cols[a];
+    for (RowId r = 0; r < n; ++r) {
+      hashes[r] = (hashes[r] ^ col[r]) * 1099511628211ULL;
+    }
+  }
 
   // Open-addressing signature index: slot -> group id + 1 (0 = empty),
   // sized to stay at most half full. Group ids are assigned in first-
@@ -72,8 +72,15 @@ GroupedTable::GroupedTable(const Table& table, Workspace* workspace) {
   auto reps_s = ws.U32();
   std::vector<std::uint32_t>& reps = *reps_s;  // representative row per group
 
+  // Signature equality between two rows, checked column by column.
+  auto same_signature = [&cols, d](RowId x, RowId y) {
+    for (AttrId a = 0; a < d; ++a) {
+      if (cols[a][x] != cols[a][y]) return false;
+    }
+    return true;
+  };
+
   for (RowId r = 0; r < n; ++r) {
-    auto qi = table.qi_row(r);
     std::size_t i = MixU64(hashes[r]) & mask;
     for (;;) {
       if (slots[i] == 0) {
@@ -84,13 +91,10 @@ GroupedTable::GroupedTable(const Table& table, Workspace* workspace) {
         break;
       }
       std::uint32_t g = slots[i] - 1;
-      if (hashes[reps[g]] == hashes[r]) {
-        auto rep_qi = table.qi_row(reps[g]);
-        if (std::equal(qi.begin(), qi.end(), rep_qi.begin(), rep_qi.end())) {
-          group_of[r] = g;
-          ++sizes[g];
-          break;
-        }
+      if (hashes[reps[g]] == hashes[r] && same_signature(r, reps[g])) {
+        group_of[r] = g;
+        ++sizes[g];
+        break;
       }
       i = (i + 1) & mask;
     }
@@ -100,8 +104,8 @@ GroupedTable::GroupedTable(const Table& table, Workspace* workspace) {
   const std::size_t s = reps.size();
   groups_.resize(s);
   for (GroupId g = 0; g < s; ++g) {
-    auto qi = table.qi_row(reps[g]);
-    groups_[g].qi_values.assign(qi.begin(), qi.end());
+    groups_[g].qi_values.resize(d);
+    for (AttrId a = 0; a < d; ++a) groups_[g].qi_values[a] = cols[a][reps[g]];
     groups_[g].rows.reserve(sizes[g]);
   }
   for (RowId r = 0; r < n; ++r) groups_[group_of[r]].rows.push_back(r);

@@ -6,12 +6,39 @@
 
 namespace ldv {
 
+const std::string& ValueDictionary::label(Value code) const {
+  LDIV_CHECK_LT(code, labels_.size());
+  return labels_[code];
+}
+
+const Value* ValueDictionary::Find(std::string_view label) const {
+  auto it = index_.find(label);
+  return it == index_.end() ? nullptr : &it->second;
+}
+
+Value ValueDictionary::GetOrAdd(std::string_view label) {
+  auto it = index_.find(label);
+  if (it != index_.end()) return it->second;
+  Value code = static_cast<Value>(labels_.size());
+  labels_.emplace_back(label);
+  index_.emplace(labels_.back(), code);
+  return code;
+}
+
 Schema::Schema(std::vector<Attribute> qi_attributes, Attribute sensitive_attribute)
     : qi_attributes_(std::move(qi_attributes)), sensitive_(std::move(sensitive_attribute)) {}
 
 const Attribute& Schema::qi(AttrId i) const {
   LDIV_CHECK_LT(i, qi_attributes_.size());
   return qi_attributes_[i];
+}
+
+bool Schema::has_dictionaries() const {
+  if (sensitive_.has_dictionary()) return true;
+  for (const Attribute& a : qi_attributes_) {
+    if (a.has_dictionary()) return true;
+  }
+  return false;
 }
 
 Schema Schema::Project(const std::vector<AttrId>& qi_subset) const {

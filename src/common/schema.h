@@ -3,17 +3,72 @@
 
 #include <cstddef>
 #include <string>
+#include <string_view>
+#include <unordered_map>
 #include <vector>
 
 #include "common/types.h"
 
 namespace ldv {
 
+/// Insertion-ordered label <-> code mapping for one categorical attribute.
+/// Raw (string-valued) CSV ingestion builds one per column: the first
+/// distinct label becomes code 0, the next code 1, and so on, so the
+/// dictionary doubles as the attribute domain. An empty dictionary means
+/// the attribute is natively integer-coded (the seed's only mode) and
+/// values print as their codes.
+class ValueDictionary {
+ public:
+  ValueDictionary() = default;
+
+  bool empty() const { return labels_.empty(); }
+  std::size_t size() const { return labels_.size(); }
+
+  /// The label of `code`. `code` must be a valid dictionary code.
+  const std::string& label(Value code) const;
+
+  /// The code of `label`, or nullptr if the label has never been added.
+  const Value* Find(std::string_view label) const;
+
+  /// Returns the code of `label`, adding it (insertion-ordered) on first
+  /// sight. Ingestion builds dictionaries through this single entry point.
+  Value GetOrAdd(std::string_view label);
+
+  /// Dictionaries are equal when they map the same codes to the same
+  /// labels in the same order.
+  friend bool operator==(const ValueDictionary& a, const ValueDictionary& b) {
+    return a.labels_ == b.labels_;
+  }
+
+ private:
+  struct StringHash {
+    using is_transparent = void;
+    std::size_t operator()(std::string_view text) const {
+      return std::hash<std::string_view>{}(text);
+    }
+  };
+
+  std::vector<std::string> labels_;  // code -> label, insertion-ordered
+  std::unordered_map<std::string, Value, StringHash, std::equal_to<>> index_;  // label -> code
+};
+
 /// Description of one categorical attribute: its name and domain size.
-/// Values of the attribute are integer codes in [0, domain_size).
+/// Values of the attribute are integer codes in [0, domain_size). When the
+/// attribute was ingested from a raw (string-valued) CSV, `dictionary`
+/// carries the label of every code so releases can be decoded back to
+/// human-readable form; for natively coded data it stays empty.
 struct Attribute {
   std::string name;
   std::size_t domain_size = 0;
+  ValueDictionary dictionary;
+
+  Attribute() = default;
+  Attribute(std::string name, std::size_t domain_size)
+      : name(std::move(name)), domain_size(domain_size) {}
+  Attribute(std::string name, std::size_t domain_size, ValueDictionary dictionary)
+      : name(std::move(name)), domain_size(domain_size), dictionary(std::move(dictionary)) {}
+
+  bool has_dictionary() const { return !dictionary.empty(); }
 };
 
 /// Schema of a microdata table (Section 3): d quasi-identifier attributes
@@ -37,9 +92,14 @@ class Schema {
   /// Domain size m of the sensitive attribute.
   std::size_t sa_domain_size() const { return sensitive_.domain_size; }
 
+  /// True if any attribute (QI or SA) carries a value dictionary, i.e. the
+  /// table was ingested from a raw string-valued CSV.
+  bool has_dictionaries() const;
+
   /// Returns a new schema keeping only the QI attributes listed in
   /// `qi_subset` (in the given order). The SA attribute is always kept.
   /// This models the paper's SAL-d / OCC-d projection workloads.
+  /// Dictionaries travel with their attributes.
   Schema Project(const std::vector<AttrId>& qi_subset) const;
 
   /// True if every QI domain size and the SA domain size are positive.
@@ -48,6 +108,9 @@ class Schema {
   /// Human-readable one-line description, e.g. "Age(79),Gender(2)|Income(50)".
   std::string ToString() const;
 
+  /// Equality compares attribute names and domain sizes; dictionaries are
+  /// data payload, not schema identity (two loads of the same raw CSV
+  /// compare equal even though each rebuilt its dictionaries).
   friend bool operator==(const Schema& a, const Schema& b);
 
  private:

@@ -8,8 +8,23 @@
 
 namespace ldv {
 
-Table::Table(Schema schema) : schema_(std::move(schema)) {
+Table::Table(Schema schema) : schema_(std::move(schema)), qi_columns_(schema_.qi_count()) {
   LDIV_CHECK(schema_.Valid()) << "invalid schema:" << schema_.ToString();
+}
+
+Table Table::FromColumns(Schema schema, std::vector<std::vector<Value>> qi_columns,
+                         std::vector<SaValue> sa_column) {
+  Table table(std::move(schema));
+  LDIV_CHECK_EQ(qi_columns.size(), table.qi_count());
+  for (std::size_t a = 0; a < qi_columns.size(); ++a) {
+    LDIV_CHECK_EQ(qi_columns[a].size(), sa_column.size());
+    const std::size_t domain = table.schema_.qi(static_cast<AttrId>(a)).domain_size;
+    for (Value v : qi_columns[a]) LDIV_CHECK_LT(v, domain);
+  }
+  for (SaValue v : sa_column) LDIV_CHECK_LT(v, table.schema_.sa_domain_size());
+  table.qi_columns_ = std::move(qi_columns);
+  table.sa_data_ = std::move(sa_column);
+  return table;
 }
 
 void Table::AppendRow(std::span<const Value> qi_values, SaValue sa) {
@@ -18,12 +33,12 @@ void Table::AppendRow(std::span<const Value> qi_values, SaValue sa) {
     LDIV_CHECK_LT(qi_values[i], schema_.qi(static_cast<AttrId>(i)).domain_size);
   }
   LDIV_CHECK_LT(sa, schema_.sa_domain_size());
-  qi_data_.insert(qi_data_.end(), qi_values.begin(), qi_values.end());
+  for (std::size_t i = 0; i < qi_values.size(); ++i) qi_columns_[i].push_back(qi_values[i]);
   sa_data_.push_back(sa);
 }
 
 void Table::Reserve(std::size_t rows) {
-  qi_data_.reserve(rows * qi_count());
+  for (std::vector<Value>& column : qi_columns_) column.reserve(rows);
   sa_data_.reserve(rows);
 }
 
@@ -40,24 +55,27 @@ std::size_t Table::DistinctSaCount() const {
 }
 
 Table Table::ProjectQi(const std::vector<AttrId>& qi_subset) const {
-  Table out(schema_.Project(qi_subset));
-  out.Reserve(size());
-  std::vector<Value> row(qi_subset.size());
-  for (RowId r = 0; r < size(); ++r) {
-    for (std::size_t j = 0; j < qi_subset.size(); ++j) row[j] = qi(r, qi_subset[j]);
-    out.AppendRow(row, sa(r));
+  std::vector<std::vector<Value>> columns;
+  columns.reserve(qi_subset.size());
+  for (AttrId a : qi_subset) {
+    LDIV_CHECK_LT(a, qi_count());
+    columns.push_back(qi_columns_[a]);
   }
-  return out;
+  return FromColumns(schema_.Project(qi_subset), std::move(columns), sa_data_);
 }
 
 Table Table::SelectRows(const std::vector<RowId>& rows) const {
-  Table out(schema_);
-  out.Reserve(rows.size());
-  for (RowId r : rows) {
-    LDIV_CHECK_LT(r, size());
-    out.AppendRow(qi_row(r), sa(r));
+  for (RowId r : rows) LDIV_CHECK_LT(r, size());
+  std::vector<std::vector<Value>> columns(qi_count());
+  for (std::size_t a = 0; a < qi_count(); ++a) {
+    const std::vector<Value>& source = qi_columns_[a];
+    columns[a].reserve(rows.size());
+    for (RowId r : rows) columns[a].push_back(source[r]);
   }
-  return out;
+  std::vector<SaValue> sa;
+  sa.reserve(rows.size());
+  for (RowId r : rows) sa.push_back(sa_data_[r]);
+  return FromColumns(schema_, std::move(columns), std::move(sa));
 }
 
 Table Table::SampleRows(std::size_t count, Rng& rng) const {

@@ -1,6 +1,7 @@
 #ifndef LDIV_COMMON_TABLE_H_
 #define LDIV_COMMON_TABLE_H_
 
+#include <array>
 #include <cstddef>
 #include <span>
 #include <vector>
@@ -11,16 +12,59 @@
 namespace ldv {
 
 class Rng;
+class Table;
+
+/// A materialized QI row over the columnar storage: qi_row() gathers the
+/// row's d values out of the attribute columns into this small owning
+/// buffer (inline up to kInlineAttrs attributes, heap beyond that), so
+/// row-oriented call sites keep compiling against the columnar Table. The
+/// view converts to std::span<const Value>, indexes, and iterates like the
+/// contiguous row slice it replaces. Because the buffer is OWNED, a span
+/// taken from a temporary (`std::span<const Value> s = t.qi_row(r);`)
+/// dangles past the end of the statement -- passing `t.qi_row(r)` directly
+/// into a call is fine, storing the conversion is not; keep the QiRow
+/// itself (`auto qi = t.qi_row(r);`) to hold the values. Column-major code
+/// should scan Table::column() instead of materializing rows.
+class QiRow {
+ public:
+  QiRow(const Table& table, RowId row);
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  const Value* data() const { return size_ <= kInlineAttrs ? inline_.data() : heap_.data(); }
+  Value operator[](std::size_t attr) const { return data()[attr]; }
+  const Value* begin() const { return data(); }
+  const Value* end() const { return data() + size_; }
+
+  operator std::span<const Value>() const { return {data(), size_}; }
+
+  std::vector<Value> ToVector() const { return {begin(), end()}; }
+
+ private:
+  static constexpr std::size_t kInlineAttrs = 8;
+
+  std::size_t size_ = 0;
+  std::array<Value, kInlineAttrs> inline_;
+  std::vector<Value> heap_;  // engaged only when size_ > kInlineAttrs
+};
 
 /// A raw microdata table T (Section 3): n rows over d categorical QI
-/// attributes and one categorical sensitive attribute. Storage is row-major
-/// for the QI part (`qi_data_[row * d + attr]`) with the SA column kept
-/// separately, because the anonymization algorithms touch SA values far more
-/// often than QI values.
+/// attributes and one categorical sensitive attribute. Storage is columnar:
+/// one contiguous std::vector<Value> per QI attribute plus the SA column,
+/// so the hot loops (signature hashing, Mondrian's histogram scans, KL
+/// point packing) stream one attribute at a time instead of striding
+/// across row-major memory. Row-oriented call sites go through qi() /
+/// qi_row(); column-major code takes column() spans.
 class Table {
  public:
   /// Creates an empty table with the given schema.
   explicit Table(Schema schema);
+
+  /// Builds a table directly from columnar data: one column per QI
+  /// attribute (all of equal length, values inside their domains) plus the
+  /// SA column. This is the bulk-ingestion path of the raw CSV reader.
+  static Table FromColumns(Schema schema, std::vector<std::vector<Value>> qi_columns,
+                           std::vector<SaValue> sa_column);
 
   Table(const Table&) = default;
   Table& operator=(const Table&) = default;
@@ -40,21 +84,23 @@ class Table {
   /// must lie in its attribute domain, and `sa` must lie in the SA domain.
   void AppendRow(std::span<const Value> qi_values, SaValue sa);
 
-  /// Reserves storage for `rows` rows.
+  /// Reserves storage for `rows` rows in every column.
   void Reserve(std::size_t rows);
 
   /// QI value of row `row` on attribute `attr`.
-  Value qi(RowId row, AttrId attr) const {
-    return qi_data_[static_cast<std::size_t>(row) * qi_count() + attr];
-  }
+  Value qi(RowId row, AttrId attr) const { return qi_columns_[attr][row]; }
 
-  /// The full QI vector of row `row`.
-  std::span<const Value> qi_row(RowId row) const {
-    return {qi_data_.data() + static_cast<std::size_t>(row) * qi_count(), qi_count()};
-  }
+  /// The full QI vector of row `row`, materialized out of the columns.
+  QiRow qi_row(RowId row) const { return QiRow(*this, row); }
+
+  /// The contiguous column of attribute `attr` (size n).
+  std::span<const Value> column(AttrId attr) const { return qi_columns_[attr]; }
 
   /// SA value of row `row`.
   SaValue sa(RowId row) const { return sa_data_[row]; }
+
+  /// The contiguous SA column (size n).
+  std::span<const SaValue> sa_column() const { return sa_data_; }
 
   /// Histogram of SA values over the whole table: result[v] = #rows with SA v.
   std::vector<std::uint32_t> SaHistogramCounts() const;
@@ -64,6 +110,7 @@ class Table {
 
   /// Returns the projection of this table onto the QI attributes in
   /// `qi_subset` (order preserved); SA is always kept. Models SAL-d / OCC-d.
+  /// On the columnar layout this is a plain copy of the kept columns.
   Table ProjectQi(const std::vector<AttrId>& qi_subset) const;
 
   /// Returns a table containing only the rows in `rows` (in order).
@@ -75,9 +122,18 @@ class Table {
 
  private:
   Schema schema_;
-  std::vector<Value> qi_data_;   // row-major, size = n * d
-  std::vector<SaValue> sa_data_;  // size = n
+  std::vector<std::vector<Value>> qi_columns_;  // d columns, each of size n
+  std::vector<SaValue> sa_data_;                // size = n
 };
+
+inline QiRow::QiRow(const Table& table, RowId row) : size_(table.qi_count()) {
+  Value* out = inline_.data();
+  if (size_ > kInlineAttrs) {
+    heap_.resize(size_);
+    out = heap_.data();
+  }
+  for (std::size_t a = 0; a < size_; ++a) out[a] = table.qi(row, static_cast<AttrId>(a));
+}
 
 }  // namespace ldv
 

@@ -1,8 +1,10 @@
 #include "data/dataset.h"
 
 #include <cctype>
+#include <fstream>
 #include <string_view>
 
+#include "common/csv.h"
 #include "data/acs_generator.h"
 #include "data/acs_schema.h"
 
@@ -16,7 +18,108 @@ std::string Lowered(std::string_view text) {
   return lowered;
 }
 
+bool IsIntegerCell(const std::string& cell) {
+  if (cell.empty()) return false;
+  for (char c : cell) {
+    if (c < '0' || c > '9') return false;
+  }
+  return true;
+}
+
 }  // namespace
+
+bool ParseCsvFormat(std::string_view text, CsvFormat* format, std::string* error) {
+  std::string lowered = Lowered(text);
+  if (lowered == "auto") {
+    *format = CsvFormat::kAuto;
+  } else if (lowered == "coded") {
+    *format = CsvFormat::kCoded;
+  } else if (lowered == "raw") {
+    *format = CsvFormat::kRaw;
+  } else {
+    *error = "unknown CSV format '" + std::string(text) + "' (available: auto, coded, raw)";
+    return false;
+  }
+  return true;
+}
+
+std::string_view CsvFormatName(CsvFormat format) {
+  switch (format) {
+    case CsvFormat::kAuto:
+      return "auto";
+    case CsvFormat::kCoded:
+      return "coded";
+    case CsvFormat::kRaw:
+      return "raw";
+  }
+  return "auto";
+}
+
+std::optional<CsvFormat> DetectCsvFormat(const std::string& path, std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    *error = "cannot open '" + path + "'";
+    return std::nullopt;
+  }
+  std::string line;
+  if (!std::getline(in, line)) {
+    *error = "'" + path + "' is empty (missing header row)";
+    return std::nullopt;
+  }
+  while (std::getline(in, line)) {
+    if (IsBlankCsvLine(line)) continue;
+    std::vector<std::string> cells;
+    SplitCsvLine(line, &cells);
+    for (const std::string& cell : cells) {
+      if (!IsIntegerCell(cell)) return CsvFormat::kRaw;
+    }
+    return CsvFormat::kCoded;
+  }
+  *error = "'" + path + "' has no data rows after the header";
+  return std::nullopt;
+}
+
+bool ResolveCsvFormat(const std::string& path, CsvFormat format, bool has_schema,
+                      CsvFormat* resolved, std::string* error) {
+  if (format != CsvFormat::kAuto) {
+    *resolved = format;
+    return true;
+  }
+  if (has_schema) {
+    // A schema means a coded load: raw files carry no codes to check
+    // against it. Mismatches surface as positioned parse errors.
+    *resolved = CsvFormat::kCoded;
+    return true;
+  }
+  std::string detect_error;
+  std::optional<CsvFormat> detected = DetectCsvFormat(path, &detect_error);
+  if (detected.has_value() && *detected == CsvFormat::kCoded) {
+    *error = "'" + path +
+             "' looks integer-coded: pass a schema (--schema=...) for a coded load, or "
+             "force format 'raw' to ingest the digits as labels";
+    return false;
+  }
+  *resolved = CsvFormat::kRaw;
+  return true;
+}
+
+std::optional<Table> LoadTableCsv(const std::string& path, CsvFormat format,
+                                  const Schema* schema, std::string* error) {
+  if (!ResolveCsvFormat(path, format, schema != nullptr, &format, error)) return std::nullopt;
+  CsvError csv_error;
+  if (format == CsvFormat::kCoded) {
+    if (schema == nullptr) {
+      *error = "a coded CSV load requires a schema";
+      return std::nullopt;
+    }
+    std::optional<Table> table = ReadTableCsv(*schema, path, &csv_error);
+    if (!table) *error = csv_error.ToString();
+    return table;
+  }
+  std::optional<Table> table = ReadRawTableCsv(path, &csv_error);
+  if (!table) *error = csv_error.ToString();
+  return table;
+}
 
 std::optional<DatasetSpec> ResolveDatasetSpec(const DatasetSpec& spec, std::string* error) {
   DatasetSpec resolved = spec;

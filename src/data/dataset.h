@@ -4,10 +4,48 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <string_view>
 
 #include "common/table.h"
 
 namespace ldv {
+
+/// How a CSV input file encodes its cells.
+enum class CsvFormat {
+  kAuto,   ///< Sniff the file: all-integer first data row = coded, else raw.
+  kCoded,  ///< Integer codes; a Schema describes the domains (the seed format).
+  kRaw,    ///< String labels; per-column dictionaries are built on the fly.
+};
+
+/// Parses "auto" / "coded" / "raw" (case-insensitive). Returns false with
+/// a usage-grade message on anything else.
+bool ParseCsvFormat(std::string_view text, CsvFormat* format, std::string* error);
+
+/// The canonical lower-case name of `format`.
+std::string_view CsvFormatName(CsvFormat format);
+
+/// Sniffs the file's format: kCoded when every cell of the first data row
+/// parses as a non-negative integer, kRaw otherwise. Returns std::nullopt
+/// (with `*error` set) when the file cannot be opened or has no data row.
+std::optional<CsvFormat> DetectCsvFormat(const std::string& path, std::string* error);
+
+/// The single kAuto resolution policy, shared by the CLI front-end and
+/// LoadTableCsv: with a schema the load is coded; without one the file is
+/// sniffed -- a string-valued file resolves to kRaw, while an
+/// integer-coded-looking file is rejected (almost certainly a coded CSV
+/// missing its schema; pass one, or force kRaw to ingest digits as
+/// labels). Detection I/O failures resolve to kRaw so the loader's own
+/// open error reports the path. Non-auto formats pass through unchanged.
+bool ResolveCsvFormat(const std::string& path, CsvFormat format, bool has_schema,
+                      CsvFormat* resolved, std::string* error);
+
+/// Loads a CSV microdata table, resolving kAuto through DetectCsvFormat.
+/// Coded loads require `schema` (header and cells are validated against
+/// it); raw loads require `schema == nullptr` (the dictionaries define the
+/// domains). Errors render as one line, with line/column positions for
+/// parse failures.
+std::optional<Table> LoadTableCsv(const std::string& path, CsvFormat format,
+                                  const Schema* schema, std::string* error);
 
 /// Specification of one synthetic dataset, the CLI front-end over the ACS
 /// generators: which extract, how many rows, which seed, and an optional

@@ -70,10 +70,11 @@ void ComputeCodes(const Table& table, std::vector<std::uint64_t>* codes) {
   HilbertCurve curve(d, bits);
 
   codes->resize(table.size());
+  std::vector<const Value*> cols(d);
+  for (AttrId a = 0; a < d; ++a) cols[a] = table.column(a).data();
   std::vector<std::uint32_t> coords(d);
   for (RowId r = 0; r < table.size(); ++r) {
-    auto qi = table.qi_row(r);
-    for (std::uint32_t i = 0; i < d; ++i) coords[i] = qi[i] >> shift;
+    for (std::uint32_t i = 0; i < d; ++i) coords[i] = cols[i][r] >> shift;
     (*codes)[r] = curve.Encode(coords);
   }
 }
@@ -143,22 +144,23 @@ void WindowDpSplit(const Table& table, const std::vector<RowId>& order, std::uin
   auto counts_s = ws.U32();
   auto touched_s = ws.U32();
   GrowingEligibility acc(&*counts_s, &*touched_s, table.schema().sa_domain_size());
+  std::vector<const Value*> cols(d);
+  for (AttrId a = 0; a < d; ++a) cols[a] = table.column(a).data();
   std::vector<Value> first_value(d);
   std::vector<char> uniform(d);
 
   for (std::size_t i = 1; i <= n; ++i) {
     acc.Reset();
     std::fill(uniform.begin(), uniform.end(), 1);
-    auto qi_last = table.qi_row(order[i - 1]);
-    for (std::size_t a = 0; a < d; ++a) first_value[a] = qi_last[a];
+    for (std::size_t a = 0; a < d; ++a) first_value[a] = cols[a][order[i - 1]];
     std::size_t nonuniform = 0;
     bool found_eligible = false;
     for (std::size_t j = i; j-- > 0;) {
       // Extend the candidate group to cover rows (j, i] in Hilbert order.
       acc.Add(table.sa(order[j]));
-      auto qi = table.qi_row(order[j]);
+      const RowId row = order[j];
       for (std::size_t a = 0; a < d; ++a) {
-        if (uniform[a] && qi[a] != first_value[a]) {
+        if (uniform[a] && cols[a][row] != first_value[a]) {
           uniform[a] = 0;
           ++nonuniform;
         }

@@ -36,14 +36,14 @@ ExactM2Result SolveExactM2(const Table& table) {
 
   const std::size_t n = s1.size();
   const std::size_t d = table.qi_count();
+  std::vector<const Value*> cols(d);
+  for (AttrId a = 0; a < d; ++a) cols[a] = table.column(a).data();
   std::vector<std::vector<std::int64_t>> cost(n, std::vector<std::int64_t>(n, 0));
   for (std::size_t i = 0; i < n; ++i) {
-    auto qi_a = table.qi_row(s1[i]);
     for (std::size_t j = 0; j < n; ++j) {
-      auto qi_b = table.qi_row(s2[j]);
       std::int64_t differing = 0;
       for (std::size_t a = 0; a < d; ++a) {
-        if (qi_a[a] != qi_b[a]) ++differing;
+        if (cols[a][s1[i]] != cols[a][s2[j]]) ++differing;
       }
       // Definition 1 assigns one star to each tuple on each disagreeing
       // attribute, so a pair costs 2 stars per disagreeing attribute.

@@ -32,6 +32,24 @@ class PointPacker {
     return key;
   }
 
+  /// Packed ids of every row, accumulated column by column (one pass per
+  /// QI attribute over its contiguous column, then the SA column when
+  /// `include_sa`) -- the columnar replacement for packing row views.
+  std::vector<std::uint64_t> PackAllRows(const Table& table, bool include_sa) const {
+    const std::size_t n = table.size();
+    std::vector<std::uint64_t> keys(n, 0);
+    for (std::size_t a = 0; a < strides_.size(); ++a) {
+      const Value* col = table.column(static_cast<AttrId>(a)).data();
+      const std::uint64_t stride = strides_[a];
+      for (RowId r = 0; r < n; ++r) keys[r] += stride * col[r];
+    }
+    if (include_sa) {
+      const SaValue* sa = table.sa_column().data();
+      for (RowId r = 0; r < n; ++r) keys[r] += sa_stride_ * sa[r];
+    }
+    return keys;
+  }
+
  private:
   static void Grow(std::uint64_t* stride, std::uint64_t radix) {
     LDIV_CHECK_LT(*stride, std::numeric_limits<std::uint64_t>::max() / (radix + 1))
@@ -56,14 +74,14 @@ struct PointCount {
 // FlatMap only resolves duplicates; the sums below iterate the flat
 // vector.
 std::vector<PointCount> DistinctPoints(const Table& table, const PointPacker& packer) {
+  std::vector<std::uint64_t> keys = packer.PackAllRows(table, /*include_sa=*/true);
   std::vector<PointCount> points;
   points.reserve(table.size());
   FlatMap<std::uint32_t> index(table.size());
   for (RowId r = 0; r < table.size(); ++r) {
-    std::uint64_t key = packer.Pack(table.qi_row(r), table.sa(r));
-    auto [slot, inserted] = index.TryEmplace(key, static_cast<std::uint32_t>(points.size()));
+    auto [slot, inserted] = index.TryEmplace(keys[r], static_cast<std::uint32_t>(points.size()));
     if (inserted) {
-      points.push_back(PointCount{key, r, 1});
+      points.push_back(PointCount{keys[r], r, 1});
     } else {
       ++points[*slot].count;
     }
@@ -147,8 +165,8 @@ double KlDivergenceSuppression(const Table& table, const GeneralizedTable& gener
   PointPacker packer(schema);
   double kl = 0.0;
   for (const PointCount& pc : DistinctPoints(table, packer)) {
-    auto qi = table.qi_row(pc.representative);
-    SaValue sa = table.sa(pc.representative);
+    const RowId rep = pc.representative;
+    SaValue sa = table.sa(rep);
     double fstar_n = 0.0;  // n * f*(p)
     for (const MaskBucket& bucket : buckets) {
       std::uint64_t probe;
@@ -159,7 +177,7 @@ double KlDivergenceSuppression(const Table& table, const GeneralizedTable& gener
       } else {
         probe = static_cast<std::uint64_t>(sa) * bucket.sa_stride;
         for (std::size_t i = 0; i < bucket.unstarred.size(); ++i) {
-          probe += bucket.strides[i] * qi[bucket.unstarred[i]];
+          probe += bucket.strides[i] * table.qi(rep, bucket.unstarred[i]);
         }
       }
       const double* mass = bucket.mass.Find(probe);
@@ -222,20 +240,26 @@ double KlDivergenceMultiDim(const Table& table, const BoxGeneralization& gen) {
     }
   }
 
+  // Per-attribute column base pointers for the representative-row probes.
+  std::vector<const Value*> cols(d);
+  for (std::size_t a = 0; a < d; ++a) cols[a] = table.column(static_cast<AttrId>(a)).data();
+
   PointPacker packer(table.schema());
   double kl = 0.0;
   for (const PointCount& pc : DistinctPoints(table, packer)) {
-    auto qi = table.qi_row(pc.representative);
-    SaValue sa = table.sa(pc.representative);
+    const RowId rep = pc.representative;
+    const Value qi0 = cols[0][rep];
+    SaValue sa = table.sa(rep);
     double fstar_n = 0.0;
-    for (std::uint32_t i = offsets[qi[0]]; i < offsets[qi[0] + 1]; ++i) {
+    for (std::uint32_t i = offsets[qi0]; i < offsets[qi0 + 1]; ++i) {
       std::uint32_t g = candidates[i];
       const Value* lo = bounds.data() + (2 * g) * d;
       const Value* hi = lo + d;
       // Attribute 0 is already filtered by the candidate index.
       bool inside = true;
       for (std::size_t a = 1; a < d; ++a) {
-        if (qi[a] < lo[a] || qi[a] >= hi[a]) {
+        const Value v = cols[a][rep];
+        if (v < lo[a] || v >= hi[a]) {
           inside = false;
           break;
         }
@@ -276,10 +300,11 @@ double KlDivergenceAnatomy(const Table& table, const Partition& buckets) {
   std::vector<std::uint32_t> class_of(table.size());
   std::uint32_t class_count = 0;
   {
+    // QI-only keys (no SA term), packed in one column-major sweep.
+    std::vector<std::uint64_t> qi_keys = packer.PackAllRows(table, /*include_sa=*/false);
     FlatMap<std::uint32_t> classes(table.size());
     for (RowId r = 0; r < table.size(); ++r) {
-      // Pack only QI values (fake SA of 0).
-      auto [slot, inserted] = classes.TryEmplace(packer.Pack(table.qi_row(r), 0), class_count);
+      auto [slot, inserted] = classes.TryEmplace(qi_keys[r], class_count);
       class_of[r] = *slot;
       if (inserted) ++class_count;
     }
@@ -311,12 +336,24 @@ double KlDivergenceAnatomy(const Table& table, const Partition& buckets) {
 double KlDivergenceSingleDim(const Table& table, const SingleDimGeneralization& gen) {
   if (table.empty()) return 0.0;
   const double n = static_cast<double>(table.size());
+  const std::size_t d = table.qi_count();
+
+  // Row gather buffer reused across the scans below: PackedCellId /
+  // CellVolume take a row's QI vector, so the columns are gathered into
+  // one scratch vector per probe instead of materializing QiRow views.
+  std::vector<const Value*> cols(d);
+  for (std::size_t a = 0; a < d; ++a) cols[a] = table.column(static_cast<AttrId>(a)).data();
+  std::vector<Value> qi(d);
+  auto gather = [&cols, &qi, d](RowId r) {
+    for (std::size_t a = 0; a < d; ++a) qi[a] = cols[a][r];
+  };
 
   // Per (cell, SA) counts; cells tile the space so each point probes one.
   FlatMap<std::uint32_t> cell_sa_counts(table.size());
   const std::uint64_t m = table.schema().sa_domain_size();
   for (RowId r = 0; r < table.size(); ++r) {
-    std::uint64_t cell = gen.PackedCellId(table.qi_row(r));
+    gather(r);
+    std::uint64_t cell = gen.PackedCellId(qi);
     LDIV_CHECK_LT(cell, std::numeric_limits<std::uint64_t>::max() / m);
     ++cell_sa_counts[cell * m + table.sa(r)];
   }
@@ -324,7 +361,7 @@ double KlDivergenceSingleDim(const Table& table, const SingleDimGeneralization& 
   PointPacker packer(table.schema());
   double kl = 0.0;
   for (const PointCount& pc : DistinctPoints(table, packer)) {
-    auto qi = table.qi_row(pc.representative);
+    gather(pc.representative);
     SaValue sa = table.sa(pc.representative);
     std::uint64_t cell = gen.PackedCellId(qi);
     double volume = gen.CellVolume(qi);

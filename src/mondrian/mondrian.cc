@@ -22,9 +22,10 @@ namespace {
 // SA column is materialized once and permuted alongside the row ids, so
 // the eligibility pass streams it sequentially.
 //
-// Per node, one pass over the rows builds a small per-attribute value
-// histogram (the QI domains are categorical codes, so the histograms fit
-// comfortably in cache); spread, minimum and median all fall out of a walk
+// Per node, one gather pass per attribute over its contiguous column
+// builds a small per-attribute value histogram (the QI domains are
+// categorical codes, so the histograms fit comfortably in cache); spread,
+// minimum and median all fall out of a walk
 // over that histogram, replacing the seed's per-split copy-and-sort. When
 // the combined domains outgrow the range the node falls back to min/max
 // scans plus nth_element selection -- both paths produce the identical
@@ -57,6 +58,8 @@ class MondrianState {
         left_counts_(*left_counts_s_),
         right_counts_(*right_counts_s_),
         touched_(*touched_s_) {
+    cols_.resize(d_);
+    for (AttrId a = 0; a < d_; ++a) cols_[a] = table.column(a).data();
     rows_.resize(n_);
     std::iota(rows_.begin(), rows_.end(), 0u);
     sa_.resize(n_);
@@ -91,10 +94,12 @@ class MondrianState {
     const bool use_hist = vhist_offset_[d_] <= end - begin;
     if (use_hist) {
       std::fill(vhist_.begin(), vhist_.end(), 0u);
-      for (std::size_t i = begin; i < end; ++i) {
-        auto qi = table_.qi_row(rows_[i]);
-        const std::uint32_t* off = vhist_offset_.data();
-        for (AttrId a = 0; a < d_; ++a) ++vhist_[off[a] + qi[a]];
+      // Column-major: one pass per attribute, each streaming a single
+      // contiguous column (gathered through rows_) into its histogram.
+      for (AttrId a = 0; a < d_; ++a) {
+        const Value* col = cols_[a];
+        std::uint32_t* hist = vhist_.data() + vhist_offset_[a];
+        for (std::size_t i = begin; i < end; ++i) ++hist[col[rows_[i]]];
       }
       const std::size_t k = (end - begin) / 2;  // median = (k+1)-th smallest
       for (AttrId a = 0; a < d_; ++a) {
@@ -121,15 +126,16 @@ class MondrianState {
         medians_[a] = median;
       }
     } else {
-      auto qi0 = table_.qi_row(rows_[begin]);
-      for (AttrId a = 0; a < d_; ++a) mins_[a] = maxs_[a] = qi0[a];
-      for (std::size_t i = begin + 1; i < end; ++i) {
-        auto qi = table_.qi_row(rows_[i]);
-        for (AttrId a = 0; a < d_; ++a) {
-          Value v = qi[a];
-          mins_[a] = std::min(mins_[a], v);
-          maxs_[a] = std::max(maxs_[a], v);
+      for (AttrId a = 0; a < d_; ++a) {
+        const Value* col = cols_[a];
+        Value mn = col[rows_[begin]], mx = mn;
+        for (std::size_t i = begin + 1; i < end; ++i) {
+          Value v = col[rows_[i]];
+          mn = std::min(mn, v);
+          mx = std::max(mx, v);
         }
+        mins_[a] = mn;
+        maxs_[a] = mx;
       }
     }
 
@@ -160,12 +166,13 @@ class MondrianState {
       // anything, so a rejected cut leaves the range untouched.
       for (SaValue v : touched_) left_counts_[v] = right_counts_[v] = 0;
       touched_.clear();
+      const Value* cut_col = cols_[attr];
       std::uint64_t left_total = 0, right_total = 0;
       std::uint32_t left_max = 0, right_max = 0;
       for (std::size_t i = begin; i < end; ++i) {
         SaValue v = sa_[i];
         if (left_counts_[v] == 0 && right_counts_[v] == 0) touched_.push_back(v);
-        if (table_.qi(rows_[i], attr) < split) {
+        if (cut_col[rows_[i]] < split) {
           left_max = std::max(left_max, ++left_counts_[v]);
           ++left_total;
         } else {
@@ -186,7 +193,7 @@ class MondrianState {
       std::size_t write = begin;
       for (std::size_t i = begin; i < end; ++i) {
         RowId r = rows_[i];
-        if (table_.qi(r, attr) < split) {
+        if (cut_col[r] < split) {
           rows_[write++] = r;
         } else {
           scratch_.push_back(r);
@@ -226,7 +233,8 @@ class MondrianState {
       median = medians_[attr];
     } else {
       values_.clear();
-      for (std::size_t i = begin; i < end; ++i) values_.push_back(table_.qi(rows_[i], attr));
+      const Value* col = cols_[attr];
+      for (std::size_t i = begin; i < end; ++i) values_.push_back(col[rows_[i]]);
       const std::size_t k = values_.size() / 2;
       std::nth_element(values_.begin(), values_.begin() + k, values_.end());
       median = values_[k];
@@ -245,6 +253,7 @@ class MondrianState {
 
   ScratchVec<std::uint32_t> rows_s_, sa_s_, scratch_s_, values_s_, vhist_s_;
   ScratchVec<std::uint32_t> left_counts_s_, right_counts_s_, touched_s_;
+  std::vector<const Value*> cols_;  // per-attribute column base pointers
   std::vector<RowId>& rows_;             // the single shared row index buffer
   std::vector<SaValue>& sa_;             // SA column, permuted alongside rows_
   std::vector<std::uint32_t>& scratch_;  // right-side staging for stable partition

@@ -71,6 +71,7 @@ TEST(CliPipeline, CsvInputRoundTripsThroughRelease) {
 
   CliOptions options;
   options.input = input_path;
+  options.format = CsvFormat::kCoded;
   options.schema = table.schema();
   options.algorithms = {Algorithm::kTpPlus};
   options.ls = {3};
@@ -147,11 +148,12 @@ TEST(CliPipeline, InfeasibleJobIsReportedNotFatal) {
 TEST(CliPipeline, LoadAndGenerationFailuresAreCleanErrors) {
   CliOptions missing;
   missing.input = testing::TempDir() + "cli_pipeline_missing.csv";
+  missing.format = CsvFormat::kCoded;
   missing.schema = testutil::MakeSchema({4, 4}, 3);
   PipelineResult result;
   std::string error;
   EXPECT_FALSE(RunPipeline(missing, &result, &error));
-  EXPECT_NE(error.find("cannot read"), std::string::npos) << error;
+  EXPECT_NE(error.find("cannot open"), std::string::npos) << error;
 
   CliOptions bad_dataset = SyntheticOptions();
   bad_dataset.dataset.name = "census";

@@ -215,8 +215,40 @@ TEST(CliOptions, BadSchemaAndMissingSaAreCleanErrors) {
   EXPECT_NE(error.find("Age"), std::string::npos);
   EXPECT_FALSE(ParseCli({"--input=x.csv", "--schema=79"}, &options, &error));
   EXPECT_NE(error.find("sensitive"), std::string::npos) << error;
-  EXPECT_FALSE(ParseCli({"--input=x.csv"}, &options, &error));
-  EXPECT_NE(error.find("--schema"), std::string::npos);
+  // A coded-looking file without --schema is a usage error, not a silent
+  // raw ingestion of digit strings.
+  std::string coded = WriteTempFile("cli_coded_noschema.csv", "A,B\n1,0\n");
+  std::string input_flag = "--input=" + coded;
+  EXPECT_FALSE(ParseCli({input_flag.c_str()}, &options, &error));
+  EXPECT_NE(error.find("--schema"), std::string::npos) << error;
+  std::remove(coded.c_str());
+}
+
+TEST(CliOptions, FormatFlagRules) {
+  CliOptions options;
+  std::string error;
+  // --format only applies to CSV input.
+  EXPECT_FALSE(ParseCli({"--format=raw"}, &options, &error));
+  EXPECT_NE(error.find("--input"), std::string::npos) << error;
+  // Unknown format names are usage errors.
+  EXPECT_FALSE(ParseCli({"--input=x.csv", "--format=parquet"}, &options, &error));
+  EXPECT_NE(error.find("parquet"), std::string::npos) << error;
+  // raw + --schema conflict: the dictionaries define the domains.
+  EXPECT_FALSE(ParseCli({"--input=x.csv", "--format=raw", "--schema=3|2"}, &options, &error));
+  EXPECT_NE(error.find("raw"), std::string::npos) << error;
+  // coded requires --schema.
+  EXPECT_FALSE(ParseCli({"--input=x.csv", "--format=coded"}, &options, &error));
+  EXPECT_NE(error.find("--schema"), std::string::npos) << error;
+  // --schema implies a coded load under the default auto format.
+  options = CliOptions();
+  ASSERT_TRUE(ParseCli({"--input=x.csv", "--schema=Age:3|S:2"}, &options, &error)) << error;
+  EXPECT_EQ(options.format, CsvFormat::kCoded);
+  EXPECT_TRUE(options.schema.has_value());
+  // An explicit raw load never needs the file at parse time.
+  options = CliOptions();
+  ASSERT_TRUE(ParseCli({"--input=x.csv", "--format=raw"}, &options, &error)) << error;
+  EXPECT_EQ(options.format, CsvFormat::kRaw);
+  EXPECT_FALSE(options.schema.has_value());
 }
 
 TEST(CliOptions, DatasetSpecMistakesAreUsageErrors) {

@@ -3,8 +3,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <set>
+#include <span>
 
 #include "common/csv.h"
 #include "common/grouped_table.h"
@@ -70,12 +72,45 @@ TEST(Table, ProjectQiSelectsColumns) {
   EXPECT_EQ(projected.sa(0), 0u);
 }
 
+TEST(Table, ProjectQiReordersAndDuplicates) {
+  // The columnar projection copies whole columns; order and multiplicity
+  // of the subset must be preserved exactly.
+  Table table = testutil::PaperTable1();
+  Table projected = table.ProjectQi({2, 0, 2});
+  EXPECT_EQ(projected.qi_count(), 3u);
+  for (RowId r = 0; r < table.size(); ++r) {
+    EXPECT_EQ(projected.qi(r, 0), table.qi(r, 2));
+    EXPECT_EQ(projected.qi(r, 1), table.qi(r, 0));
+    EXPECT_EQ(projected.qi(r, 2), table.qi(r, 2));
+    EXPECT_EQ(projected.sa(r), table.sa(r));
+  }
+}
+
+TEST(Table, ProjectQiToZeroAttributesKeepsSa) {
+  Table table = testutil::PaperTable1();
+  Table projected = table.ProjectQi({});
+  EXPECT_EQ(projected.qi_count(), 0u);
+  EXPECT_EQ(projected.size(), table.size());
+  EXPECT_TRUE(projected.qi_row(0).empty());
+}
+
 TEST(Table, SelectRowsPreservesOrder) {
   Table table = testutil::PaperTable1();
   Table selected = table.SelectRows({9, 0, 4});
   EXPECT_EQ(selected.size(), 3u);
   EXPECT_EQ(selected.sa(0), 1u);  // Jane
   EXPECT_EQ(selected.sa(1), 0u);  // Adam
+  EXPECT_EQ(selected.qi(1, 0), table.qi(0, 0));
+}
+
+TEST(Table, SelectRowsEmptyAndRepeated) {
+  Table table = testutil::PaperTable1();
+  Table none = table.SelectRows({});
+  EXPECT_TRUE(none.empty());
+  EXPECT_EQ(none.qi_count(), table.qi_count());
+  Table twice = table.SelectRows({3, 3});
+  EXPECT_EQ(twice.size(), 2u);
+  EXPECT_EQ(twice.qi(0, 0), twice.qi(1, 0));
 }
 
 TEST(Table, SampleRowsIsSubsetWithoutReplacement) {
@@ -85,6 +120,54 @@ TEST(Table, SampleRowsIsSubsetWithoutReplacement) {
   EXPECT_EQ(sample.size(), 6u);
   Table all = table.SampleRows(100, rng);
   EXPECT_EQ(all.size(), table.size());
+  Table none = table.SampleRows(0, rng);
+  EXPECT_TRUE(none.empty());
+}
+
+TEST(Table, ColumnSpansMirrorAccessors) {
+  Table table = testutil::PaperTable1();
+  for (AttrId a = 0; a < table.qi_count(); ++a) {
+    std::span<const Value> column = table.column(a);
+    ASSERT_EQ(column.size(), table.size());
+    for (RowId r = 0; r < table.size(); ++r) EXPECT_EQ(column[r], table.qi(r, a));
+  }
+  std::span<const SaValue> sa = table.sa_column();
+  for (RowId r = 0; r < table.size(); ++r) EXPECT_EQ(sa[r], table.sa(r));
+}
+
+TEST(Table, QiRowMaterializesAcrossTheInlineBoundary) {
+  // 10 attributes exceed QiRow's inline capacity, exercising the heap
+  // fallback; the view must stay equal to the per-attribute accessors.
+  Schema schema = testutil::MakeSchema({2, 3, 2, 3, 2, 3, 2, 3, 2, 3}, 4);
+  Table table(schema);
+  std::vector<Value> qi = {1, 2, 0, 1, 1, 0, 1, 2, 0, 2};
+  table.AppendRow(qi, 3);
+  QiRow row = table.qi_row(0);
+  ASSERT_EQ(row.size(), qi.size());
+  for (std::size_t a = 0; a < qi.size(); ++a) EXPECT_EQ(row[a], qi[a]);
+  std::span<const Value> as_span = row;
+  EXPECT_TRUE(std::equal(as_span.begin(), as_span.end(), qi.begin()));
+  EXPECT_EQ(row.ToVector(), qi);
+}
+
+TEST(Table, FromColumnsBuildsColumnarStorageDirectly) {
+  Schema schema = testutil::MakeSchema({3, 2}, 2);
+  Table table = Table::FromColumns(schema, {{0, 1, 2}, {1, 0, 1}}, {0, 1, 0});
+  EXPECT_EQ(table.size(), 3u);
+  EXPECT_EQ(table.qi(1, 0), 1u);
+  EXPECT_EQ(table.qi(2, 1), 1u);
+  EXPECT_EQ(table.sa(1), 1u);
+}
+
+TEST(TableDeathTest, FromColumnsRejectsRaggedOrOutOfDomainColumns) {
+  Schema schema = testutil::MakeSchema({3, 2}, 2);
+  std::vector<SaValue> sa = {0, 1};
+  std::vector<std::vector<Value>> missing_column = {{0, 1}};
+  EXPECT_DEATH(Table::FromColumns(schema, missing_column, sa), "CHECK failed");
+  std::vector<std::vector<Value>> ragged = {{0, 1}, {1, 0, 1}};
+  EXPECT_DEATH(Table::FromColumns(schema, ragged, sa), "CHECK failed");
+  std::vector<std::vector<Value>> out_of_domain = {{0, 9}, {1, 0}};
+  EXPECT_DEATH(Table::FromColumns(schema, out_of_domain, sa), "CHECK failed");
 }
 
 TEST(Rng, DeterministicAcrossInstances) {

@@ -6,9 +6,12 @@
 #
 # For every registered algorithm: anonymize the committed micro CSV and
 # check that the release and the JSON/CSV metrics reports exist and are
-# well-formed. Then run a 12-job sweep (all algorithms x l in {2,4})
-# through the batch driver twice with different thread counts and require
-# byte-identical --no-timings reports (deterministic, job-ordered output).
+# well-formed; then repeat over the committed raw string-valued CSV
+# (dictionary ingestion) and require decoded labels plus the dictionary
+# sidecar in the outputs. Then run a 12-job sweep (all algorithms x l in
+# {2,4}) through the batch driver twice with different thread counts and
+# require byte-identical --no-timings reports (deterministic, job-ordered
+# output).
 set -euo pipefail
 
 BIN=$1
@@ -54,6 +57,26 @@ for algo in tp tp+ hilbert mondrian anatomy tds; do
 done
 [ -s "$TMP/anatomy_sa.csv" ] || { echo "FAIL: anatomy wrote no sensitive table"; exit 1; }
 
+echo "== raw string CSV: dictionary ingestion through every algorithm =="
+RAW_INPUT="$SRC/tests/data/micro_raw.csv"
+for algo in tp tp+ hilbert mondrian anatomy tds; do
+  "$BIN" --algo="$algo" --l=2 --input="$RAW_INPUT" --format=raw \
+    --out="$TMP/raw_$algo" 2> /dev/null
+  [ -s "$TMP/raw_$algo.csv" ] || { echo "FAIL: raw $algo wrote no release"; exit 1; }
+  grep -q "flu" "$TMP/raw_$algo.csv" "$TMP/raw_${algo}_sa.csv" 2> /dev/null ||
+    { echo "FAIL: raw $algo release holds no decoded labels"; exit 1; }
+  [ -s "$TMP/raw_${algo}_dict.csv" ] ||
+    { echo "FAIL: raw $algo wrote no dictionary sidecar"; exit 1; }
+  grep -q "^City,0," "$TMP/raw_${algo}_dict.csv" ||
+    { echo "FAIL: raw $algo dictionary sidecar is malformed"; exit 1; }
+  check_json "$TMP/raw_$algo.json" 1
+  echo "ok: raw $algo"
+done
+# Format auto-detection: a string-valued file loads without --schema or
+# --format, and the release decodes to the same labels.
+"$BIN" --algo=mondrian --l=2 --input="$RAW_INPUT" --out="$TMP/raw_auto" 2> /dev/null
+grep -q "flu" "$TMP/raw_auto.csv" || { echo "FAIL: auto-detected raw release"; exit 1; }
+
 echo "== usage errors exit with the documented codes, never an abort =="
 expect_exit() {
   local want=$1
@@ -67,6 +90,14 @@ expect_exit 1 "$BIN" --algo=bogus --out="$TMP/x"
 expect_exit 1 "$BIN" --input="$INPUT" --out="$TMP/x"
 expect_exit 1 "$BIN" --dataset=bogus --out="$TMP/x"
 expect_exit 1 "$BIN" --d=9 --out="$TMP/x"
+expect_exit 1 "$BIN" --input="$INPUT" --format=parquet --out="$TMP/x"
+expect_exit 1 "$BIN" --input="$RAW_INPUT" --format=raw --schema="$SCHEMA" --out="$TMP/x"
+# Structured CSV errors surface as one-line messages with positions.
+printf 'Age,Gender,Race,Income\n1,0,notanumber,0\n' > "$TMP/bad.csv"
+expect_exit 3 "$BIN" --input="$TMP/bad.csv" --schema="$SCHEMA" --out="$TMP/x"
+ERRMSG=$("$BIN" --input="$TMP/bad.csv" --schema="$SCHEMA" --out="$TMP/x" 2>&1 || true)
+echo "$ERRMSG" | grep -q "bad.csv:2: column 3" ||
+  { echo "FAIL: CSV parse error lost its line/column position: $ERRMSG"; exit 1; }
 expect_exit 2 "$BIN" --algo=tp --l=100000 --input="$INPUT" --schema="$SCHEMA" --out="$TMP/x"
 expect_exit 3 "$BIN" --input="$TMP/no_such_file.csv" --schema="$SCHEMA" --out="$TMP/x"
 

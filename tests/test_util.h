@@ -102,8 +102,7 @@ inline Table RandomEligibleTable(Rng& rng, std::size_t n, std::vector<std::size_
              static_cast<std::uint32_t>(m);
         ++counts[sa];
       }
-      std::vector<Value> row(table.qi_row(r).begin(), table.qi_row(r).end());
-      rebuilt.AppendRow(row, sa);
+      rebuilt.AppendRow(table.qi_row(r), sa);
     }
     table = std::move(rebuilt);
   }

@@ -57,6 +57,17 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "wrote input table to %s\n", options.emit_input.c_str());
   }
 
+  // A raw (dictionary-coded) input serializes its dictionaries alongside
+  // the releases so the codes stay machine-recoverable.
+  if (!result.tables.empty() && result.tables.front().table.schema().has_dictionaries()) {
+    std::string dict_path = options.out + "_dict.csv";
+    if (!WriteDictionaryCsv(result.tables.front().table.schema(), dict_path)) {
+      std::fprintf(stderr, "ldiv: cannot write '%s'\n", dict_path.c_str());
+      return kExitIo;
+    }
+    std::fprintf(stderr, "wrote value dictionaries to %s\n", dict_path.c_str());
+  }
+
   // Releases: single-job runs always write one; sweeps write per-job
   // releases only on request (--write-releases).
   bool single = result.jobs.size() == 1;
