@@ -11,11 +11,14 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdlib>
+#include <map>
+#include <string>
 
 #include "anonymity/generalization.h"
 #include "bench_util.h"
 #include "common/grouped_table.h"
 #include "common/histogram.h"
+#include "common/parallel.h"
 #include "common/rng.h"
 #include "common/workspace.h"
 #include "core/pillar_index.h"
@@ -29,6 +32,14 @@
 
 namespace ldv {
 namespace {
+
+// Structured workload descriptors per benchmark name, recorded beside the
+// timings in BENCH_micro.json (names stay stable; n / attrs / threads
+// travel as fields). Populated by RegisterBenchFields() below.
+std::map<std::string, bench::BenchFields>& FieldRegistry() {
+  static auto* registry = new std::map<std::string, bench::BenchFields>();
+  return *registry;
+}
 
 // ---- PillarIndex vs naive histogram scanning (ablation #2) ----
 
@@ -249,6 +260,113 @@ void BM_KlMultiDimColumnar(benchmark::State& state) {
 }
 BENCHMARK(BM_KlMultiDimColumnar)->Name("kl_multidim_columnar")->Arg(10000)->Arg(100000);
 
+// ---- Intra-run parallel series ----
+//
+// The hot kernels again, under explicit thread budgets (1 / 2 / 4): the
+// Hilbert window-DP partitioner on the 50k SAL-4 table, Mondrian on the
+// 100k SAL-4 table, and grouping on the full-width 100k SAL-7 table.
+// Outputs are byte-identical across budgets (perf_equivalence_test's
+// ThreadCountEquivalence suite), so these series measure pure scheduling
+// win -- on a single-core host the 2t/4t rows simply document the
+// oversubscription overhead. Registered with explicit ".../Nt" names so
+// the trajectory keys stay stable; the budget travels as the `threads`
+// field.
+
+void RunHilbertDpPar(benchmark::State& state, unsigned threads) {
+  const Table& t = CachedSal4();
+  HilbertOptions options;
+  options.splitter = HilbertOptions::Splitter::kWindowDp;
+  Workspace ws;
+  SetThreadBudget(threads);
+  for (auto _ : state) {
+    HilbertResult result = HilbertAnonymize(t, 6, options, &ws);
+    benchmark::DoNotOptimize(result.partition.group_count());
+  }
+  SetThreadBudget(1);
+  state.SetItemsProcessed(state.iterations() * t.size());
+}
+
+void RunMondrianPar(benchmark::State& state, unsigned threads) {
+  const Table& t = SizedSal4(100000);
+  Workspace ws;
+  SetThreadBudget(threads);
+  for (auto _ : state) {
+    MondrianResult result = MondrianAnonymize(t, 6, &ws);
+    benchmark::DoNotOptimize(result.partition.group_count());
+  }
+  SetThreadBudget(1);
+  state.SetItemsProcessed(state.iterations() * t.size());
+}
+
+void RunGroupingPar(benchmark::State& state, unsigned threads) {
+  const Table& t = SizedSal7(100000);
+  Workspace ws;
+  SetThreadBudget(threads);
+  for (auto _ : state) {
+    GroupedTable grouped(t, &ws);
+    benchmark::DoNotOptimize(grouped.group_count());
+  }
+  SetThreadBudget(1);
+  state.SetItemsProcessed(state.iterations() * t.size());
+}
+
+void RegisterParallelSeries() {
+  for (unsigned threads : {1u, 2u, 4u}) {
+    std::string suffix = "/";
+    suffix += std::to_string(threads);
+    suffix += "t";
+    auto series = [&suffix](const char* base) {
+      std::string name(base);
+      name += suffix;
+      return name;
+    };
+    benchmark::RegisterBenchmark(
+        series("hilbert_dp_par").c_str(),
+        [threads](benchmark::State& state) { RunHilbertDpPar(state, threads); });
+    FieldRegistry()[series("hilbert_dp_par")] = {50000, 4, threads};
+    benchmark::RegisterBenchmark(
+        series("mondrian_par").c_str(),
+        [threads](benchmark::State& state) { RunMondrianPar(state, threads); });
+    FieldRegistry()[series("mondrian_par")] = {100000, 4, threads};
+    benchmark::RegisterBenchmark(
+        series("grouping_par").c_str(),
+        [threads](benchmark::State& state) { RunGroupingPar(state, threads); });
+    FieldRegistry()[series("grouping_par")] = {100000, 7, threads};
+  }
+}
+
+// Workload descriptors of the statically registered series. The SAL-4
+// perf-regression rows run over 4 QI attributes, the columnar rows over
+// all 7 -- the `attrs` field is what explains e.g. kl_multidim_columnar
+// costing a multiple of kl_multidim at equal n.
+void RegisterBenchFields() {
+  auto& fields = FieldRegistry();
+  for (std::uint64_t n : {10000ull, 100000ull}) {
+    std::string suffix = "/";
+    suffix += std::to_string(n);
+    auto series = [&suffix](const char* base) {
+      std::string name(base);
+      name += suffix;
+      return name;
+    };
+    fields[series("grouping")] = {n, 4, 1};
+    fields[series("tp_solve")] = {n, 4, 1};
+    fields[series("mondrian")] = {n, 4, 1};
+    fields[series("kl_suppression")] = {n, 4, 1};
+    fields[series("kl_multidim")] = {n, 4, 1};
+    fields[series("grouping_columnar")] = {n, 7, 1};
+    fields[series("kl_multidim_columnar")] = {n, 7, 1};
+  }
+  fields["BM_GroupedTableConstruction"] = {50000, 4, 1};
+  for (const char* name : {"BM_TpSolveFromGroups/2", "BM_TpSolveFromGroups/6",
+                           "BM_TpSolveFromGroups/10"}) {
+    fields[name] = {50000, 4, 1};
+  }
+  fields["BM_TpEndToEnd"] = {50000, 4, 1};
+  fields["BM_HilbertPartitionGreedy"] = {50000, 4, 1};
+  fields["BM_HilbertPartitionWindowDp"] = {50000, 4, 1};
+}
+
 // google-benchmark < 1.8 flags failed runs with Run::error_occurred;
 // 1.8+ replaced it with the Run::skipped enum. Probe for whichever member
 // this library version has.
@@ -270,7 +388,9 @@ class JsonTeeReporter : public benchmark::ConsoleReporter {
     for (const Run& run : runs) {
       if (run.run_type != Run::RT_Iteration || RunFailed(run)) continue;
       // GetAdjustedRealTime reports in the run's time unit (ns by default).
-      report_.Add(run.benchmark_name(), run.GetAdjustedRealTime());
+      auto it = FieldRegistry().find(run.benchmark_name());
+      report_.Add(run.benchmark_name(), run.GetAdjustedRealTime(),
+                  it != FieldRegistry().end() ? it->second : bench::BenchFields{});
     }
   }
 
@@ -286,6 +406,12 @@ class JsonTeeReporter : public benchmark::ConsoleReporter {
 int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  // The statically registered series are the sequential trajectory: pin
+  // the budget to 1 so they stay comparable across hosts. Only the _par
+  // series (which set their own budget per run) fan out.
+  ldv::SetThreadBudget(1);
+  ldv::RegisterBenchFields();
+  ldv::RegisterParallelSeries();
   ldv::JsonTeeReporter reporter;
   benchmark::RunSpecifiedBenchmarks(&reporter);
   std::string path = ldv::bench::BenchJsonPath("BENCH_micro.json");

@@ -11,6 +11,7 @@
 //   LDIV_BENCH_N=<n>    override the table cardinality
 //   LDIV_BENCH_PROJ=<k> override the number of projections per family
 
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -107,16 +108,30 @@ inline void PrintHeader(const std::string& title, const BenchConfig& config) {
               config.full ? " (paper scale)" : " (reduced scale; --full for paper scale)");
 }
 
+/// Structured workload descriptors of one benchmark entry, recorded as
+/// JSON fields beside the timing instead of being overloaded into the
+/// name (names stay stable across PRs; the fields carry the workload).
+/// Zero means "not recorded" and the field is omitted.
+struct BenchFields {
+  /// Table cardinality the benchmark ran over.
+  std::uint64_t n = 0;
+  /// Number of QI attributes of the workload table.
+  std::uint32_t attrs = 0;
+  /// Thread budget the benchmark ran under (1 = the sequential series).
+  std::uint32_t threads = 0;
+};
+
 /// Minimal JSON writer for the BENCH_*.json perf-trajectory files: a tool
-/// name plus a flat list of (name, ns_per_op) datapoints. Kept free of any
-/// benchmark-library dependency so every bench binary can emit a
-/// trajectory file; bench_micro feeds it from a google-benchmark reporter.
+/// name plus a flat list of (name, ns_per_op [, n, attrs, threads])
+/// datapoints. Kept free of any benchmark-library dependency so every
+/// bench binary can emit a trajectory file; bench_micro feeds it from a
+/// google-benchmark reporter.
 class JsonReport {
  public:
   explicit JsonReport(std::string tool) : tool_(std::move(tool)) {}
 
-  void Add(const std::string& name, double ns_per_op) {
-    entries_.push_back(Entry{name, ns_per_op});
+  void Add(const std::string& name, double ns_per_op, BenchFields fields = {}) {
+    entries_.push_back(Entry{name, ns_per_op, fields});
   }
 
   std::size_t size() const { return entries_.size(); }
@@ -127,9 +142,15 @@ class JsonReport {
     if (f == nullptr) return false;
     std::fprintf(f, "{\n  \"tool\": \"%s\",\n  \"benchmarks\": [\n", tool_.c_str());
     for (std::size_t i = 0; i < entries_.size(); ++i) {
-      std::fprintf(f, "    {\"name\": \"%s\", \"ns_per_op\": %.1f}%s\n",
-                   entries_[i].name.c_str(), entries_[i].ns_per_op,
-                   i + 1 < entries_.size() ? "," : "");
+      const Entry& e = entries_[i];
+      std::fprintf(f, "    {\"name\": \"%s\", \"ns_per_op\": %.1f", e.name.c_str(),
+                   e.ns_per_op);
+      if (e.fields.n != 0) {
+        std::fprintf(f, ", \"n\": %llu", static_cast<unsigned long long>(e.fields.n));
+      }
+      if (e.fields.attrs != 0) std::fprintf(f, ", \"attrs\": %u", e.fields.attrs);
+      if (e.fields.threads != 0) std::fprintf(f, ", \"threads\": %u", e.fields.threads);
+      std::fprintf(f, "}%s\n", i + 1 < entries_.size() ? "," : "");
     }
     std::fprintf(f, "  ]\n}\n");
     return std::fclose(f) == 0;
@@ -139,6 +160,7 @@ class JsonReport {
   struct Entry {
     std::string name;
     double ns_per_op;
+    BenchFields fields;
   };
   std::string tool_;
   std::vector<Entry> entries_;

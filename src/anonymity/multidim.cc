@@ -28,6 +28,15 @@ void BoxGeneralization::AddGroup(QiBox box, std::vector<RowId> rows) {
   rows_.push_back(std::move(rows));
 }
 
+void BoxGeneralization::Append(BoxGeneralization&& other) {
+  for (std::size_t g = 0; g < other.boxes_.size(); ++g) {
+    boxes_.push_back(std::move(other.boxes_[g]));
+    rows_.push_back(std::move(other.rows_[g]));
+  }
+  other.boxes_.clear();
+  other.rows_.clear();
+}
+
 BoxGeneralization RelaxSuppressionToMultiDim(const Table& table,
                                              const GeneralizedTable& generalized) {
   BoxGeneralization out;

@@ -32,6 +32,10 @@ class BoxGeneralization {
 
   void AddGroup(QiBox box, std::vector<RowId> rows);
 
+  /// Moves every (box, rows) pair of `other` to the end, in order.
+  /// `other` is left empty; its tiling flag is ignored.
+  void Append(BoxGeneralization&& other);
+
   std::size_t group_count() const { return boxes_.size(); }
   const QiBox& box(std::size_t g) const { return boxes_[g]; }
   const std::vector<RowId>& rows(std::size_t g) const { return rows_[g]; }

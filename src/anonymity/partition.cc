@@ -28,6 +28,11 @@ void Partition::AddGroup(std::vector<RowId> rows) {
   if (!rows.empty()) groups_.push_back(std::move(rows));
 }
 
+void Partition::Append(Partition&& other) {
+  for (auto& g : other.groups_) groups_.push_back(std::move(g));
+  other.groups_.clear();
+}
+
 bool Partition::CoversExactly(const Table& table) const {
   std::vector<bool> seen(table.size(), false);
   for (const auto& g : groups_) {

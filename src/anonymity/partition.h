@@ -32,6 +32,10 @@ class Partition {
   /// Adds one group (ignored if empty).
   void AddGroup(std::vector<RowId> rows);
 
+  /// Moves every group of `other` to the end of this partition, in order.
+  /// `other` is left empty.
+  void Append(Partition&& other);
+
   /// Reserves storage for `groups` groups.
   void Reserve(std::size_t groups) { groups_.reserve(groups); }
 

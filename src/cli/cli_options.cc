@@ -1,6 +1,7 @@
 #include "cli/cli_options.h"
 
 #include <array>
+#include <charconv>
 
 #include "common/flags.h"
 #include "common/schema_spec.h"
@@ -141,7 +142,19 @@ bool ParseCliOptions(int argc, const char* const* argv, CliOptions* options, std
   bool no_timings = false;
   if (!flags.GetBool("no-timings", false, &no_timings, error)) return false;
   options->timings = !no_timings;
-  if (!flags.GetUint32("threads", 0, &options->threads, error)) return false;
+  std::string threads_text;
+  if (!flags.GetString("threads", "auto", &threads_text, error)) return false;
+  if (threads_text == "auto") {
+    options->threads = 0;
+  } else {
+    const char* begin = threads_text.data();
+    const char* end = begin + threads_text.size();
+    auto [ptr, ec] = std::from_chars(begin, end, options->threads);
+    if (ec != std::errc{} || ptr != end) {
+      *error = "--threads: expected a thread count or 'auto', got '" + threads_text + "'";
+      return false;
+    }
+  }
   if (!flags.GetString("emit-input", "", &options->emit_input, error)) return false;
   if (!options->emit_input.empty() && options->input.empty() &&
       options->ns.size() * options->ds.size() != 1) {
@@ -181,7 +194,10 @@ std::string CliUsage(std::string_view program) {
   usage += "  --sweep            run through the batch driver even for one job\n";
   usage += "                     (grids with >1 job sweep automatically)\n";
   usage += "  --write-releases   sweep mode: write one release per job (STEM.jobK.csv)\n";
-  usage += "  --threads=T        batch worker threads (0 = hardware). default: 0\n";
+  usage += "  --threads=T        thread budget of the whole run: sweeps spend it on batch\n";
+  usage += "                     workers, single jobs on in-kernel parallelism. T = count\n";
+  usage += "                     or 'auto' (hardware). Outputs are byte-identical at any\n";
+  usage += "                     T. default: auto\n";
   usage += "  --kl=false         skip the KL-divergence estimate\n";
   usage += "  --no-timings       omit wall-clock fields (byte-deterministic reports)\n";
   usage += "  --emit-input=FILE  also write the input table as coded CSV\n";

@@ -52,7 +52,9 @@ struct CliOptions {
   bool compute_kl = true;
   /// Omit wall-clock fields from reports, making output byte-deterministic.
   bool timings = true;
-  /// Batch worker threads; 0 = hardware concurrency.
+  /// Thread budget of the whole run ("--threads=N|auto", 0 = auto =
+  /// hardware concurrency): sweeps spend it on batch workers, single jobs
+  /// on in-kernel parallelism. Outputs never depend on it.
   std::uint32_t threads = 0;
   /// When non-empty, also write the (first) input table as CSV here.
   std::string emit_input;

@@ -3,6 +3,7 @@
 #include <optional>
 #include <utility>
 
+#include "common/parallel.h"
 #include "common/workspace.h"
 #include "core/batch.h"
 #include "data/dataset.h"
@@ -50,6 +51,10 @@ bool RunPipeline(const CliOptions& options, PipelineResult* result, std::string*
     *error = "nothing to run: the algorithm and l lists must be non-empty";
     return false;
   }
+  // One budget for the whole run: the batch driver and the in-kernel
+  // parallelism both draw from it (see src/common/parallel.h).
+  SetThreadBudget(options.threads);
+  result->threads = ThreadBudget();
   if (!MaterializeTables(options, result, error)) return false;
   if (result->tables.empty()) {
     *error = "nothing to run: the (n, d) grid produced no input tables";
@@ -78,10 +83,9 @@ bool RunPipeline(const CliOptions& options, PipelineResult* result, std::string*
   std::vector<const Table*> tables;
   tables.reserve(result->tables.size());
   for (const PipelineTable& input : result->tables) tables.push_back(&input.table);
-  BatchOptions batch_options;
-  batch_options.threads = options.threads;
-  std::vector<AnonymizationOutcome> outcomes =
-      AnonymizeBatch(ToBatchJobs(specs, tables), batch_options);
+  // BatchOptions::threads stays 0: the driver follows the budget set
+  // above, splitting it between job-level workers and inner kernels.
+  std::vector<AnonymizationOutcome> outcomes = AnonymizeBatch(ToBatchJobs(specs, tables));
   for (std::size_t i = 0; i < specs.size(); ++i) {
     result->jobs.push_back({specs[i], std::move(outcomes[i])});
   }

@@ -30,6 +30,10 @@ struct PipelineJobResult {
 struct PipelineResult {
   std::vector<PipelineTable> tables;
   std::vector<PipelineJobResult> jobs;
+  /// The resolved thread budget the run executed under. An execution
+  /// detail like wall-clock: reports include it only alongside timings,
+  /// so --no-timings output stays byte-identical across budgets.
+  unsigned threads = 1;
 };
 
 /// Runs the full pipeline described by `options`: materialize the input

@@ -81,6 +81,12 @@ std::string RenderJsonReport(const PipelineResult& result, const ReportOptions& 
   json += "{\n";
   json += "  \"ldiv_report_version\": 1,\n";
   json += "  \"job_count\": " + std::to_string(result.jobs.size()) + ",\n";
+  if (options.include_seconds) {
+    // An execution detail like the wall-clock fields: recorded only when
+    // timings are, so --no-timings reports stay byte-identical across
+    // thread budgets.
+    json += "  \"threads\": " + std::to_string(result.threads) + ",\n";
+  }
 
   json += "  \"tables\": [\n";
   for (std::size_t t = 0; t < result.tables.size(); ++t) {

@@ -4,6 +4,7 @@
 
 #include "common/check.h"
 #include "common/flat_map.h"
+#include "common/parallel.h"
 
 namespace ldv {
 
@@ -43,16 +44,23 @@ GroupedTable::GroupedTable(const Table& table, Workspace* workspace) {
   // per-row FNV over the signature), but each pass streams one contiguous
   // column. Equal signatures hash equal, and the open-addressing index
   // below compares full signatures on every hash hit, so collisions only
-  // cost an extra comparison.
+  // cost an extra comparison. The fold is a pure per-row map, so the row
+  // range fans out in fixed chunks (each chunk folding every column over
+  // its rows) and the hash array is byte-identical at any thread count;
+  // the first-occurrence group-id assignment below stays sequential, which
+  // is what keeps the merge into the signature index deterministic.
   auto hashes_s = ws.U64();
   std::vector<std::uint64_t>& hashes = *hashes_s;
   hashes.assign(n, 1469598103934665603ULL);
-  for (AttrId a = 0; a < d; ++a) {
-    const Value* col = cols[a];
-    for (RowId r = 0; r < n; ++r) {
-      hashes[r] = (hashes[r] ^ col[r]) * 1099511628211ULL;
+  std::uint64_t* hash_data = hashes.data();
+  ParallelFor(n, 16384, ws, [&](std::size_t begin, std::size_t end, Workspace&) {
+    for (AttrId a = 0; a < d; ++a) {
+      const Value* col = cols[a];
+      for (std::size_t r = begin; r < end; ++r) {
+        hash_data[r] = (hash_data[r] ^ col[r]) * 1099511628211ULL;
+      }
     }
-  }
+  });
 
   // Open-addressing signature index: slot -> group id + 1 (0 = empty),
   // sized to stay at most half full. Group ids are assigned in first-
@@ -114,37 +122,44 @@ GroupedTable::GroupedTable(const Table& table, Workspace* workspace) {
   // counting sort keeps the seed's stable_sort order (row order preserved
   // within a value) at O(|Q| + distinct) per group with zero allocation:
   // `counts` is a dense per-value counter reset through `distinct`, then
-  // reused as the per-run write cursor.
-  auto counts_s = ws.U32();
-  std::vector<std::uint32_t>& counts = *counts_s;
-  counts.assign(sa_domain_size_, 0);
-  auto distinct_s = ws.U32();
-  std::vector<std::uint32_t>& distinct = *distinct_s;
-  auto sorted_s = ws.U32();
-  std::vector<std::uint32_t>& sorted = *sorted_s;
-  for (QiGroup& group : groups_) {
-    if (group.rows.size() == 1) {
-      group.sa_runs.emplace_back(table.sa(group.rows[0]), 0);
-      continue;
+  // reused as the per-run write cursor. Groups are independent -- each
+  // chunk sorts its own groups with its own dense counter -- and the chunk
+  // geometry depends only on the group count, so the built runs are
+  // byte-identical at any thread count.
+  const std::size_t group_grain = std::max<std::size_t>(64, (s + 63) / 64);
+  ParallelFor(s, group_grain, ws, [&](std::size_t gb, std::size_t ge, Workspace& cws) {
+    auto counts_s = cws.U32();
+    std::vector<std::uint32_t>& counts = *counts_s;
+    counts.assign(sa_domain_size_, 0);
+    auto distinct_s = cws.U32();
+    std::vector<std::uint32_t>& distinct = *distinct_s;
+    auto sorted_s = cws.U32();
+    std::vector<std::uint32_t>& sorted = *sorted_s;
+    for (std::size_t g = gb; g < ge; ++g) {
+      QiGroup& group = groups_[g];
+      if (group.rows.size() == 1) {
+        group.sa_runs.emplace_back(table.sa(group.rows[0]), 0);
+        continue;
+      }
+      distinct.clear();
+      for (RowId r : group.rows) {
+        SaValue v = table.sa(r);
+        if (counts[v]++ == 0) distinct.push_back(v);
+      }
+      std::sort(distinct.begin(), distinct.end());
+      group.sa_runs.reserve(distinct.size());
+      std::uint32_t offset = 0;
+      for (SaValue v : distinct) {
+        group.sa_runs.emplace_back(v, offset);
+        offset += counts[v];
+        counts[v] = group.sa_runs.back().second;  // becomes the write cursor
+      }
+      sorted.resize(group.rows.size());
+      for (RowId r : group.rows) sorted[counts[table.sa(r)]++] = r;
+      std::copy(sorted.begin(), sorted.end(), group.rows.begin());
+      for (SaValue v : distinct) counts[v] = 0;
     }
-    distinct.clear();
-    for (RowId r : group.rows) {
-      SaValue v = table.sa(r);
-      if (counts[v]++ == 0) distinct.push_back(v);
-    }
-    std::sort(distinct.begin(), distinct.end());
-    group.sa_runs.reserve(distinct.size());
-    std::uint32_t offset = 0;
-    for (SaValue v : distinct) {
-      group.sa_runs.emplace_back(v, offset);
-      offset += counts[v];
-      counts[v] = group.sa_runs.back().second;  // becomes the write cursor
-    }
-    sorted.resize(group.rows.size());
-    for (RowId r : group.rows) sorted[counts[table.sa(r)]++] = r;
-    std::copy(sorted.begin(), sorted.end(), group.rows.begin());
-    for (SaValue v : distinct) counts[v] = 0;
-  }
+  });
 }
 
 std::uint64_t GroupedTable::MaxGroupSize() const {

@@ -6,6 +6,7 @@
 #include <thread>
 
 #include "common/check.h"
+#include "common/parallel.h"
 
 namespace ldv {
 
@@ -25,10 +26,16 @@ std::vector<AnonymizationOutcome> AnonymizeBatch(const std::vector<BatchJob>& jo
   std::vector<AnonymizationOutcome> results(jobs.size());
   if (jobs.empty()) return results;
 
-  std::size_t threads = options.threads != 0 ? options.threads
-                                             : std::max(1u, std::thread::hardware_concurrency());
-  threads = std::min(threads, jobs.size());
-  if (threads <= 1) {
+  // One budget governs both layers: an explicit BatchOptions::threads
+  // overrides, otherwise the process-wide ThreadBudget() (the CLI's
+  // --threads) applies. Job-level workers claim the budget first; only a
+  // single-worker batch leaves it to the kernels.
+  const std::size_t budget = options.threads != 0 ? options.threads : ThreadBudget();
+  const std::size_t workers = std::min(budget, jobs.size());
+  if (workers <= 1) {
+    // One worker: jobs run inline, and the kernels inherit the whole
+    // budget for their intra-run fan-out.
+    InnerThreadsScope inner(static_cast<unsigned>(budget));
     Workspace workspace;
     for (std::size_t i = 0; i < jobs.size(); ++i) results[i] = RunJob(jobs[i], &workspace);
     return results;
@@ -37,6 +44,12 @@ std::vector<AnonymizationOutcome> AnonymizeBatch(const std::vector<BatchJob>& jo
   // Touch the registry before spawning workers so no worker races the
   // one-time built-in registration.
   AlgorithmRegistry::Global();
+
+  // Multiple workers already saturate the budget, so the kernels they run
+  // stay sequential -- inner fan-out would only oversubscribe. Outcomes
+  // are unaffected either way: every kernel is byte-identical at any
+  // thread count.
+  InnerThreadsScope inner(1);
 
   // Each worker owns one Workspace for its whole job stream: after the
   // first few solves the scratch buffers reach steady state and later jobs
@@ -52,8 +65,8 @@ std::vector<AnonymizationOutcome> AnonymizeBatch(const std::vector<BatchJob>& jo
     }
   };
   std::vector<std::thread> pool;
-  pool.reserve(threads);
-  for (std::size_t t = 0; t < threads; ++t) pool.emplace_back(worker);
+  pool.reserve(workers);
+  for (std::size_t t = 0; t < workers; ++t) pool.emplace_back(worker);
   for (std::thread& t : pool) t.join();
   return results;
 }

@@ -19,7 +19,11 @@ struct BatchJob {
 };
 
 struct BatchOptions {
-  /// Worker threads; 0 means std::thread::hardware_concurrency().
+  /// Worker threads; 0 means the process-wide ThreadBudget() (the CLI's
+  /// --threads, defaulting to the hardware concurrency with the
+  /// zero-means-unknown case resolved to 1). The batch and kernel layers
+  /// share that budget: with more than one worker the inner kernels run
+  /// sequential, with a single worker they fan out to the full budget.
   unsigned threads = 0;
 };
 

@@ -6,6 +6,7 @@
 
 #include "common/check.h"
 #include "common/flat_map.h"
+#include "common/parallel.h"
 
 namespace ldv {
 
@@ -34,19 +35,25 @@ class PointPacker {
 
   /// Packed ids of every row, accumulated column by column (one pass per
   /// QI attribute over its contiguous column, then the SA column when
-  /// `include_sa`) -- the columnar replacement for packing row views.
-  std::vector<std::uint64_t> PackAllRows(const Table& table, bool include_sa) const {
+  /// `include_sa`) -- the columnar replacement for packing row views. A
+  /// pure per-row map: fixed row chunks fan out across threads and the
+  /// integer accumulation is identical at any thread count.
+  std::vector<std::uint64_t> PackAllRows(const Table& table, bool include_sa,
+                                         Workspace& ws) const {
     const std::size_t n = table.size();
     std::vector<std::uint64_t> keys(n, 0);
-    for (std::size_t a = 0; a < strides_.size(); ++a) {
-      const Value* col = table.column(static_cast<AttrId>(a)).data();
-      const std::uint64_t stride = strides_[a];
-      for (RowId r = 0; r < n; ++r) keys[r] += stride * col[r];
-    }
-    if (include_sa) {
-      const SaValue* sa = table.sa_column().data();
-      for (RowId r = 0; r < n; ++r) keys[r] += sa_stride_ * sa[r];
-    }
+    std::uint64_t* out = keys.data();
+    ParallelFor(n, 16384, ws, [&](std::size_t begin, std::size_t end, Workspace&) {
+      for (std::size_t a = 0; a < strides_.size(); ++a) {
+        const Value* col = table.column(static_cast<AttrId>(a)).data();
+        const std::uint64_t stride = strides_[a];
+        for (std::size_t r = begin; r < end; ++r) out[r] += stride * col[r];
+      }
+      if (include_sa) {
+        const SaValue* sa = table.sa_column().data();
+        for (std::size_t r = begin; r < end; ++r) out[r] += sa_stride_ * sa[r];
+      }
+    });
     return keys;
   }
 
@@ -73,8 +80,9 @@ struct PointCount {
 // (deterministic, unlike the seed's unordered_map bucket order). The
 // FlatMap only resolves duplicates; the sums below iterate the flat
 // vector.
-std::vector<PointCount> DistinctPoints(const Table& table, const PointPacker& packer) {
-  std::vector<std::uint64_t> keys = packer.PackAllRows(table, /*include_sa=*/true);
+std::vector<PointCount> DistinctPoints(const Table& table, const PointPacker& packer,
+                                       Workspace& ws) {
+  std::vector<std::uint64_t> keys = packer.PackAllRows(table, /*include_sa=*/true, ws);
   std::vector<PointCount> points;
   points.reserve(table.size());
   FlatMap<std::uint32_t> index(table.size());
@@ -88,6 +96,13 @@ std::vector<PointCount> DistinctPoints(const Table& table, const PointPacker& pa
   }
   return points;
 }
+
+// Chunk size of the parallel per-point accumulation in the estimators
+// below. The partial sums are combined in ascending chunk order
+// (ParallelReduce), so the floating-point result is a function of this
+// constant alone, never of the thread count; tables with fewer points
+// than one chunk sum in exactly the historical sequential order.
+constexpr std::size_t kPointGrain = 4096;
 
 }  // namespace
 
@@ -162,32 +177,44 @@ double KlDivergenceSuppression(const Table& table, const GeneralizedTable& gener
     }
   }
 
+  // Per-point probes only read the bucket maps, so the distinct points
+  // fan out in fixed chunks with one partial sum each, folded in chunk
+  // order.
+  Workspace ws;
   PointPacker packer(schema);
-  double kl = 0.0;
-  for (const PointCount& pc : DistinctPoints(table, packer)) {
-    const RowId rep = pc.representative;
-    SaValue sa = table.sa(rep);
-    double fstar_n = 0.0;  // n * f*(p)
-    for (const MaskBucket& bucket : buckets) {
-      std::uint64_t probe;
-      if (bucket.mask == 0) {
-        // No stars: the bucket's packing coincides with the point packing
-        // (same strides in the same order), so the point id is the probe.
-        probe = pc.key;
-      } else {
-        probe = static_cast<std::uint64_t>(sa) * bucket.sa_stride;
-        for (std::size_t i = 0; i < bucket.unstarred.size(); ++i) {
-          probe += bucket.strides[i] * table.qi(rep, bucket.unstarred[i]);
+  const std::vector<PointCount> points = DistinctPoints(table, packer, ws);
+  return ParallelReduce(
+      points.size(), kPointGrain, ws, 0.0,
+      [&](std::size_t begin, std::size_t end, Workspace&) {
+        double partial = 0.0;
+        for (std::size_t p = begin; p < end; ++p) {
+          const PointCount& pc = points[p];
+          const RowId rep = pc.representative;
+          SaValue sa = table.sa(rep);
+          double fstar_n = 0.0;  // n * f*(p)
+          for (const MaskBucket& bucket : buckets) {
+            std::uint64_t probe;
+            if (bucket.mask == 0) {
+              // No stars: the bucket's packing coincides with the point
+              // packing (same strides in the same order), so the point id
+              // is the probe.
+              probe = pc.key;
+            } else {
+              probe = static_cast<std::uint64_t>(sa) * bucket.sa_stride;
+              for (std::size_t i = 0; i < bucket.unstarred.size(); ++i) {
+                probe += bucket.strides[i] * table.qi(rep, bucket.unstarred[i]);
+              }
+            }
+            const double* mass = bucket.mass.Find(probe);
+            if (mass != nullptr) fstar_n += *mass;
+          }
+          LDIV_CHECK_GT(fstar_n, 0.0) << "f* must cover every data point";
+          double f = static_cast<double>(pc.count) / n;
+          partial += f * std::log(static_cast<double>(pc.count) / fstar_n);
         }
-      }
-      const double* mass = bucket.mass.Find(probe);
-      if (mass != nullptr) fstar_n += *mass;
-    }
-    LDIV_CHECK_GT(fstar_n, 0.0) << "f* must cover every data point";
-    double f = static_cast<double>(pc.count) / n;
-    kl += f * std::log(static_cast<double>(pc.count) / fstar_n);
-  }
-  return kl;
+        return partial;
+      },
+      std::plus<double>());
 }
 
 double KlDivergenceMultiDim(const Table& table, const BoxGeneralization& gen) {
@@ -196,25 +223,37 @@ double KlDivergenceMultiDim(const Table& table, const BoxGeneralization& gen) {
   const std::size_t m = table.schema().sa_domain_size();
   const std::size_t d = table.qi_count();
 
+  Workspace ws;
+  const std::size_t group_count = gen.group_count();
+  const std::size_t group_grain = std::max<std::size_t>(64, (group_count + 63) / 64);
+
   // Per-group SA histograms, flattened to one dense (group, SA) array so
-  // the stabbing loop below does one indexed load per hit.
-  std::vector<double> mass(gen.group_count() * m, 0.0);  // n*f* weight per (group, SA)
-  for (std::size_t g = 0; g < gen.group_count(); ++g) {
-    double volume = gen.box(g).Volume();
-    for (RowId r : gen.rows(g)) mass[g * m + table.sa(r)] += 1.0 / volume;
-  }
+  // the stabbing loop below does one indexed load per hit. Each group
+  // writes only its own slice, so groups accumulate in parallel chunks
+  // with identical per-group arithmetic.
+  std::vector<double> mass(group_count * m, 0.0);  // n*f* weight per (group, SA)
+  ParallelFor(group_count, group_grain, ws,
+              [&](std::size_t gb, std::size_t ge, Workspace&) {
+                for (std::size_t g = gb; g < ge; ++g) {
+                  double volume = gen.box(g).Volume();
+                  for (RowId r : gen.rows(g)) mass[g * m + table.sa(r)] += 1.0 / volume;
+                }
+              });
 
   // Flattened box bounds (lo/hi interleaved per group) so the containment
   // loop below streams one contiguous array instead of dereferencing two
   // heap vectors per QiBox.
-  std::vector<Value> bounds(2 * d * gen.group_count());
-  for (std::size_t g = 0; g < gen.group_count(); ++g) {
-    const QiBox& box = gen.box(g);
-    for (std::size_t a = 0; a < d; ++a) {
-      bounds[(2 * g) * d + a] = box.lo[a];
-      bounds[(2 * g + 1) * d + a] = box.hi[a];
-    }
-  }
+  std::vector<Value> bounds(2 * d * group_count);
+  ParallelFor(group_count, group_grain, ws,
+              [&](std::size_t gb, std::size_t ge, Workspace&) {
+                for (std::size_t g = gb; g < ge; ++g) {
+                  const QiBox& box = gen.box(g);
+                  for (std::size_t a = 0; a < d; ++a) {
+                    bounds[(2 * g) * d + a] = box.lo[a];
+                    bounds[(2 * g + 1) * d + a] = box.hi[a];
+                  }
+                }
+              });
 
   // Tiling generalizations (Mondrian: boxes are global cuts, pairwise
   // disjoint by construction) let the stabbing loop below stop at each
@@ -244,36 +283,46 @@ double KlDivergenceMultiDim(const Table& table, const BoxGeneralization& gen) {
   std::vector<const Value*> cols(d);
   for (std::size_t a = 0; a < d; ++a) cols[a] = table.column(static_cast<AttrId>(a)).data();
 
+  // The stabbing loop reads only the index structures built above, so the
+  // distinct points fan out in fixed chunks, one partial sum per chunk,
+  // folded in chunk order.
   PointPacker packer(table.schema());
-  double kl = 0.0;
-  for (const PointCount& pc : DistinctPoints(table, packer)) {
-    const RowId rep = pc.representative;
-    const Value qi0 = cols[0][rep];
-    SaValue sa = table.sa(rep);
-    double fstar_n = 0.0;
-    for (std::uint32_t i = offsets[qi0]; i < offsets[qi0 + 1]; ++i) {
-      std::uint32_t g = candidates[i];
-      const Value* lo = bounds.data() + (2 * g) * d;
-      const Value* hi = lo + d;
-      // Attribute 0 is already filtered by the candidate index.
-      bool inside = true;
-      for (std::size_t a = 1; a < d; ++a) {
-        const Value v = cols[a][rep];
-        if (v < lo[a] || v >= hi[a]) {
-          inside = false;
-          break;
+  const std::vector<PointCount> points = DistinctPoints(table, packer, ws);
+  return ParallelReduce(
+      points.size(), kPointGrain, ws, 0.0,
+      [&](std::size_t begin, std::size_t end, Workspace&) {
+        double partial = 0.0;
+        for (std::size_t p = begin; p < end; ++p) {
+          const PointCount& pc = points[p];
+          const RowId rep = pc.representative;
+          const Value qi0 = cols[0][rep];
+          SaValue sa = table.sa(rep);
+          double fstar_n = 0.0;
+          for (std::uint32_t i = offsets[qi0]; i < offsets[qi0 + 1]; ++i) {
+            std::uint32_t g = candidates[i];
+            const Value* lo = bounds.data() + (2 * g) * d;
+            const Value* hi = lo + d;
+            // Attribute 0 is already filtered by the candidate index.
+            bool inside = true;
+            for (std::size_t a = 1; a < d; ++a) {
+              const Value v = cols[a][rep];
+              if (v < lo[a] || v >= hi[a]) {
+                inside = false;
+                break;
+              }
+            }
+            if (inside) {
+              fstar_n += mass[g * m + sa];
+              if (disjoint) break;  // tiling boxes: exactly one can contain p
+            }
+          }
+          LDIV_CHECK_GT(fstar_n, 0.0) << "every point lies in its own group's box";
+          double f = static_cast<double>(pc.count) / n;
+          partial += f * std::log(static_cast<double>(pc.count) / fstar_n);
         }
-      }
-      if (inside) {
-        fstar_n += mass[g * m + sa];
-        if (disjoint) break;  // tiling boxes: exactly one can contain p
-      }
-    }
-    LDIV_CHECK_GT(fstar_n, 0.0) << "every point lies in its own group's box";
-    double f = static_cast<double>(pc.count) / n;
-    kl += f * std::log(static_cast<double>(pc.count) / fstar_n);
-  }
-  return kl;
+        return partial;
+      },
+      std::plus<double>());
 }
 
 double KlDivergenceAnatomy(const Table& table, const Partition& buckets) {
@@ -296,12 +345,13 @@ double KlDivergenceAnatomy(const Table& table, const Partition& buckets) {
   // FlatMap assigns every signature a class id, then a count/fill pass
   // lays the rows out contiguously (ascending row id within a class,
   // matching the seed's push_back order).
+  Workspace ws;
   PointPacker packer(table.schema());
   std::vector<std::uint32_t> class_of(table.size());
   std::uint32_t class_count = 0;
   {
     // QI-only keys (no SA term), packed in one column-major sweep.
-    std::vector<std::uint64_t> qi_keys = packer.PackAllRows(table, /*include_sa=*/false);
+    std::vector<std::uint64_t> qi_keys = packer.PackAllRows(table, /*include_sa=*/false, ws);
     FlatMap<std::uint32_t> classes(table.size());
     for (RowId r = 0; r < table.size(); ++r) {
       auto [slot, inserted] = classes.TryEmplace(qi_keys[r], class_count);
@@ -319,7 +369,7 @@ double KlDivergenceAnatomy(const Table& table, const Partition& buckets) {
   }
 
   double kl = 0.0;
-  for (const PointCount& pc : DistinctPoints(table, packer)) {
+  for (const PointCount& pc : DistinctPoints(table, packer, ws)) {
     SaValue sa = table.sa(pc.representative);
     std::uint32_t c = class_of[pc.representative];
     double fstar_n = 0.0;
@@ -358,9 +408,10 @@ double KlDivergenceSingleDim(const Table& table, const SingleDimGeneralization& 
     ++cell_sa_counts[cell * m + table.sa(r)];
   }
 
+  Workspace ws;
   PointPacker packer(table.schema());
   double kl = 0.0;
-  for (const PointCount& pc : DistinctPoints(table, packer)) {
+  for (const PointCount& pc : DistinctPoints(table, packer, ws)) {
     gather(pc.representative);
     SaValue sa = table.sa(pc.representative);
     std::uint64_t cell = gen.PackedCellId(qi);

@@ -8,11 +8,50 @@
 
 #include "anonymity/eligibility.h"
 #include "common/check.h"
+#include "common/parallel.h"
 #include "common/workspace.h"
 
 namespace ldv {
 
 namespace {
+
+// Immutable per-solve context shared by every walker: the table, the
+// hoisted column pointers and the concatenated-histogram layout.
+struct MondrianShared {
+  MondrianShared(const Table& table, std::uint32_t l)
+      : table(table),
+        l(l),
+        n(table.size()),
+        d(table.qi_count()),
+        m(table.schema().sa_domain_size()) {
+    cols.resize(d);
+    for (AttrId a = 0; a < d; ++a) cols[a] = table.column(a).data();
+    vhist_offset.resize(d + 1);
+    vhist_offset[0] = 0;
+    for (AttrId a = 0; a < d; ++a) {
+      vhist_offset[a + 1] =
+          vhist_offset[a] + static_cast<std::uint32_t>(table.schema().qi(a).domain_size);
+    }
+  }
+
+  QiBox RootBox() const {
+    QiBox box;
+    box.lo.assign(d, 0);
+    box.hi.resize(d);
+    for (AttrId a = 0; a < d; ++a) {
+      box.hi[a] = static_cast<Value>(table.schema().qi(a).domain_size);
+    }
+    return box;
+  }
+
+  const Table& table;
+  const std::uint32_t l;
+  const std::size_t n;
+  const std::size_t d;
+  const std::size_t m;
+  std::vector<const Value*> cols;
+  std::vector<std::uint32_t> vhist_offset;
+};
 
 // In-place Mondrian recursion over a single shared RowId buffer. Each call
 // owns the half-open range [begin, end) of the buffer; an accepted cut
@@ -31,80 +70,93 @@ namespace {
 // scans plus nth_element selection -- both paths produce the identical
 // median, so the partitions cannot depend on the mode. All scratch lives
 // in the Workspace; a whole solve allocates only the published groups.
-class MondrianState {
+//
+// A walker owns only scratch and outputs; the row/SA buffers are shared
+// between walkers, and independent subtrees cover disjoint ranges of
+// them, which is what makes the parallel driver below safe: every walker
+// reads and writes exclusively inside its subtree's range.
+class MondrianWalker {
  public:
-  MondrianState(const Table& table, std::uint32_t l, BoxGeneralization* out,
-                ldv::Partition* partition, Workspace& ws)
-      : table_(table),
-        l_(l),
-        n_(table.size()),
-        d_(table.qi_count()),
-        m_(table.schema().sa_domain_size()),
+  MondrianWalker(const MondrianShared& shared, std::vector<RowId>& rows,
+                 std::vector<SaValue>& sa, BoxGeneralization* out, ldv::Partition* partition,
+                 Workspace& ws)
+      : s_(shared),
         out_(out),
         partition_(partition),
-        rows_s_(ws.U32()),
-        sa_s_(ws.U32()),
         scratch_s_(ws.U32()),
         values_s_(ws.U32()),
         vhist_s_(ws.U32()),
         left_counts_s_(ws.U32()),
         right_counts_s_(ws.U32()),
         touched_s_(ws.U32()),
-        rows_(*rows_s_),
-        sa_(*sa_s_),
+        rows_(rows),
+        sa_(sa),
         scratch_(*scratch_s_),
         values_(*values_s_),
         vhist_(*vhist_s_),
         left_counts_(*left_counts_s_),
         right_counts_(*right_counts_s_),
         touched_(*touched_s_) {
-    cols_.resize(d_);
-    for (AttrId a = 0; a < d_; ++a) cols_[a] = table.column(a).data();
-    rows_.resize(n_);
-    std::iota(rows_.begin(), rows_.end(), 0u);
-    sa_.resize(n_);
-    for (RowId r = 0; r < n_; ++r) sa_[r] = table.sa(r);
-    left_counts_.assign(m_, 0);
-    right_counts_.assign(m_, 0);
-    spreads_.reserve(d_);
-    mins_.resize(d_);
-    maxs_.resize(d_);
-    medians_.resize(d_);
-    vhist_offset_.resize(d_ + 1);
-    vhist_offset_[0] = 0;
-    for (AttrId a = 0; a < d_; ++a) {
-      vhist_offset_[a + 1] =
-          vhist_offset_[a] + static_cast<std::uint32_t>(table.schema().qi(a).domain_size);
-    }
-    vhist_.resize(vhist_offset_[d_]);
-    box_.lo.assign(d_, 0);
-    box_.hi.resize(d_);
-    for (AttrId a = 0; a < d_; ++a) {
-      box_.hi[a] = static_cast<Value>(table.schema().qi(a).domain_size);
-    }
+    left_counts_.assign(s_.m, 0);
+    right_counts_.assign(s_.m, 0);
+    spreads_.reserve(s_.d);
+    mins_.resize(s_.d);
+    maxs_.resize(s_.d);
+    medians_.resize(s_.d);
+    vhist_.resize(s_.vhist_offset[s_.d]);
+    box_ = shared.RootBox();
   }
 
-  void Run() { Recurse(0, n_); }
+  /// The box the next Recurse/TrySplit call starts from; defaults to the
+  /// root box. The parallel driver points it at a frontier node's box.
+  QiBox& box() { return box_; }
 
- private:
   void Recurse(std::size_t begin, std::size_t end) {
+    AttrId attr = 0;
+    Value split = 0;
+    std::size_t mid = 0;
+    if (TrySplit(begin, end, &attr, &split, &mid)) {
+      // Recurse with the shared box mutated and restored around each side.
+      Value old_hi = box_.hi[attr];
+      box_.hi[attr] = split;
+      Recurse(begin, mid);
+      box_.hi[attr] = old_hi;
+      Value old_lo = box_.lo[attr];
+      box_.lo[attr] = split;
+      Recurse(mid, end);
+      box_.lo[attr] = old_lo;
+      return;
+    }
+    // No allowable cut: emit the group.
+    std::vector<RowId> group(rows_.begin() + begin, rows_.begin() + end);
+    partition_->AddGroup(group);
+    out_->AddGroup(box_, std::move(group));
+  }
+
+  /// One cut attempt on [begin, end): finds the best allowable median cut
+  /// and, on success, stably partitions rows_/sa_ in place, returning the
+  /// cut attribute, split value and partition point. A rejected range is
+  /// left untouched.
+  bool TrySplit(std::size_t begin, std::size_t end, AttrId* out_attr, Value* out_split,
+                std::size_t* out_mid) {
     // Per-attribute min / max / median for the range, via one histogram
     // pass when the combined domains are no larger than the range, via
     // min-max scans plus lazy nth_element selection otherwise.
-    const bool use_hist = vhist_offset_[d_] <= end - begin;
+    const std::size_t d = s_.d;
+    const bool use_hist = s_.vhist_offset[d] <= end - begin;
     if (use_hist) {
       std::fill(vhist_.begin(), vhist_.end(), 0u);
       // Column-major: one pass per attribute, each streaming a single
       // contiguous column (gathered through rows_) into its histogram.
-      for (AttrId a = 0; a < d_; ++a) {
-        const Value* col = cols_[a];
-        std::uint32_t* hist = vhist_.data() + vhist_offset_[a];
+      for (AttrId a = 0; a < d; ++a) {
+        const Value* col = s_.cols[a];
+        std::uint32_t* hist = vhist_.data() + s_.vhist_offset[a];
         for (std::size_t i = begin; i < end; ++i) ++hist[col[rows_[i]]];
       }
       const std::size_t k = (end - begin) / 2;  // median = (k+1)-th smallest
-      for (AttrId a = 0; a < d_; ++a) {
-        const std::uint32_t* hist = vhist_.data() + vhist_offset_[a];
-        const std::uint32_t domain = vhist_offset_[a + 1] - vhist_offset_[a];
+      for (AttrId a = 0; a < d; ++a) {
+        const std::uint32_t* hist = vhist_.data() + s_.vhist_offset[a];
+        const std::uint32_t domain = s_.vhist_offset[a + 1] - s_.vhist_offset[a];
         std::uint32_t mn = 0, mx = 0, median = 0;
         std::uint64_t cum = 0;
         bool first = true, median_found = false;
@@ -126,8 +178,8 @@ class MondrianState {
         medians_[a] = median;
       }
     } else {
-      for (AttrId a = 0; a < d_; ++a) {
-        const Value* col = cols_[a];
+      for (AttrId a = 0; a < d; ++a) {
+        const Value* col = s_.cols[a];
         Value mn = col[rows_[begin]], mx = mn;
         for (std::size_t i = begin + 1; i < end; ++i) {
           Value v = col[rows_[i]];
@@ -142,19 +194,15 @@ class MondrianState {
     // Candidate attributes by descending normalized spread inside the
     // range; the per-attribute min doubles as the median cut's lower guard.
     spreads_.clear();
-    for (AttrId a = 0; a < d_; ++a) {
+    for (AttrId a = 0; a < d; ++a) {
       double spread = static_cast<double>(maxs_[a] - mins_[a]) /
-                      static_cast<double>(table_.schema().qi(a).domain_size);
+                      static_cast<double>(s_.table.schema().qi(a).domain_size);
       spreads_.push_back({spread, a});
     }
     std::sort(spreads_.begin(), spreads_.end(), [](const auto& x, const auto& y) {
       return x.first != y.first ? x.first > y.first : x.second < y.second;
     });
 
-    // spreads_ is shared across recursion levels; that is safe because a
-    // frame returns immediately after recursing, so once a child clobbers
-    // the buffer the parent never reads it again. The index loop (rather
-    // than iterators) keeps that clobbering well-defined.
     for (std::size_t si = 0; si < spreads_.size(); ++si) {
       const double spread = spreads_[si].first;
       const AttrId attr = spreads_[si].second;
@@ -166,7 +214,7 @@ class MondrianState {
       // anything, so a rejected cut leaves the range untouched.
       for (SaValue v : touched_) left_counts_[v] = right_counts_[v] = 0;
       touched_.clear();
-      const Value* cut_col = cols_[attr];
+      const Value* cut_col = s_.cols[attr];
       std::uint64_t left_total = 0, right_total = 0;
       std::uint32_t left_max = 0, right_max = 0;
       for (std::size_t i = begin; i < end; ++i) {
@@ -181,8 +229,8 @@ class MondrianState {
         }
       }
       if (left_total == 0 || right_total == 0) continue;
-      if (left_total < static_cast<std::uint64_t>(l_) * left_max ||
-          right_total < static_cast<std::uint64_t>(l_) * right_max) {
+      if (left_total < static_cast<std::uint64_t>(s_.l) * left_max ||
+          right_total < static_cast<std::uint64_t>(s_.l) * right_max) {
         continue;  // a side would not be l-eligible
       }
 
@@ -200,26 +248,17 @@ class MondrianState {
         }
       }
       std::copy(scratch_.begin(), scratch_.end(), rows_.begin() + write);
-      const std::size_t mid = write;
-      for (std::size_t i = begin; i < end; ++i) sa_[i] = table_.sa(rows_[i]);
+      for (std::size_t i = begin; i < end; ++i) sa_[i] = s_.table.sa(rows_[i]);
 
-      // Recurse with the shared box mutated and restored around each side.
-      Value old_hi = box_.hi[attr];
-      box_.hi[attr] = split;
-      Recurse(begin, mid);
-      box_.hi[attr] = old_hi;
-      Value old_lo = box_.lo[attr];
-      box_.lo[attr] = split;
-      Recurse(mid, end);
-      box_.lo[attr] = old_lo;
-      return;
+      *out_attr = attr;
+      *out_split = split;
+      *out_mid = write;
+      return true;
     }
-    // No allowable cut: emit the group.
-    std::vector<RowId> group(rows_.begin() + begin, rows_.begin() + end);
-    partition_->AddGroup(group);
-    out_->AddGroup(box_, std::move(group));
+    return false;
   }
 
+ private:
   /// The median cut point for `attr` within [begin, end): the smallest
   /// value v such that at least half the rows are strictly below v, or 0
   /// when the rows share a single value (no cut). The histogram pass
@@ -233,7 +272,7 @@ class MondrianState {
       median = medians_[attr];
     } else {
       values_.clear();
-      const Value* col = cols_[attr];
+      const Value* col = s_.cols[attr];
       for (std::size_t i = begin; i < end; ++i) values_.push_back(col[rows_[i]]);
       const std::size_t k = values_.size() / 2;
       std::nth_element(values_.begin(), values_.begin() + k, values_.end());
@@ -243,17 +282,12 @@ class MondrianState {
     return median > mins_[attr] ? median : median + 1;
   }
 
-  const Table& table_;
-  const std::uint32_t l_;
-  const std::size_t n_;
-  const std::size_t d_;
-  const std::size_t m_;
+  const MondrianShared& s_;
   BoxGeneralization* out_;
   ldv::Partition* partition_;
 
-  ScratchVec<std::uint32_t> rows_s_, sa_s_, scratch_s_, values_s_, vhist_s_;
+  ScratchVec<std::uint32_t> scratch_s_, values_s_, vhist_s_;
   ScratchVec<std::uint32_t> left_counts_s_, right_counts_s_, touched_s_;
-  std::vector<const Value*> cols_;  // per-attribute column base pointers
   std::vector<RowId>& rows_;             // the single shared row index buffer
   std::vector<SaValue>& sa_;             // SA column, permuted alongside rows_
   std::vector<std::uint32_t>& scratch_;  // right-side staging for stable partition
@@ -262,11 +296,88 @@ class MondrianState {
   std::vector<std::uint32_t>& left_counts_;   // dense SA histograms,
   std::vector<std::uint32_t>& right_counts_;  // reset via touched_
   std::vector<SaValue>& touched_;
-  std::vector<std::uint32_t> vhist_offset_;
   std::vector<std::pair<double, AttrId>> spreads_;
   std::vector<Value> mins_, maxs_, medians_;
   QiBox box_;  // current box, mutated and restored around recursion
 };
+
+// One pending subtree of the parallel driver: its row range and the box
+// the sequential recursion would have carried into it.
+struct FrontierNode {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+  QiBox box;
+  bool leaf = false;  // TrySplit already failed: the node is one group
+};
+
+// Parallel Mondrian: expand the top of the tree sequentially into a
+// left-to-right frontier of independent subtrees, solve the subtrees in
+// parallel (disjoint row ranges, per-task scratch, per-task outputs), and
+// concatenate the per-subtree groups in frontier order. The tree is a pure
+// function of (table, l) -- every node's cut depends only on the rows it
+// covers -- and frontier order is depth-first left-to-right order, so the
+// merged output is byte-identical to the sequential recursion at any
+// thread count.
+void RunParallel(const MondrianShared& shared, std::vector<RowId>& rows,
+                 std::vector<SaValue>& sa, unsigned threads, Workspace& ws,
+                 BoxGeneralization* out, ldv::Partition* partition) {
+  const std::size_t target_nodes = 8 * static_cast<std::size_t>(threads);
+  const std::size_t cutoff =
+      std::max<std::size_t>(4096, shared.n / (8 * static_cast<std::size_t>(threads)));
+
+  std::vector<FrontierNode> frontier;
+  frontier.push_back({0, shared.n, shared.RootBox(), false});
+  MondrianWalker expander(shared, rows, sa, nullptr, nullptr, ws);
+  while (frontier.size() < target_nodes) {
+    // Expand the largest splittable node; stop when every remaining node
+    // is below the task-granularity cutoff (its subtree runs as one task).
+    std::size_t best = frontier.size();
+    std::size_t best_size = cutoff;
+    for (std::size_t i = 0; i < frontier.size(); ++i) {
+      const std::size_t size = frontier[i].end - frontier[i].begin;
+      if (!frontier[i].leaf && size >= best_size) {
+        best = i;
+        best_size = size + 1;
+      }
+    }
+    if (best == frontier.size()) break;
+    FrontierNode& node = frontier[best];
+    expander.box() = node.box;
+    AttrId attr = 0;
+    Value split = 0;
+    std::size_t mid = 0;
+    if (!expander.TrySplit(node.begin, node.end, &attr, &split, &mid)) {
+      node.leaf = true;
+      continue;
+    }
+    FrontierNode right = node;
+    node.end = mid;
+    node.box.hi[attr] = split;
+    right.begin = mid;
+    right.box.lo[attr] = split;
+    frontier.insert(frontier.begin() + static_cast<std::ptrdiff_t>(best) + 1,
+                    std::move(right));
+  }
+
+  // Solve the subtrees in parallel, one task per frontier node, each with
+  // its own walker (scratch from the executing thread's workspace) and
+  // its own outputs. Leaf nodes re-run one failing TrySplit and emit.
+  std::vector<ldv::Partition> parts(frontier.size());
+  std::vector<BoxGeneralization> gens(frontier.size());
+  ParallelFor(frontier.size(), 1, ws,
+              [&](std::size_t begin, std::size_t end, Workspace& cws) {
+                for (std::size_t i = begin; i < end; ++i) {
+                  MondrianWalker walker(shared, rows, sa, &gens[i], &parts[i], cws);
+                  walker.box() = frontier[i].box;
+                  walker.Recurse(frontier[i].begin, frontier[i].end);
+                }
+              });
+
+  for (std::size_t i = 0; i < frontier.size(); ++i) {
+    partition->Append(std::move(parts[i]));
+    out->Append(std::move(gens[i]));
+  }
+}
 
 }  // namespace
 
@@ -280,9 +391,26 @@ MondrianResult MondrianAnonymize(const Table& table, std::uint32_t l, Workspace*
   auto start = std::chrono::steady_clock::now();
 
   Workspace local;
-  MondrianState state(table, l, &result.generalization, &result.partition,
-                      workspace != nullptr ? *workspace : local);
-  state.Run();
+  Workspace& ws = workspace != nullptr ? *workspace : local;
+  MondrianShared shared(table, l);
+
+  // The shared row-id and SA buffers every walker indexes into.
+  auto rows_s = ws.U32();
+  std::vector<RowId>& rows = *rows_s;
+  rows.resize(shared.n);
+  std::iota(rows.begin(), rows.end(), 0u);
+  auto sa_s = ws.U32();
+  std::vector<SaValue>& sa = *sa_s;
+  sa.resize(shared.n);
+  for (RowId r = 0; r < shared.n; ++r) sa[r] = table.sa(r);
+
+  const unsigned threads = InnerThreads();
+  if (threads > 1 && shared.n >= 8192) {
+    RunParallel(shared, rows, sa, threads, ws, &result.generalization, &result.partition);
+  } else {
+    MondrianWalker walker(shared, rows, sa, &result.generalization, &result.partition, ws);
+    walker.Recurse(0, shared.n);
+  }
   // Splits are global cuts of the parent box, so the boxes tile the QI
   // space (see MondrianResult::generalization).
   result.generalization.MarkTiling();

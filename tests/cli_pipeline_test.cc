@@ -13,6 +13,7 @@
 #include "anonymity/release.h"
 #include "cli/report.h"
 #include "common/csv.h"
+#include "common/parallel.h"
 #include "common/rng.h"
 #include "test_util.h"
 
@@ -131,6 +132,59 @@ TEST(CliPipeline, SweepGridIsJobOrderedAndThreadCountInvariant) {
             RenderJsonReport(threaded, report_options));
   EXPECT_EQ(RenderMetricsCsv(serial, report_options),
             RenderMetricsCsv(threaded, report_options));
+}
+
+TEST(CliPipeline, SingleJobIsThreadBudgetInvariant) {
+  // A single job runs inline and spends the whole budget on in-kernel
+  // parallelism (Hilbert encode, Mondrian subtrees, grouping, the KL
+  // reductions) -- the deterministic-kernel guarantee surfaced through
+  // the CLI layer. The table is large enough that every parallel path
+  // actually engages.
+  CliOptions options = SyntheticOptions();
+  options.ns = {20000};
+  options.algorithms = {Algorithm::kMondrian, Algorithm::kHilbert};
+  options.ls = {6};
+
+  ReportOptions report_options;
+  report_options.include_seconds = false;
+
+  std::string reference_json, reference_csv;
+  for (std::uint32_t threads : {1u, 2u, 4u}) {
+    options.threads = threads;
+    PipelineResult result;
+    std::string error;
+    ASSERT_TRUE(RunPipeline(options, &result, &error)) << error;
+    ASSERT_EQ(result.jobs.size(), 2u);
+    EXPECT_EQ(result.threads, threads);
+    std::string json = RenderJsonReport(result, report_options);
+    std::string csv = RenderMetricsCsv(result, report_options);
+    if (threads == 1) {
+      reference_json = std::move(json);
+      reference_csv = std::move(csv);
+    } else {
+      EXPECT_EQ(json, reference_json) << "threads=" << threads;
+      EXPECT_EQ(csv, reference_csv) << "threads=" << threads;
+    }
+  }
+  SetThreadBudget(0);
+}
+
+TEST(CliPipeline, ReportRecordsThreadsOnlyBesideTimings) {
+  CliOptions options = SyntheticOptions();
+  options.algorithms = {Algorithm::kTp};
+  options.threads = 3;
+  PipelineResult result;
+  std::string error;
+  ASSERT_TRUE(RunPipeline(options, &result, &error)) << error;
+  SetThreadBudget(0);
+
+  ReportOptions with_timings;
+  with_timings.include_seconds = true;
+  EXPECT_NE(RenderJsonReport(result, with_timings).find("\"threads\": 3"), std::string::npos);
+  ReportOptions no_timings;
+  no_timings.include_seconds = false;
+  EXPECT_EQ(RenderJsonReport(result, no_timings).find("\"threads\""), std::string::npos)
+      << "--no-timings output must stay byte-identical across thread budgets";
 }
 
 TEST(CliPipeline, InfeasibleJobIsReportedNotFatal) {

@@ -251,6 +251,20 @@ TEST(CliOptions, FormatFlagRules) {
   EXPECT_FALSE(options.schema.has_value());
 }
 
+TEST(CliOptions, ThreadsAcceptsCountsAndAuto) {
+  CliOptions options;
+  std::string error;
+  ASSERT_TRUE(ParseCli({"--n=500"}, &options, &error)) << error;
+  EXPECT_EQ(options.threads, 0u);  // default: auto
+  ASSERT_TRUE(ParseCli({"--n=500", "--threads=auto"}, &options, &error)) << error;
+  EXPECT_EQ(options.threads, 0u);
+  ASSERT_TRUE(ParseCli({"--n=500", "--threads=6"}, &options, &error)) << error;
+  EXPECT_EQ(options.threads, 6u);
+  EXPECT_FALSE(ParseCli({"--n=500", "--threads=many"}, &options, &error));
+  EXPECT_NE(error.find("--threads"), std::string::npos) << error;
+  EXPECT_FALSE(ParseCli({"--n=500", "--threads=4x"}, &options, &error));
+}
+
 TEST(CliOptions, DatasetSpecMistakesAreUsageErrors) {
   // Grid-cell validation happens at parse time so these exit 1 (usage),
   // not 3 (pipeline failure).

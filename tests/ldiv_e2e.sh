@@ -9,15 +9,19 @@
 # well-formed; then repeat over the committed raw string-valued CSV
 # (dictionary ingestion) and require decoded labels plus the dictionary
 # sidecar in the outputs. Then run a 12-job sweep (all algorithms x l in
-# {2,4}) through the batch driver twice with different thread counts and
-# require byte-identical --no-timings reports (deterministic, job-ordered
-# output).
+# {2,4}) through the batch driver at --threads=1,2,4 and require
+# byte-identical --no-timings reports AND byte-identical per-job releases
+# (deterministic, job-ordered output at any thread budget).
+#
+# LDIV_E2E_ONLY=threads skips everything but that last determinism
+# section -- the TSan CI job runs just the threaded surface.
 set -euo pipefail
 
 BIN=$1
 SRC=$2
 INPUT="$SRC/tests/data/micro.csv"
 SCHEMA='Age:79,Gender:2,Race:9|Income:50'
+ONLY=${LDIV_E2E_ONLY:-}
 
 TMP=$(mktemp -d)
 trap 'rm -rf "$TMP"' EXIT
@@ -44,6 +48,8 @@ for job in report["jobs"]:
     assert job["stars"] >= 0 and job["groups"] > 0
 EOF
 }
+
+if [ "$ONLY" != "threads" ]; then
 
 echo "== single runs: every registered algorithm =="
 for algo in tp tp+ hilbert mondrian anatomy tds; do
@@ -100,16 +106,43 @@ echo "$ERRMSG" | grep -q "bad.csv:2: column 3" ||
   { echo "FAIL: CSV parse error lost its line/column position: $ERRMSG"; exit 1; }
 expect_exit 2 "$BIN" --algo=tp --l=100000 --input="$INPUT" --schema="$SCHEMA" --out="$TMP/x"
 expect_exit 3 "$BIN" --input="$TMP/no_such_file.csv" --schema="$SCHEMA" --out="$TMP/x"
+expect_exit 1 "$BIN" --threads=lots --out="$TMP/x"
 
-echo "== sweep: 12-job grid, deterministic across thread counts =="
-for threads in 1 4; do
+fi  # LDIV_E2E_ONLY != threads
+
+echo "== sweep: 12-job grid, deterministic across thread budgets =="
+# All six algorithms x l in {2,4}, with per-job releases, at --threads=1,
+# 2 and 4: the --no-timings reports and every release (including the
+# Anatomy sensitive tables) must be byte-identical -- the thread budget
+# feeds both the batch workers and the in-kernel parallelism, and neither
+# may leak into any output.
+for threads in 1 2 4; do
   "$BIN" --algo=all --l=2,4 --input="$INPUT" --schema="$SCHEMA" --sweep \
-    --threads="$threads" --no-timings --out="$TMP/sweep$threads" 2> /dev/null
+    --write-releases --threads="$threads" --no-timings \
+    --out="$TMP/sweep$threads" 2> /dev/null
   check_json "$TMP/sweep$threads.json" 12
 done
-cmp "$TMP/sweep1.json" "$TMP/sweep4.json" ||
-  { echo "FAIL: sweep JSON depends on thread count"; exit 1; }
-cmp "$TMP/sweep1_metrics.csv" "$TMP/sweep4_metrics.csv" ||
-  { echo "FAIL: sweep metrics depend on thread count"; exit 1; }
+for threads in 2 4; do
+  cmp "$TMP/sweep1.json" "$TMP/sweep$threads.json" ||
+    { echo "FAIL: sweep JSON depends on --threads=$threads"; exit 1; }
+  cmp "$TMP/sweep1_metrics.csv" "$TMP/sweep${threads}_metrics.csv" ||
+    { echo "FAIL: sweep metrics depend on --threads=$threads"; exit 1; }
+  for k in $(seq 0 11); do
+    cmp "$TMP/sweep1.job$k.csv" "$TMP/sweep$threads.job$k.csv" ||
+      { echo "FAIL: release job$k depends on --threads=$threads"; exit 1; }
+    if [ -f "$TMP/sweep1.job${k}_sa.csv" ]; then
+      cmp "$TMP/sweep1.job${k}_sa.csv" "$TMP/sweep$threads.job${k}_sa.csv" ||
+        { echo "FAIL: sensitive table job$k depends on --threads=$threads"; exit 1; }
+    fi
+  done
+done
+# The thread budget is an execution detail: it may only surface next to
+# the wall-clock fields, never in --no-timings output.
+grep -q '"threads"' "$TMP/sweep1.json" &&
+  { echo "FAIL: --no-timings report records the thread budget"; exit 1; }
+"$BIN" --algo=mondrian --l=2 --input="$INPUT" --schema="$SCHEMA" \
+  --threads=2 --out="$TMP/timed" 2> /dev/null
+grep -q '"threads": 2' "$TMP/timed.json" ||
+  { echo "FAIL: timed report does not record the thread budget"; exit 1; }
 
 echo "ldiv e2e: all checks passed"

@@ -16,11 +16,15 @@
 #include "anonymity/generalization.h"
 #include "anonymity/multidim.h"
 #include "anonymity/partition.h"
+#include "common/grouped_table.h"
 #include "common/histogram.h"
+#include "common/parallel.h"
 #include "common/workspace.h"
 #include "core/anonymizer.h"
+#include "core/tp.h"
 #include "data/acs_generator.h"
 #include "data/acs_schema.h"
+#include "hilbert/hilbert_partitioner.h"
 #include "metrics/kl_divergence.h"
 #include "mondrian/mondrian.h"
 #include "test_util.h"
@@ -380,6 +384,95 @@ TEST(WorkspaceEquivalence, ReusedWorkspaceGivesIdenticalOutcomes) {
       EXPECT_EQ(fresh.suppressed_tuples, outcome->suppressed_tuples) << AlgorithmName(algo);
       EXPECT_EQ(fresh.kl_divergence, outcome->kl_divergence) << AlgorithmName(algo);
       ExpectSamePartition(fresh.partition, outcome->partition);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Thread-count equivalence: the intra-run parallel kernels must produce
+// byte-identical output at any thread budget. The tables are large enough
+// that every parallel path actually engages (multiple ParallelFor chunks,
+// a Mondrian frontier, several KL reduction chunks) even though the
+// sequential references below run the same code inline at budget 1.
+// ---------------------------------------------------------------------------
+
+// Restores the process-wide thread budget however a test exits.
+class ThreadCountEquivalence : public ::testing::Test {
+ protected:
+  void TearDown() override { SetThreadBudget(0); }
+};
+
+TEST_F(ThreadCountEquivalence, KernelsAreByteIdenticalAcrossThreadBudgets) {
+  Table sal = GenerateSal(20000, 1);
+  Table t = sal.ProjectQi({kAge, kGender, kRace, kEducation});
+  HilbertOptions dp_options;
+  dp_options.splitter = HilbertOptions::Splitter::kWindowDp;
+
+  SetThreadBudget(1);
+  Workspace ref_ws;
+  HilbertResult greedy_ref = HilbertAnonymize(t, 6, {}, &ref_ws);
+  HilbertResult dp_ref = HilbertAnonymize(t, 6, dp_options, &ref_ws);
+  MondrianResult mondrian_ref = MondrianAnonymize(t, 6, &ref_ws);
+  GroupedTable grouped_ref(t, &ref_ws);
+  TpResult tp = RunTp(t, 6);
+  GeneralizedTable generalized(t, tp.ToPartition());
+  const double kl_suppression_ref = KlDivergenceSuppression(t, generalized);
+  const double kl_multidim_ref = KlDivergenceMultiDim(t, mondrian_ref.generalization);
+
+  for (unsigned threads : {2u, 4u}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    SetThreadBudget(threads);
+    Workspace ws;
+
+    HilbertResult greedy = HilbertAnonymize(t, 6, {}, &ws);
+    ExpectSamePartition(greedy_ref.partition, greedy.partition);
+    HilbertResult dp = HilbertAnonymize(t, 6, dp_options, &ws);
+    ExpectSamePartition(dp_ref.partition, dp.partition);
+
+    MondrianResult mondrian = MondrianAnonymize(t, 6, &ws);
+    ExpectSamePartition(mondrian_ref.partition, mondrian.partition);
+    ExpectSameBoxes(mondrian_ref.generalization, mondrian.generalization);
+
+    GroupedTable grouped(t, &ws);
+    ASSERT_EQ(grouped_ref.group_count(), grouped.group_count());
+    for (GroupId g = 0; g < grouped_ref.group_count(); ++g) {
+      ASSERT_EQ(grouped_ref.group(g).qi_values, grouped.group(g).qi_values) << "group " << g;
+      ASSERT_EQ(grouped_ref.group(g).rows, grouped.group(g).rows) << "group " << g;
+      ASSERT_EQ(grouped_ref.group(g).sa_runs, grouped.group(g).sa_runs) << "group " << g;
+    }
+
+    // Bit-equality, not near-equality: the estimators' chunk geometry and
+    // combine order are fixed, so the doubles cannot drift.
+    EXPECT_EQ(KlDivergenceSuppression(t, generalized), kl_suppression_ref);
+    EXPECT_EQ(KlDivergenceMultiDim(t, mondrian.generalization), kl_multidim_ref);
+  }
+}
+
+TEST_F(ThreadCountEquivalence, OutcomesAreBitIdenticalAcrossThreadBudgets) {
+  // The full Anonymize path (solve + shared post-processing) for every
+  // registered algorithm, budget 1 vs oversubscribed budgets.
+  Table sal = GenerateSal(12000, 1);
+  Table t = sal.ProjectQi({kAge, kRace, kEducation});
+
+  SetThreadBudget(1);
+  std::vector<AnonymizationOutcome> reference;
+  for (Algorithm algo : kAllAlgorithms) {
+    reference.push_back(Anonymize(t, 4, algo, AnonymizerOptions{}));
+    ASSERT_TRUE(reference.back().feasible) << AlgorithmName(algo);
+  }
+
+  for (unsigned threads : {2u, 4u}) {
+    SetThreadBudget(threads);
+    Workspace ws;
+    for (std::size_t i = 0; i < kAllAlgorithms.size(); ++i) {
+      const Algorithm algo = kAllAlgorithms[i];
+      SCOPED_TRACE(std::string(AlgorithmName(algo)) + " threads=" + std::to_string(threads));
+      AnonymizationOutcome outcome = Anonymize(t, 4, algo, AnonymizerOptions{}, &ws);
+      ASSERT_TRUE(outcome.feasible);
+      EXPECT_EQ(reference[i].stars, outcome.stars);
+      EXPECT_EQ(reference[i].suppressed_tuples, outcome.suppressed_tuples);
+      EXPECT_EQ(reference[i].kl_divergence, outcome.kl_divergence);
+      ExpectSamePartition(reference[i].partition, outcome.partition);
     }
   }
 }

@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Diff two BENCH_*.json perf-trajectory files and flag regressions.
+
+Usage:
+    tools/bench_compare.py BASELINE.json FRESH.json [--threshold PCT]
+
+Compares the benchmarks present in BOTH files by name and prints one row
+per series: baseline ns/op, fresh ns/op, and the ratio. Exits non-zero
+when any shared series regressed by more than --threshold percent
+(default 15). Series present in only one file are listed but never gate.
+
+Stdlib-only on purpose: CI's bench-smoke job runs it as a soft gate
+(warn + artifact), and developers run it locally after regenerating a
+trajectory file. Timings on shared runners are noisy -- treat the exit
+code as a prompt to look, not as proof of a regression.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            report = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        sys.exit(f"bench_compare: cannot read {path}: {e}")
+    entries = {}
+    for bench in report.get("benchmarks", []):
+        name, ns = bench.get("name"), bench.get("ns_per_op")
+        if not isinstance(name, str) or not isinstance(ns, (int, float)) or ns <= 0:
+            sys.exit(f"bench_compare: malformed entry in {path}: {bench!r}")
+        entries[name] = float(ns)
+    if not entries:
+        sys.exit(f"bench_compare: {path} holds no benchmarks")
+    return entries
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", help="committed trajectory file")
+    parser.add_argument("fresh", help="freshly generated trajectory file")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=15.0,
+        metavar="PCT",
+        help="regression gate in percent (default: 15)",
+    )
+    args = parser.parse_args()
+
+    baseline = load(args.baseline)
+    fresh = load(args.fresh)
+    shared = sorted(set(baseline) & set(fresh))
+    if not shared:
+        sys.exit("bench_compare: the files share no benchmark names")
+
+    width = max(len(name) for name in shared)
+    regressions = []
+    print(f"{'benchmark':<{width}}  {'baseline':>12}  {'fresh':>12}  {'ratio':>7}")
+    for name in shared:
+        ratio = fresh[name] / baseline[name]
+        flag = ""
+        if ratio > 1.0 + args.threshold / 100.0:
+            flag = "  << REGRESSION"
+            regressions.append((name, ratio))
+        print(
+            f"{name:<{width}}  {baseline[name]:>12.1f}  {fresh[name]:>12.1f}"
+            f"  {ratio:>6.2f}x{flag}"
+        )
+
+    for name in sorted(set(baseline) - set(fresh)):
+        print(f"{name:<{width}}  only in {args.baseline}")
+    for name in sorted(set(fresh) - set(baseline)):
+        print(f"{name:<{width}}  only in {args.fresh}")
+
+    if regressions:
+        print(
+            f"\n{len(regressions)} series regressed by more than "
+            f"{args.threshold:g}% (of {len(shared)} compared)"
+        )
+        return 1
+    print(f"\nok: {len(shared)} series within {args.threshold:g}%")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
