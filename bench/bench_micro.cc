@@ -20,6 +20,7 @@
 #include "common/histogram.h"
 #include "common/parallel.h"
 #include "common/rng.h"
+#include "common/simd.h"
 #include "common/workspace.h"
 #include "core/pillar_index.h"
 #include "core/tp.h"
@@ -40,6 +41,12 @@ std::map<std::string, bench::BenchFields>& FieldRegistry() {
   static auto* registry = new std::map<std::string, bench::BenchFields>();
   return *registry;
 }
+
+// The SIMD level the process dispatches at, recorded as the `simd` field
+// on every series whose kernels route through the SIMD layer (grouping,
+// Mondrian, Hilbert partitioning, the KL estimators) so trajectory diffs
+// can tell a code regression from a host with a different vector ISA.
+const char* ActiveSimd() { return simd::LevelName(simd::ActiveLevel()); }
 
 // ---- PillarIndex vs naive histogram scanning (ablation #2) ----
 
@@ -260,6 +267,22 @@ void BM_KlMultiDimColumnar(benchmark::State& state) {
 }
 BENCHMARK(BM_KlMultiDimColumnar)->Name("kl_multidim_columnar")->Arg(10000)->Arg(100000);
 
+// Cache-blocking sweep of the KL term staging (KlTuning::block_rows) on
+// the heaviest estimator workload. The committed kKlBlockRows default was
+// picked from this series; it stays registered so any future change to
+// the staging layout re-measures the same points.
+void BM_KlBlock(benchmark::State& state) {
+  const Table& t = SizedSal7(100000);
+  MondrianResult mondrian = MondrianAnonymize(t, 6);
+  KlTuning tuning;
+  tuning.block_rows = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(KlDivergenceMultiDim(t, mondrian.generalization, tuning));
+  }
+  state.SetItemsProcessed(state.iterations() * t.size());
+}
+BENCHMARK(BM_KlBlock)->Name("kl_block")->Arg(1024)->Arg(4096)->Arg(16384);
+
 // ---- Intra-run parallel series ----
 //
 // The hot kernels again, under explicit thread budgets (1 / 2 / 4): the
@@ -323,15 +346,15 @@ void RegisterParallelSeries() {
     benchmark::RegisterBenchmark(
         series("hilbert_dp_par").c_str(),
         [threads](benchmark::State& state) { RunHilbertDpPar(state, threads); });
-    FieldRegistry()[series("hilbert_dp_par")] = {50000, 4, threads};
+    FieldRegistry()[series("hilbert_dp_par")] = {50000, 4, threads, ActiveSimd()};
     benchmark::RegisterBenchmark(
         series("mondrian_par").c_str(),
         [threads](benchmark::State& state) { RunMondrianPar(state, threads); });
-    FieldRegistry()[series("mondrian_par")] = {100000, 4, threads};
+    FieldRegistry()[series("mondrian_par")] = {100000, 4, threads, ActiveSimd()};
     benchmark::RegisterBenchmark(
         series("grouping_par").c_str(),
         [threads](benchmark::State& state) { RunGroupingPar(state, threads); });
-    FieldRegistry()[series("grouping_par")] = {100000, 7, threads};
+    FieldRegistry()[series("grouping_par")] = {100000, 7, threads, ActiveSimd()};
   }
 }
 
@@ -349,15 +372,18 @@ void RegisterBenchFields() {
       name += suffix;
       return name;
     };
-    fields[series("grouping")] = {n, 4, 1};
+    fields[series("grouping")] = {n, 4, 1, ActiveSimd()};
     fields[series("tp_solve")] = {n, 4, 1};
-    fields[series("mondrian")] = {n, 4, 1};
-    fields[series("kl_suppression")] = {n, 4, 1};
-    fields[series("kl_multidim")] = {n, 4, 1};
-    fields[series("grouping_columnar")] = {n, 7, 1};
-    fields[series("kl_multidim_columnar")] = {n, 7, 1};
+    fields[series("mondrian")] = {n, 4, 1, ActiveSimd()};
+    fields[series("kl_suppression")] = {n, 4, 1, ActiveSimd()};
+    fields[series("kl_multidim")] = {n, 4, 1, ActiveSimd()};
+    fields[series("grouping_columnar")] = {n, 7, 1, ActiveSimd()};
+    fields[series("kl_multidim_columnar")] = {n, 7, 1, ActiveSimd()};
   }
-  fields["BM_GroupedTableConstruction"] = {50000, 4, 1};
+  for (const char* name : {"kl_block/1024", "kl_block/4096", "kl_block/16384"}) {
+    fields[name] = {100000, 7, 1, ActiveSimd()};
+  }
+  fields["BM_GroupedTableConstruction"] = {50000, 4, 1, ActiveSimd()};
   for (const char* name : {"BM_TpSolveFromGroups/2", "BM_TpSolveFromGroups/6",
                            "BM_TpSolveFromGroups/10"}) {
     fields[name] = {50000, 4, 1};

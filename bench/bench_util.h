@@ -119,6 +119,11 @@ struct BenchFields {
   std::uint32_t attrs = 0;
   /// Thread budget the benchmark ran under (1 = the sequential series).
   std::uint32_t threads = 0;
+  /// SIMD dispatch level the benchmark ran at ("scalar", "sse2" or
+  /// "avx2"); empty = not recorded. Recorded on the series whose kernels
+  /// route through the SIMD layer, so trajectory diffs can tell a code
+  /// regression from a host with a different vector ISA.
+  std::string simd;
 };
 
 /// Minimal JSON writer for the BENCH_*.json perf-trajectory files: a tool
@@ -150,6 +155,7 @@ class JsonReport {
       }
       if (e.fields.attrs != 0) std::fprintf(f, ", \"attrs\": %u", e.fields.attrs);
       if (e.fields.threads != 0) std::fprintf(f, ", \"threads\": %u", e.fields.threads);
+      if (!e.fields.simd.empty()) std::fprintf(f, ", \"simd\": \"%s\"", e.fields.simd.c_str());
       std::fprintf(f, "}%s\n", i + 1 < entries_.size() ? "," : "");
     }
     std::fprintf(f, "  ]\n}\n");

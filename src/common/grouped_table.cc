@@ -5,6 +5,7 @@
 #include "common/check.h"
 #include "common/flat_map.h"
 #include "common/parallel.h"
+#include "common/simd.h"
 
 namespace ldv {
 
@@ -24,6 +25,21 @@ SaHistogram QiGroup::ToHistogram(std::size_t m) const {
   return h;
 }
 
+namespace {
+
+// The build always runs sharded, at every thread count: one code path, one
+// output. 16 shards keyed on the TOP four bits of the mixed hash -- the
+// per-shard probe slot uses the low bits, so shard choice and slot choice
+// stay independent. Equal signatures hash equal and therefore land in the
+// same shard, which is what makes the per-shard indexes private.
+constexpr std::size_t kShards = 16;
+constexpr unsigned kShardShift = 60;
+constexpr std::size_t kRowGrain = 16384;
+
+std::size_t ShardOf(std::uint64_t mixed) { return mixed >> kShardShift; }
+
+}  // namespace
+
 GroupedTable::GroupedTable(const Table& table, Workspace* workspace) {
   row_count_ = table.size();
   sa_domain_size_ = table.schema().sa_domain_size();
@@ -33,6 +49,7 @@ GroupedTable::GroupedTable(const Table& table, Workspace* workspace) {
   Workspace& ws = workspace != nullptr ? *workspace : local;
   const std::size_t n = table.size();
   const std::size_t d = table.qi_count();
+  const std::size_t m = sa_domain_size_;
 
   // Per-attribute column base pointers, hoisted once so the scans below
   // stream contiguous columns instead of striding rows.
@@ -42,45 +59,78 @@ GroupedTable::GroupedTable(const Table& table, Workspace* workspace) {
   // Row signature hashes, computed once. FNV-1a folded column by column:
   // every row's hash absorbs its values in attribute order (identical to a
   // per-row FNV over the signature), but each pass streams one contiguous
-  // column. Equal signatures hash equal, and the open-addressing index
-  // below compares full signatures on every hash hit, so collisions only
-  // cost an extra comparison. The fold is a pure per-row map, so the row
-  // range fans out in fixed chunks (each chunk folding every column over
-  // its rows) and the hash array is byte-identical at any thread count;
-  // the first-occurrence group-id assignment below stays sequential, which
-  // is what keeps the merge into the signature index deterministic.
+  // column through the SIMD fold kernel. Equal signatures hash equal, and
+  // the shard indexes below compare full signatures on every hash hit, so
+  // collisions only cost an extra comparison. The fold is a pure per-row
+  // map, so the hash array is byte-identical at any thread count.
   auto hashes_s = ws.U64();
   std::vector<std::uint64_t>& hashes = *hashes_s;
   hashes.assign(n, 1469598103934665603ULL);
   std::uint64_t* hash_data = hashes.data();
-  ParallelFor(n, 16384, ws, [&](std::size_t begin, std::size_t end, Workspace&) {
+  ParallelFor(n, kRowGrain, ws, [&](std::size_t begin, std::size_t end, Workspace&) {
     for (AttrId a = 0; a < d; ++a) {
-      const Value* col = cols[a];
-      for (std::size_t r = begin; r < end; ++r) {
-        hash_data[r] = (hash_data[r] ^ col[r]) * 1099511628211ULL;
-      }
+      simd::FnvFoldColumn(hash_data + begin, cols[a] + begin, end - begin);
     }
   });
 
-  // Open-addressing signature index: slot -> group id + 1 (0 = empty),
-  // sized to stay at most half full. Group ids are assigned in first-
-  // occurrence row order, exactly like the seed's unordered_map pass.
-  std::size_t cap = 16;
-  while (cap < 2 * n) cap <<= 1;
-  const std::size_t mask = cap - 1;
-  auto slots_s = ws.U32();
-  std::vector<std::uint32_t>& slots = *slots_s;
-  slots.assign(cap, 0);
+  // Scatter rows into shard-major order: a chunked histogram pass counts
+  // rows per (chunk, shard), a sequential scan turns the counts into write
+  // cursors, and a second pass scatters. Chunks are visited in row order
+  // and each chunk owns its cursors, so within every shard the rows come
+  // out in ascending global row order -- the property the first-occurrence
+  // tie-break below relies on.
+  const std::size_t chunk_count = (n + kRowGrain - 1) / kRowGrain;
+  auto shard_counts_s = ws.U32();
+  std::vector<std::uint32_t>& shard_counts = *shard_counts_s;
+  shard_counts.assign(chunk_count * kShards, 0);
+  ParallelFor(n, kRowGrain, ws, [&](std::size_t begin, std::size_t end, Workspace&) {
+    std::uint32_t* counts = shard_counts.data() + (begin / kRowGrain) * kShards;
+    for (std::size_t r = begin; r < end; ++r) ++counts[ShardOf(MixU64(hash_data[r]))];
+  });
+  std::uint32_t shard_begin[kShards + 1] = {0};
+  for (std::size_t sh = 0; sh < kShards; ++sh) {
+    std::uint32_t total = 0;
+    for (std::size_t c = 0; c < chunk_count; ++c) total += shard_counts[c * kShards + sh];
+    shard_begin[sh + 1] = shard_begin[sh] + total;
+  }
+  {
+    std::uint32_t cursor[kShards];
+    std::copy(shard_begin, shard_begin + kShards, cursor);
+    for (std::size_t c = 0; c < chunk_count; ++c) {
+      for (std::size_t sh = 0; sh < kShards; ++sh) {
+        const std::uint32_t count = shard_counts[c * kShards + sh];
+        shard_counts[c * kShards + sh] = cursor[sh];
+        cursor[sh] += count;
+      }
+    }
+  }
+  auto shard_rows_s = ws.U32();
+  std::vector<std::uint32_t>& shard_rows = *shard_rows_s;
+  shard_rows.resize(n);
+  ParallelFor(n, kRowGrain, ws, [&](std::size_t begin, std::size_t end, Workspace&) {
+    std::uint32_t* cursor = shard_counts.data() + (begin / kRowGrain) * kShards;
+    for (std::size_t r = begin; r < end; ++r) {
+      shard_rows[cursor[ShardOf(MixU64(hash_data[r]))]++] = static_cast<std::uint32_t>(r);
+    }
+  });
 
-  auto group_of_s = ws.U32();
-  std::vector<std::uint32_t>& group_of = *group_of_s;
-  group_of.resize(n);
-  auto sizes_s = ws.U32();
-  std::vector<std::uint32_t>& sizes = *sizes_s;  // rows per group
+  // Per-shard signature resolution: each shard probes a private
+  // open-addressing index (slot -> shard-local group id + 1, sized to stay
+  // at most half full) over its own rows, in ascending row order, so a
+  // shard-local representative is the globally first row of its signature.
+  // local_of / reps / local_sizes are written at row- or shard-disjoint
+  // positions, so the shards run concurrently.
+  auto local_of_s = ws.U32();
+  std::vector<std::uint32_t>& local_of = *local_of_s;  // row -> shard-local gid
+  local_of.resize(n);
   auto reps_s = ws.U32();
-  std::vector<std::uint32_t>& reps = *reps_s;  // representative row per group
+  std::vector<std::uint32_t>& reps = *reps_s;  // shard_begin[sh] + lg -> rep row
+  reps.resize(n);
+  auto local_sizes_s = ws.U32();
+  std::vector<std::uint32_t>& local_sizes = *local_sizes_s;
+  local_sizes.resize(n);
+  std::uint32_t shard_groups[kShards] = {0};
 
-  // Signature equality between two rows, checked column by column.
   auto same_signature = [&cols, d](RowId x, RowId y) {
     for (AttrId a = 0; a < d; ++a) {
       if (cols[a][x] != cols[a][y]) return false;
@@ -88,35 +138,137 @@ GroupedTable::GroupedTable(const Table& table, Workspace* workspace) {
     return true;
   };
 
-  for (RowId r = 0; r < n; ++r) {
-    std::size_t i = MixU64(hashes[r]) & mask;
-    for (;;) {
-      if (slots[i] == 0) {
-        slots[i] = static_cast<std::uint32_t>(reps.size()) + 1;
-        group_of[r] = static_cast<std::uint32_t>(reps.size());
-        reps.push_back(r);
-        sizes.push_back(1);
-        break;
+  ParallelFor(kShards, 1, ws, [&](std::size_t sb, std::size_t se, Workspace& cws) {
+    for (std::size_t sh = sb; sh < se; ++sh) {
+      const std::uint32_t row_begin = shard_begin[sh];
+      const std::uint32_t row_end = shard_begin[sh + 1];
+      if (row_begin == row_end) continue;
+      const std::size_t n_sh = row_end - row_begin;
+      std::size_t cap = 16;
+      while (cap < 2 * n_sh) cap <<= 1;
+      const std::size_t mask = cap - 1;
+      auto slots_s = cws.U32();
+      std::vector<std::uint32_t>& slots = *slots_s;
+      slots.assign(cap, 0);
+      std::uint32_t* shard_reps = reps.data() + row_begin;
+      std::uint32_t* shard_sizes = local_sizes.data() + row_begin;
+      std::uint32_t ng = 0;
+      for (std::uint32_t k = row_begin; k < row_end; ++k) {
+        const RowId r = shard_rows[k];
+        std::size_t i = MixU64(hash_data[r]) & mask;
+        for (;;) {
+          if (slots[i] == 0) {
+            slots[i] = ng + 1;
+            local_of[r] = ng;
+            shard_reps[ng] = r;
+            shard_sizes[ng] = 1;
+            ++ng;
+            break;
+          }
+          const std::uint32_t g = slots[i] - 1;
+          if (hash_data[shard_reps[g]] == hash_data[r] && same_signature(r, shard_reps[g])) {
+            local_of[r] = g;
+            ++shard_sizes[g];
+            break;
+          }
+          i = (i + 1) & mask;
+        }
       }
-      std::uint32_t g = slots[i] - 1;
-      if (hashes[reps[g]] == hashes[r] && same_signature(r, reps[g])) {
-        group_of[r] = g;
-        ++sizes[g];
-        break;
-      }
-      i = (i + 1) & mask;
+      shard_groups[sh] = ng;
     }
-  }
+  });
 
-  // Materialize the groups with exact-size reservations.
-  const std::size_t s = reps.size();
+  // Deterministic merge: the global group id of a signature is the rank of
+  // its representative row among all representatives -- exactly the
+  // first-occurrence order a sequential scan would assign, independent of
+  // sharding and thread count. Marking reps and ranking them is one flag
+  // array and one parallel exclusive prefix sum.
+  auto rank_s = ws.U32();
+  std::vector<std::uint32_t>& rank = *rank_s;
+  rank.assign(n, 0);
+  ParallelFor(kShards, 1, ws, [&](std::size_t sb, std::size_t se, Workspace&) {
+    for (std::size_t sh = sb; sh < se; ++sh) {
+      for (std::uint32_t lg = 0; lg < shard_groups[sh]; ++lg) {
+        rank[reps[shard_begin[sh] + lg]] = 1;
+      }
+    }
+  });
+  const std::uint32_t s = ParallelExclusivePrefixSum(rank.data(), n, kRowGrain, ws);
+
+  // Global per-group arrays, gid-indexed, plus the local->global id map.
+  auto glob_s = ws.U32();
+  std::vector<std::uint32_t>& glob = *glob_s;  // shard_begin[sh] + lg -> gid
+  glob.resize(n);
+  auto rep_row_s = ws.U32();
+  std::vector<std::uint32_t>& rep_row = *rep_row_s;
+  rep_row.resize(s);
+  auto sizes_s = ws.U32();
+  std::vector<std::uint32_t>& sizes = *sizes_s;
+  sizes.resize(s);
+  ParallelFor(kShards, 1, ws, [&](std::size_t sb, std::size_t se, Workspace&) {
+    for (std::size_t sh = sb; sh < se; ++sh) {
+      for (std::uint32_t lg = 0; lg < shard_groups[sh]; ++lg) {
+        const RowId rep = reps[shard_begin[sh] + lg];
+        const std::uint32_t gid = rank[rep];
+        glob[shard_begin[sh] + lg] = gid;
+        rep_row[gid] = rep;
+        sizes[gid] = local_sizes[shard_begin[sh] + lg];
+      }
+    }
+  });
+
+  // Arena offsets: rows_arena_ packs the groups back to back; runs_arena_
+  // reserves min(|Q|, m) entries per group (an upper bound on its distinct
+  // SA values -- the spans carry the exact counts, the slack is never
+  // read).
+  auto row_off_s = ws.U32();
+  std::vector<std::uint32_t>& row_off = *row_off_s;
+  row_off.assign(sizes.begin(), sizes.end());
+  ParallelExclusivePrefixSum(row_off.data(), s, kRowGrain, ws);
+  auto run_off_s = ws.U32();
+  std::vector<std::uint32_t>& run_off = *run_off_s;
+  run_off.resize(s);
+  const std::uint32_t m32 = static_cast<std::uint32_t>(m);
+  ParallelFor(s, kRowGrain, ws, [&](std::size_t begin, std::size_t end, Workspace&) {
+    for (std::size_t g = begin; g < end; ++g) run_off[g] = std::min(sizes[g], m32);
+  });
+  const std::uint32_t run_total = ParallelExclusivePrefixSum(run_off.data(), s, kRowGrain, ws);
+
+  qi_arena_.resize(static_cast<std::size_t>(s) * d);
+  rows_arena_.resize(n);
+  runs_arena_.resize(run_total);
   groups_.resize(s);
-  for (GroupId g = 0; g < s; ++g) {
-    groups_[g].qi_values.resize(d);
-    for (AttrId a = 0; a < d; ++a) groups_[g].qi_values[a] = cols[a][reps[g]];
-    groups_[g].rows.reserve(sizes[g]);
-  }
-  for (RowId r = 0; r < n; ++r) groups_[group_of[r]].rows.push_back(r);
+
+  // Signatures and the fixed-size views. sa_runs is bound later, once the
+  // counting sort knows each group's distinct-value count.
+  const std::size_t group_grain = std::max<std::size_t>(64, (s + 63) / 64);
+  ParallelFor(s, group_grain, ws, [&](std::size_t gb, std::size_t ge, Workspace&) {
+    for (std::size_t g = gb; g < ge; ++g) {
+      Value* qi = qi_arena_.data() + g * d;
+      for (AttrId a = 0; a < d; ++a) qi[a] = cols[a][rep_row[g]];
+      groups_[g].qi_values = {qi, d};
+      groups_[g].rows = {rows_arena_.data() + row_off[g], sizes[g]};
+    }
+  });
+
+  // Row fill, parallel across shards: a shard's groups are disjoint from
+  // every other shard's, and its rows arrive in ascending global row
+  // order, so each group's arena segment fills in row order -- the same
+  // order the sequential build produced.
+  ParallelFor(kShards, 1, ws, [&](std::size_t sb, std::size_t se, Workspace& cws) {
+    for (std::size_t sh = sb; sh < se; ++sh) {
+      if (shard_groups[sh] == 0) continue;
+      auto cursor_s = cws.U32();
+      std::vector<std::uint32_t>& cursor = *cursor_s;
+      cursor.assign(shard_groups[sh], 0);
+      const std::uint32_t* shard_glob = glob.data() + shard_begin[sh];
+      for (std::uint32_t k = shard_begin[sh]; k < shard_begin[sh + 1]; ++k) {
+        const RowId r = shard_rows[k];
+        const std::uint32_t lg = local_of[r];
+        rows_arena_[row_off[shard_glob[lg]] + cursor[lg]++] = r;
+      }
+    }
+  });
 
   // Sort each group's rows by SA value and build the runs. A stable
   // counting sort keeps the seed's stable_sort order (row order preserved
@@ -126,38 +278,41 @@ GroupedTable::GroupedTable(const Table& table, Workspace* workspace) {
   // chunk sorts its own groups with its own dense counter -- and the chunk
   // geometry depends only on the group count, so the built runs are
   // byte-identical at any thread count.
-  const std::size_t group_grain = std::max<std::size_t>(64, (s + 63) / 64);
   ParallelFor(s, group_grain, ws, [&](std::size_t gb, std::size_t ge, Workspace& cws) {
     auto counts_s = cws.U32();
     std::vector<std::uint32_t>& counts = *counts_s;
-    counts.assign(sa_domain_size_, 0);
+    counts.assign(m, 0);
     auto distinct_s = cws.U32();
     std::vector<std::uint32_t>& distinct = *distinct_s;
     auto sorted_s = cws.U32();
     std::vector<std::uint32_t>& sorted = *sorted_s;
     for (std::size_t g = gb; g < ge; ++g) {
-      QiGroup& group = groups_[g];
-      if (group.rows.size() == 1) {
-        group.sa_runs.emplace_back(table.sa(group.rows[0]), 0);
+      RowId* rows = rows_arena_.data() + row_off[g];
+      const std::uint32_t size = sizes[g];
+      std::pair<SaValue, std::uint32_t>* runs = runs_arena_.data() + run_off[g];
+      if (size == 1) {
+        runs[0] = {table.sa(rows[0]), 0};
+        groups_[g].sa_runs = {runs, 1};
         continue;
       }
       distinct.clear();
-      for (RowId r : group.rows) {
-        SaValue v = table.sa(r);
+      for (std::uint32_t i = 0; i < size; ++i) {
+        SaValue v = table.sa(rows[i]);
         if (counts[v]++ == 0) distinct.push_back(v);
       }
       std::sort(distinct.begin(), distinct.end());
-      group.sa_runs.reserve(distinct.size());
       std::uint32_t offset = 0;
+      std::size_t k = 0;
       for (SaValue v : distinct) {
-        group.sa_runs.emplace_back(v, offset);
+        runs[k++] = {v, offset};
         offset += counts[v];
-        counts[v] = group.sa_runs.back().second;  // becomes the write cursor
+        counts[v] = runs[k - 1].second;  // becomes the write cursor
       }
-      sorted.resize(group.rows.size());
-      for (RowId r : group.rows) sorted[counts[table.sa(r)]++] = r;
-      std::copy(sorted.begin(), sorted.end(), group.rows.begin());
+      sorted.resize(size);
+      for (std::uint32_t i = 0; i < size; ++i) sorted[counts[table.sa(rows[i])]++] = rows[i];
+      std::copy(sorted.begin(), sorted.end(), rows);
       for (SaValue v : distinct) counts[v] = 0;
+      groups_[g].sa_runs = {runs, distinct.size()};
     }
   });
 }

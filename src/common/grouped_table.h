@@ -2,6 +2,7 @@
 #define LDIV_COMMON_GROUPED_TABLE_H_
 
 #include <cstddef>
+#include <span>
 #include <utility>
 #include <vector>
 
@@ -18,15 +19,20 @@ namespace ldv {
 /// and histogram-level tuple removals map back to concrete rows in O(1)
 /// without per-group O(m) storage (s can be close to n, so dense per-group
 /// arrays over the SA domain would cost O(s * m) memory).
+///
+/// A QiGroup does not own its storage: the three members are views into
+/// arenas owned by the GroupedTable (s can approach n, and three vector
+/// allocations per group used to dominate the build). The views stay valid
+/// for the lifetime of the owning GroupedTable, including across moves.
 struct QiGroup {
   /// The shared QI signature of all member rows.
-  std::vector<Value> qi_values;
+  std::span<const Value> qi_values;
   /// Member rows, sorted by SA value (stable within a value).
-  std::vector<RowId> rows;
+  std::span<const RowId> rows;
   /// One entry per distinct SA value present: (value, begin offset into
   /// `rows`), sorted by value. The run for sa_runs[i] ends where run i+1
   /// begins (or at rows.size() for the last run).
-  std::vector<std::pair<SaValue, std::uint32_t>> sa_runs;
+  std::span<const std::pair<SaValue, std::uint32_t>> sa_runs;
 
   /// Total number of member rows |Q|.
   std::size_t size() const { return rows.size(); }
@@ -51,12 +57,23 @@ struct QiGroup {
 /// paper's s.
 class GroupedTable {
  public:
-  /// Groups `table` by QI signature. O(n) expected time via hashing. When a
-  /// Workspace is supplied, the signature index, per-row assignment and the
-  /// counting-sort scratch all come from its pools, so repeated grouping
-  /// (sweeps, batch workers) does not touch the allocator for scratch
-  /// memory.
+  /// Groups `table` by QI signature. O(n) expected time via hashing: rows
+  /// are hashed with the SIMD column fold, scattered into 16 hash shards,
+  /// and each shard resolves its signatures in a private open-addressing
+  /// index; the shards then merge with a deterministic first-occurrence
+  /// tie-break, so group ids, row order and SA runs are byte-identical to
+  /// the sequential build at every thread count. When a Workspace is
+  /// supplied, all scratch comes from its pools, so repeated grouping
+  /// (sweeps, batch workers) does not touch the allocator.
   explicit GroupedTable(const Table& table, Workspace* workspace = nullptr);
+
+  // Copying is deleted: groups_ holds views into the arenas, and a copied
+  // GroupedTable would silently alias the original's storage. Moves keep
+  // the views valid (vector moves transfer the heap buffers).
+  GroupedTable(const GroupedTable&) = delete;
+  GroupedTable& operator=(const GroupedTable&) = delete;
+  GroupedTable(GroupedTable&&) = default;
+  GroupedTable& operator=(GroupedTable&&) = default;
 
   /// Number of groups s.
   std::size_t group_count() const { return groups_.size(); }
@@ -74,6 +91,13 @@ class GroupedTable {
   std::uint64_t MaxGroupSize() const;
 
  private:
+  // Backing storage for every group's views: signatures (group-major, d
+  // values each), member rows (group-major, exactly n entries) and SA runs
+  // (group-major with per-group capacity min(|Q|, m); the spans carry the
+  // actual run counts).
+  std::vector<Value> qi_arena_;
+  std::vector<RowId> rows_arena_;
+  std::vector<std::pair<SaValue, std::uint32_t>> runs_arena_;
   std::vector<QiGroup> groups_;
   std::size_t row_count_ = 0;
   std::size_t sa_domain_size_ = 0;

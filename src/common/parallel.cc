@@ -179,4 +179,34 @@ void ParallelFor(std::size_t n, std::size_t grain, Workspace& ws, const Parallel
   ParallelForThreads(InnerThreads(), n, grain, ws, fn);
 }
 
+std::uint32_t ParallelExclusivePrefixSum(std::uint32_t* data, std::size_t n, std::size_t grain,
+                                         Workspace& ws) {
+  if (n == 0) return 0;
+  if (grain == 0) grain = 1;
+  const std::size_t chunks = (n + grain - 1) / grain;
+  auto sums_s = ws.U32();
+  std::vector<std::uint32_t>& sums = *sums_s;
+  sums.assign(chunks, 0);
+  ParallelFor(n, grain, ws, [&](std::size_t begin, std::size_t end, Workspace&) {
+    std::uint32_t total = 0;
+    for (std::size_t i = begin; i < end; ++i) total += data[i];
+    sums[begin / grain] = total;
+  });
+  std::uint32_t total = 0;
+  for (std::size_t c = 0; c < chunks; ++c) {
+    const std::uint32_t t = sums[c];
+    sums[c] = total;
+    total += t;
+  }
+  ParallelFor(n, grain, ws, [&](std::size_t begin, std::size_t end, Workspace&) {
+    std::uint32_t running = sums[begin / grain];
+    for (std::size_t i = begin; i < end; ++i) {
+      const std::uint32_t v = data[i];
+      data[i] = running;
+      running += v;
+    }
+  });
+  return total;
+}
+
 }  // namespace ldv

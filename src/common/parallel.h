@@ -68,6 +68,15 @@ void ParallelFor(std::size_t n, std::size_t grain, Workspace& ws, const Parallel
 void ParallelForThreads(unsigned threads, std::size_t n, std::size_t grain, Workspace& ws,
                         const ParallelChunkFn& fn);
 
+/// In-place exclusive prefix sum over data[0, n): data[i] becomes the sum
+/// of the original data[0, i), and the grand total is returned. Runs as
+/// two ParallelFor passes (per-chunk sums, then per-chunk rewrites seeded
+/// by the sequentially scanned chunk totals), so the result is
+/// byte-identical at every thread count. The total must fit in 32 bits --
+/// callers sum row or group counts, which are bounded by the row count.
+std::uint32_t ParallelExclusivePrefixSum(std::uint32_t* data, std::size_t n, std::size_t grain,
+                                         Workspace& ws);
+
 /// Ordered parallel reduction over [0, n): `map` produces one partial
 /// result per chunk (same geometry as ParallelFor), and the partials are
 /// folded sequentially in ascending chunk order. Because both the chunk

@@ -1,0 +1,239 @@
+// SSE2 kernel tier: 128-bit integer lanes (two 64-bit rows per step) and
+// two 2-double accumulators for the KL geometry. SSE2 is the x86-64
+// baseline, so this translation unit needs no extra target flags; it
+// compiles to an empty stub elsewhere. The gather-dependent kernels
+// (MinMaxGatherU32, GatherU32) keep the scalar bodies -- 128-bit SSE has
+// no gather, so there is nothing to vectorize but the compares.
+//
+// Compiled with -ffp-contract=off (see CMakeLists): KlAccumulate's
+// bit-equality across tiers requires single-rounded multiplies and adds.
+
+#include "common/simd.h"
+
+#ifdef __SSE2__
+
+#include <emmintrin.h>
+
+#include <cmath>
+
+namespace ldv {
+namespace simd {
+namespace {
+
+constexpr std::uint64_t kFnvPrime = 1099511628211ULL;  // 2^40 + 435
+
+// (h ^ v) * kFnvPrime on two 64-bit lanes: the prime is 2^40 + 435, so the
+// product splits into (t << 40) + lo32(t) * 435 + (hi32(t) * 435 << 32),
+// each partial product computable with _mm_mul_epu32.
+void FnvFoldColumnSse2(std::uint64_t* hashes, const std::uint32_t* col, std::size_t n) {
+  const __m128i c435 = _mm_set1_epi64x(435);
+  const __m128i zero = _mm_setzero_si128();
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const __m128i vh = _mm_loadu_si128(reinterpret_cast<const __m128i*>(hashes + i));
+    const __m128i vc = _mm_unpacklo_epi32(
+        _mm_loadl_epi64(reinterpret_cast<const __m128i*>(col + i)), zero);
+    const __m128i t = _mm_xor_si128(vh, vc);
+    const __m128i lo = _mm_mul_epu32(t, c435);
+    const __m128i hi = _mm_mul_epu32(_mm_srli_epi64(t, 32), c435);
+    const __m128i r = _mm_add_epi64(_mm_slli_epi64(t, 40),
+                                    _mm_add_epi64(lo, _mm_slli_epi64(hi, 32)));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(hashes + i), r);
+  }
+  for (; i < n; ++i) hashes[i] = (hashes[i] ^ col[i]) * kFnvPrime;
+}
+
+// acc[i] += stride * col[i]: the 64-bit stride splits into 32-bit halves,
+// stride * v = lo(stride) * v + (hi(stride) * v << 32) mod 2^64.
+void StrideAccumulateSse2(std::uint64_t* acc, const std::uint32_t* col, std::uint64_t stride,
+                          std::size_t n) {
+  const __m128i vsl = _mm_set1_epi64x(static_cast<long long>(stride & 0xffffffffULL));
+  const __m128i vsh = _mm_set1_epi64x(static_cast<long long>(stride >> 32));
+  const __m128i zero = _mm_setzero_si128();
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const __m128i va = _mm_loadu_si128(reinterpret_cast<const __m128i*>(acc + i));
+    const __m128i vc = _mm_unpacklo_epi32(
+        _mm_loadl_epi64(reinterpret_cast<const __m128i*>(col + i)), zero);
+    const __m128i prod = _mm_add_epi64(_mm_mul_epu32(vc, vsl),
+                                       _mm_slli_epi64(_mm_mul_epu32(vc, vsh), 32));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(acc + i), _mm_add_epi64(va, prod));
+  }
+  for (; i < n; ++i) acc[i] += stride * col[i];
+}
+
+// Four candidates per step: scalar gathers of the bounds (SSE2 has no
+// gather) feeding branchless signed compares; hits are extracted from the
+// movemask in ascending candidate order.
+std::size_t StabCandidatesSse2(const std::uint32_t* candidates, std::size_t n,
+                               const std::uint32_t* point, const std::uint32_t* const* lo,
+                               const std::uint32_t* const* hi, std::size_t d, bool first_only,
+                               std::uint32_t* hits) {
+  const __m128i ones = _mm_set1_epi32(-1);
+  std::size_t count = 0;
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    __m128i inside = ones;
+    alignas(16) std::uint32_t lob[4], hib[4];
+    for (std::size_t a = 1; a < d; ++a) {
+      for (int j = 0; j < 4; ++j) {
+        const std::uint32_t g = candidates[i + static_cast<std::size_t>(j)];
+        lob[j] = lo[a][g];
+        hib[j] = hi[a][g];
+      }
+      const __m128i vpt = _mm_set1_epi32(static_cast<int>(point[a]));
+      const __m128i vlo = _mm_load_si128(reinterpret_cast<const __m128i*>(lob));
+      const __m128i vhi = _mm_load_si128(reinterpret_cast<const __m128i*>(hib));
+      const __m128i ge = _mm_andnot_si128(_mm_cmpgt_epi32(vlo, vpt), ones);
+      const __m128i lt = _mm_cmpgt_epi32(vhi, vpt);
+      inside = _mm_and_si128(inside, _mm_and_si128(ge, lt));
+      if (_mm_movemask_ps(_mm_castsi128_ps(inside)) == 0) break;
+    }
+    int m = _mm_movemask_ps(_mm_castsi128_ps(inside));
+    while (m != 0) {
+      const int j = __builtin_ctz(static_cast<unsigned>(m));
+      hits[count++] = candidates[i + static_cast<std::size_t>(j)];
+      if (first_only) return count;
+      m &= m - 1;
+    }
+  }
+  for (; i < n; ++i) {
+    const std::uint32_t g = candidates[i];
+    bool inside = true;
+    for (std::size_t a = 1; a < d; ++a) {
+      const std::uint32_t v = point[a];
+      if (v < lo[a][g] || v >= hi[a][g]) {
+        inside = false;
+        break;
+      }
+    }
+    if (inside) {
+      hits[count++] = g;
+      if (first_only) break;
+    }
+  }
+  return count;
+}
+
+// Two 2-double registers hold virtual lanes {0,1} and {2,3}; logs go
+// through scalar std::log on the single-rounded quotients, exactly like
+// the scalar tier, so lane j accumulates the identical term sequence.
+void KlAccumulateSse2(const double* count, const double* fstar_n, double n, std::size_t len,
+                      double acc[4]) {
+  __m128d acc01 = _mm_loadu_pd(acc);
+  __m128d acc23 = _mm_loadu_pd(acc + 2);
+  const __m128d vn = _mm_set1_pd(n);
+  alignas(16) double ratio[4], lg[4];
+  std::size_t i = 0;
+  for (; i + 4 <= len; i += 4) {
+    const __m128d c01 = _mm_loadu_pd(count + i);
+    const __m128d c23 = _mm_loadu_pd(count + i + 2);
+    _mm_store_pd(ratio, _mm_div_pd(c01, _mm_loadu_pd(fstar_n + i)));
+    _mm_store_pd(ratio + 2, _mm_div_pd(c23, _mm_loadu_pd(fstar_n + i + 2)));
+    lg[0] = std::log(ratio[0]);
+    lg[1] = std::log(ratio[1]);
+    lg[2] = std::log(ratio[2]);
+    lg[3] = std::log(ratio[3]);
+    acc01 = _mm_add_pd(acc01, _mm_mul_pd(_mm_div_pd(c01, vn), _mm_load_pd(lg)));
+    acc23 = _mm_add_pd(acc23, _mm_mul_pd(_mm_div_pd(c23, vn), _mm_load_pd(lg + 2)));
+  }
+  _mm_storeu_pd(acc, acc01);
+  _mm_storeu_pd(acc + 2, acc23);
+  for (; i < len; ++i) {
+    const double r = count[i] / fstar_n[i];
+    const double l = std::log(r);
+    acc[i & 3] += (count[i] / n) * l;
+  }
+}
+
+// Two rows per step on 64-bit lanes. The data-dependent branch of
+// Skilling's walk ("if the q bit of x[i] is set") becomes a full-lane mask
+// built from that bit: sel = 0 - ((x[i] >> log2 q) & 1), then
+//   x[0] ^= (sel & p) | (~sel & t),   x[i] ^= ~sel & t
+// which reproduces both branch arms at once (for i == 0, t is zero and
+// only the sel & p term fires, exactly like the scalar code).
+void HilbertEncodeBlockSse2(const std::uint32_t* const* cols, std::size_t d, std::uint32_t bits,
+                            std::uint32_t shift, std::size_t row_begin, std::size_t count,
+                            std::uint64_t* out) {
+  const std::uint32_t m = 1u << (bits - 1);
+  const __m128i zero = _mm_setzero_si128();
+  const __m128i one = _mm_set1_epi64x(1);
+  const __m128i vshift = _mm_cvtsi32_si128(static_cast<int>(shift));
+  __m128i x[64];
+  std::size_t r = 0;
+  for (; r + 2 <= count; r += 2) {
+    for (std::size_t i = 0; i < d; ++i) {
+      const __m128i v = _mm_srl_epi32(
+          _mm_loadl_epi64(reinterpret_cast<const __m128i*>(cols[i] + row_begin + r)), vshift);
+      x[i] = _mm_unpacklo_epi32(v, zero);
+    }
+    for (std::uint32_t q = m; q > 1; q >>= 1) {
+      const __m128i vp = _mm_set1_epi64x(q - 1);
+      const __m128i vq = _mm_cvtsi32_si128(__builtin_ctz(q));
+      for (std::size_t i = 0; i < d; ++i) {
+        const __m128i bit = _mm_and_si128(_mm_srl_epi64(x[i], vq), one);
+        const __m128i sel = _mm_sub_epi64(zero, bit);
+        const __m128i t = _mm_and_si128(_mm_xor_si128(x[0], x[i]), vp);
+        const __m128i tn = _mm_andnot_si128(sel, t);
+        x[0] = _mm_xor_si128(x[0], _mm_or_si128(tn, _mm_and_si128(sel, vp)));
+        x[i] = _mm_xor_si128(x[i], tn);
+      }
+    }
+    for (std::size_t i = 1; i < d; ++i) x[i] = _mm_xor_si128(x[i], x[i - 1]);
+    __m128i vt = zero;
+    for (std::uint32_t q = m; q > 1; q >>= 1) {
+      const __m128i bit =
+          _mm_and_si128(_mm_srl_epi64(x[d - 1], _mm_cvtsi32_si128(__builtin_ctz(q))), one);
+      vt = _mm_xor_si128(vt, _mm_and_si128(_mm_sub_epi64(zero, bit), _mm_set1_epi64x(q - 1)));
+    }
+    for (std::size_t i = 0; i < d; ++i) x[i] = _mm_xor_si128(x[i], vt);
+    __m128i index = zero;
+    for (std::uint32_t bit = bits; bit-- > 0;) {
+      const __m128i vb = _mm_cvtsi32_si128(static_cast<int>(bit));
+      for (std::size_t i = 0; i < d; ++i) {
+        index = _mm_or_si128(_mm_slli_epi64(index, 1),
+                             _mm_and_si128(_mm_srl_epi64(x[i], vb), one));
+      }
+    }
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + r), index);
+  }
+  if (r < count) {
+    detail::kScalarKernels.hilbert_encode_block(cols, d, bits, shift, row_begin + r, count - r,
+                                                out + r);
+  }
+}
+
+}  // namespace
+
+namespace detail {
+
+const Kernels* Sse2Kernels() {
+  static const Kernels table = [] {
+    Kernels k = kScalarKernels;  // gather-dependent kernels keep scalar bodies
+    k.fnv_fold_column = FnvFoldColumnSse2;
+    k.stride_accumulate = StrideAccumulateSse2;
+    k.stab_candidates = StabCandidatesSse2;
+    k.kl_accumulate = KlAccumulateSse2;
+    k.hilbert_encode_block = HilbertEncodeBlockSse2;
+    return k;
+  }();
+  return &table;
+}
+
+}  // namespace detail
+}  // namespace simd
+}  // namespace ldv
+
+#else  // !__SSE2__
+
+namespace ldv {
+namespace simd {
+namespace detail {
+
+const Kernels* Sse2Kernels() { return nullptr; }
+
+}  // namespace detail
+}  // namespace simd
+}  // namespace ldv
+
+#endif  // __SSE2__

@@ -4,7 +4,7 @@
 
 namespace ldv {
 
-PillarIndex::PillarIndex(const std::vector<std::pair<SaValue, std::uint32_t>>& entries) {
+PillarIndex::PillarIndex(std::span<const std::pair<SaValue, std::uint32_t>> entries) {
   values_.reserve(entries.size());
   counts_.reserve(entries.size());
   std::uint32_t max_count = 0;

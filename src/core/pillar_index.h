@@ -2,6 +2,7 @@
 #define LDIV_CORE_PILLAR_INDEX_H_
 
 #include <cstdint>
+#include <span>
 #include <utility>
 #include <vector>
 
@@ -31,8 +32,10 @@ namespace ldv {
 class PillarIndex {
  public:
   /// Builds an index over the given (value, count) pairs. Values must be
-  /// strictly increasing; counts may be zero.
-  explicit PillarIndex(const std::vector<std::pair<SaValue, std::uint32_t>>& entries);
+  /// strictly increasing; counts may be zero. Taking a span lets callers
+  /// that build one index per group reuse a single staging buffer
+  /// (TpEngine constructs tens of thousands of these per solve).
+  explicit PillarIndex(std::span<const std::pair<SaValue, std::uint32_t>> entries);
 
   /// Builds a dense index tracking every value of an SA domain of size `m`,
   /// all counts zero. Used for the residue set R.

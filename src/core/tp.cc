@@ -157,8 +157,12 @@ class TpEngine::CandidateList {
 
 namespace {
 
-PillarIndex GroupIndexFromRuns(const QiGroup& group) {
-  std::vector<std::pair<SaValue, std::uint32_t>> entries;
+// `entries` is a caller-owned staging buffer, reused across groups so the
+// per-group index build does not malloc a fresh vector tens of thousands
+// of times per solve.
+PillarIndex GroupIndexFromRuns(const QiGroup& group,
+                               std::vector<std::pair<SaValue, std::uint32_t>>& entries) {
+  entries.clear();
   entries.reserve(group.sa_runs.size());
   for (std::size_t i = 0; i < group.sa_runs.size(); ++i) {
     entries.emplace_back(group.sa_runs[i].first, group.RunLength(i));
@@ -172,8 +176,9 @@ TpEngine::TpEngine(const GroupedTable& grouped, std::uint32_t l)
     : l_(l), m_(grouped.sa_domain_size()), residue_(PillarIndex::DenseEmpty(m_)) {
   LDIV_CHECK_GE(l_, 1u);
   groups_.reserve(grouped.group_count());
+  std::vector<std::pair<SaValue, std::uint32_t>> entries;
   for (GroupId g = 0; g < grouped.group_count(); ++g) {
-    groups_.push_back(GroupState{GroupIndexFromRuns(grouped.group(g)), &grouped.group(g)});
+    groups_.push_back(GroupState{GroupIndexFromRuns(grouped.group(g), entries), &grouped.group(g)});
   }
   has_rows_ = true;
   removed_rows_.reserve(grouped.row_count() / 8);

@@ -3,6 +3,7 @@
 #include <vector>
 
 #include "common/check.h"
+#include "common/simd.h"
 
 namespace ldv {
 
@@ -84,6 +85,16 @@ std::uint64_t HilbertCurve::Encode(std::span<const std::uint32_t> coords) const 
     }
   }
   return index;
+}
+
+void HilbertCurve::EncodeBlock(const std::uint32_t* const* cols, std::uint32_t shift,
+                               std::size_t row_begin, std::size_t count,
+                               std::uint64_t* out) const {
+  if (dims_ == 1) {  // the 1-D curve is the identity
+    for (std::size_t r = 0; r < count; ++r) out[r] = cols[0][row_begin + r] >> shift;
+    return;
+  }
+  simd::HilbertEncodeBlock(cols, dims_, bits_, shift, row_begin, count, out);
 }
 
 void HilbertCurve::Decode(std::uint64_t index, std::span<std::uint32_t> coords) const {

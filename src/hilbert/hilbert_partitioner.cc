@@ -78,11 +78,7 @@ void ComputeCodes(const Table& table, Workspace& ws, std::vector<std::uint64_t>*
   std::uint64_t* out = codes->data();
   ParallelFor(table.size(), 8192, ws,
               [&](std::size_t begin, std::size_t end, Workspace&) {
-                std::vector<std::uint32_t> coords(d);
-                for (std::size_t r = begin; r < end; ++r) {
-                  for (std::uint32_t i = 0; i < d; ++i) coords[i] = cols[i][r] >> shift;
-                  out[r] = curve.Encode(coords);
-                }
+                curve.EncodeBlock(cols.data(), shift, begin, end - begin, out + begin);
               });
 }
 

@@ -7,6 +7,7 @@
 #include "common/check.h"
 #include "common/flat_map.h"
 #include "common/parallel.h"
+#include "common/simd.h"
 
 namespace ldv {
 
@@ -46,12 +47,11 @@ class PointPacker {
     ParallelFor(n, 16384, ws, [&](std::size_t begin, std::size_t end, Workspace&) {
       for (std::size_t a = 0; a < strides_.size(); ++a) {
         const Value* col = table.column(static_cast<AttrId>(a)).data();
-        const std::uint64_t stride = strides_[a];
-        for (std::size_t r = begin; r < end; ++r) out[r] += stride * col[r];
+        simd::StrideAccumulate(out + begin, col + begin, strides_[a], end - begin);
       }
       if (include_sa) {
-        const SaValue* sa = table.sa_column().data();
-        for (std::size_t r = begin; r < end; ++r) out[r] += sa_stride_ * sa[r];
+        simd::StrideAccumulate(out + begin, table.sa_column().data() + begin, sa_stride_,
+                               end - begin);
       }
     });
     return keys;
@@ -97,16 +97,91 @@ std::vector<PointCount> DistinctPoints(const Table& table, const PointPacker& pa
   return points;
 }
 
-// Chunk size of the parallel per-point accumulation in the estimators
+// Chunk sizes of the parallel per-point accumulation in the estimators
 // below. The partial sums are combined in ascending chunk order
-// (ParallelReduce), so the floating-point result is a function of this
-// constant alone, never of the thread count; tables with fewer points
-// than one chunk sum in exactly the historical sequential order.
-constexpr std::size_t kPointGrain = 4096;
+// (ParallelReduce), so the floating-point result is a function of the
+// grain alone, never of the thread count. The two estimators tune
+// differently (bench_micro on SAL-7 100k, ~95k distinct points): a
+// suppression point costs a handful of flat-map probes, so small chunks
+// just add sink churn (grain 1024 measured 8.65 ms vs 8.13 ms at 4096);
+// a multi-dim point costs hundreds of box probes, so smaller chunks help
+// the parallel split (56.6 ms at 1024 vs 57.6 ms at 4096). Overridable
+// per call through KlTuning::point_grain.
+constexpr std::size_t kKlSuppressionPointGrain = 4096;
+constexpr std::size_t kKlMultiDimPointGrain = 1024;
+
+// Rows per staged KL-accumulation block: (count, n*f*) pairs are staged in
+// blocks of this many terms, then folded through simd::KlAccumulate.
+// Must be a multiple of 4 so the kernel's virtual-lane assignment (term i
+// -> lane i mod 4) never depends on where the blocks break -- the block
+// size is then a pure performance knob. The bench_micro kl_block sweep on
+// SAL-7 100k (kl_multidim_columnar workload) measured 1024/4096/16384 rows
+// at 58.6/59.5/57.6 ms per estimate on a quiet machine -- within run-to-run
+// noise of each other, since the stabbing probes dominate the staged fold.
+// 1024 is kept as the default because its 16 KiB of staging is the smallest
+// footprint that still amortizes the kernel-call overhead, leaving the most
+// cache to the probe-heavy remainder on hosts with less L2 than this one.
+constexpr std::size_t kKlBlockRows = 1024;
+
+std::size_t ResolvePointGrain(const KlTuning& tuning, std::size_t fallback) {
+  return tuning.point_grain != 0 ? tuning.point_grain : fallback;
+}
+
+std::size_t ResolveBlockRows(const KlTuning& tuning) {
+  const std::size_t rows = tuning.block_rows != 0 ? tuning.block_rows : kKlBlockRows;
+  return (rows + 3) & ~std::size_t{3};  // multiple of 4, minimum 4
+}
+
+// Per-chunk sink for KL terms: stages (count, n*f*) pairs in fixed-size
+// blocks and folds full blocks through the SIMD p*log(p/q) kernel into
+// four virtual-lane accumulators. Every block except the final partial
+// one has block_rows terms (a multiple of 4), so term i always lands in
+// lane i mod 4 of this chunk and the folded result is bit-identical at
+// every SIMD level.
+class KlTermSink {
+ public:
+  KlTermSink(double n, std::size_t block_rows, Workspace& ws)
+      : n_(n),
+        block_rows_(block_rows),
+        counts_s_(ws.F64()),
+        fstars_s_(ws.F64()),
+        counts_(*counts_s_),
+        fstars_(*fstars_s_) {
+    counts_.resize(block_rows_);
+    fstars_.resize(block_rows_);
+  }
+
+  void Add(double count, double fstar_n) {
+    counts_[fill_] = count;
+    fstars_[fill_] = fstar_n;
+    if (++fill_ == block_rows_) Flush();
+  }
+
+  /// The chunk's partial sum: lanes folded in fixed order.
+  double Finish() {
+    Flush();
+    return ((acc_[0] + acc_[1]) + acc_[2]) + acc_[3];
+  }
+
+ private:
+  void Flush() {
+    simd::KlAccumulate(counts_.data(), fstars_.data(), n_, fill_, acc_);
+    fill_ = 0;
+  }
+
+  const double n_;
+  const std::size_t block_rows_;
+  ScratchVec<double> counts_s_, fstars_s_;
+  std::vector<double>& counts_;
+  std::vector<double>& fstars_;
+  std::size_t fill_ = 0;
+  double acc_[4] = {0.0, 0.0, 0.0, 0.0};
+};
 
 }  // namespace
 
-double KlDivergenceSuppression(const Table& table, const GeneralizedTable& generalized) {
+double KlDivergenceSuppression(const Table& table, const GeneralizedTable& generalized,
+                               const KlTuning& tuning) {
   if (table.empty()) return 0.0;
   const Schema& schema = table.schema();
   const std::size_t d = table.qi_count();
@@ -179,12 +254,18 @@ double KlDivergenceSuppression(const Table& table, const GeneralizedTable& gener
 
   // Per-point probes only read the bucket maps, so the distinct points
   // fan out in fixed chunks with one partial sum each, folded in chunk
-  // order.
+  // order. The p*log(p/q) fold stays inline here instead of staging
+  // through KlTermSink: a suppression point costs only a handful of
+  // flat-map probes, and bench_micro measured the sink's staging pass at
+  // ~9 ns/point -- lost out-of-order overlap with the probe loads -- a
+  // 21% regression on kl_suppression/10k (527 us inline vs 614 us
+  // staged). The multi-dim estimator below, whose points are two orders
+  // of magnitude heavier, is where the staged SIMD fold pays.
   Workspace ws;
   PointPacker packer(schema);
   const std::vector<PointCount> points = DistinctPoints(table, packer, ws);
   return ParallelReduce(
-      points.size(), kPointGrain, ws, 0.0,
+      points.size(), ResolvePointGrain(tuning, kKlSuppressionPointGrain), ws, 0.0,
       [&](std::size_t begin, std::size_t end, Workspace&) {
         double partial = 0.0;
         for (std::size_t p = begin; p < end; ++p) {
@@ -209,15 +290,15 @@ double KlDivergenceSuppression(const Table& table, const GeneralizedTable& gener
             if (mass != nullptr) fstar_n += *mass;
           }
           LDIV_CHECK_GT(fstar_n, 0.0) << "f* must cover every data point";
-          double f = static_cast<double>(pc.count) / n;
-          partial += f * std::log(static_cast<double>(pc.count) / fstar_n);
+          partial += (pc.count / n) * std::log(pc.count / fstar_n);
         }
         return partial;
       },
       std::plus<double>());
 }
 
-double KlDivergenceMultiDim(const Table& table, const BoxGeneralization& gen) {
+double KlDivergenceMultiDim(const Table& table, const BoxGeneralization& gen,
+                            const KlTuning& tuning) {
   if (table.empty()) return 0.0;
   const double n = static_cast<double>(table.size());
   const std::size_t m = table.schema().sa_domain_size();
@@ -240,17 +321,23 @@ double KlDivergenceMultiDim(const Table& table, const BoxGeneralization& gen) {
                 }
               });
 
-  // Flattened box bounds (lo/hi interleaved per group) so the containment
-  // loop below streams one contiguous array instead of dereferencing two
-  // heap vectors per QiBox.
+  // Flattened box bounds in struct-of-arrays layout: one lo array and one
+  // hi array per attribute, each indexed by group, so the stabbing kernel
+  // can gather a vector of candidates' bounds per compare. (Domain codes
+  // are far below 2^31, the kernel's signed-compare precondition.)
   std::vector<Value> bounds(2 * d * group_count);
+  std::vector<const std::uint32_t*> lo_ptr(d), hi_ptr(d);
+  for (std::size_t a = 0; a < d; ++a) {
+    lo_ptr[a] = bounds.data() + a * group_count;
+    hi_ptr[a] = bounds.data() + (d + a) * group_count;
+  }
   ParallelFor(group_count, group_grain, ws,
               [&](std::size_t gb, std::size_t ge, Workspace&) {
                 for (std::size_t g = gb; g < ge; ++g) {
                   const QiBox& box = gen.box(g);
                   for (std::size_t a = 0; a < d; ++a) {
-                    bounds[(2 * g) * d + a] = box.lo[a];
-                    bounds[(2 * g + 1) * d + a] = box.hi[a];
+                    bounds[a * group_count + g] = box.lo[a];
+                    bounds[(d + a) * group_count + g] = box.hi[a];
                   }
                 }
               });
@@ -283,44 +370,46 @@ double KlDivergenceMultiDim(const Table& table, const BoxGeneralization& gen) {
   std::vector<const Value*> cols(d);
   for (std::size_t a = 0; a < d; ++a) cols[a] = table.column(static_cast<AttrId>(a)).data();
 
+  // Widest candidate list, so each chunk sizes its hit buffer once.
+  std::uint32_t max_candidates = 0;
+  for (std::size_t v = 0; v < attr0_domain; ++v) {
+    max_candidates = std::max(max_candidates, offsets[v + 1] - offsets[v]);
+  }
+
   // The stabbing loop reads only the index structures built above, so the
   // distinct points fan out in fixed chunks, one partial sum per chunk,
-  // folded in chunk order.
+  // folded in chunk order. Attribute 0 is pre-filtered by the candidate
+  // index; the remaining attributes run through the SIMD stabbing kernel
+  // (several candidates' bounds gathered and compared per step; for a
+  // tiling the kernel stops at the first hit).
   PointPacker packer(table.schema());
   const std::vector<PointCount> points = DistinctPoints(table, packer, ws);
+  const std::size_t block_rows = ResolveBlockRows(tuning);
   return ParallelReduce(
-      points.size(), kPointGrain, ws, 0.0,
-      [&](std::size_t begin, std::size_t end, Workspace&) {
-        double partial = 0.0;
+      points.size(), ResolvePointGrain(tuning, kKlMultiDimPointGrain), ws, 0.0,
+      [&](std::size_t begin, std::size_t end, Workspace& cws) {
+        auto hits_s = cws.U32();
+        std::vector<std::uint32_t>& hits = *hits_s;
+        hits.resize(max_candidates);
+        auto point_s = cws.U32();
+        std::vector<std::uint32_t>& point = *point_s;
+        point.resize(d);
+        KlTermSink sink(n, block_rows, cws);
         for (std::size_t p = begin; p < end; ++p) {
           const PointCount& pc = points[p];
           const RowId rep = pc.representative;
           const Value qi0 = cols[0][rep];
           SaValue sa = table.sa(rep);
+          for (std::size_t a = 1; a < d; ++a) point[a] = cols[a][rep];
+          const std::size_t hit_count = simd::StabCandidates(
+              candidates.data() + offsets[qi0], offsets[qi0 + 1] - offsets[qi0], point.data(),
+              lo_ptr.data(), hi_ptr.data(), d, /*first_only=*/disjoint, hits.data());
           double fstar_n = 0.0;
-          for (std::uint32_t i = offsets[qi0]; i < offsets[qi0 + 1]; ++i) {
-            std::uint32_t g = candidates[i];
-            const Value* lo = bounds.data() + (2 * g) * d;
-            const Value* hi = lo + d;
-            // Attribute 0 is already filtered by the candidate index.
-            bool inside = true;
-            for (std::size_t a = 1; a < d; ++a) {
-              const Value v = cols[a][rep];
-              if (v < lo[a] || v >= hi[a]) {
-                inside = false;
-                break;
-              }
-            }
-            if (inside) {
-              fstar_n += mass[g * m + sa];
-              if (disjoint) break;  // tiling boxes: exactly one can contain p
-            }
-          }
+          for (std::size_t k = 0; k < hit_count; ++k) fstar_n += mass[hits[k] * m + sa];
           LDIV_CHECK_GT(fstar_n, 0.0) << "every point lies in its own group's box";
-          double f = static_cast<double>(pc.count) / n;
-          partial += f * std::log(static_cast<double>(pc.count) / fstar_n);
+          sink.Add(static_cast<double>(pc.count), fstar_n);
         }
-        return partial;
+        return sink.Finish();
       },
       std::plus<double>());
 }

@@ -9,6 +9,7 @@
 #include "anonymity/eligibility.h"
 #include "common/check.h"
 #include "common/parallel.h"
+#include "common/simd.h"
 #include "common/workspace.h"
 
 namespace ldv {
@@ -148,6 +149,9 @@ class MondrianWalker {
       std::fill(vhist_.begin(), vhist_.end(), 0u);
       // Column-major: one pass per attribute, each streaming a single
       // contiguous column (gathered through rows_) into its histogram.
+      // Stays scalar: histogram increments scatter to data-dependent
+      // slots (with possible duplicates per vector), which SIMD cannot
+      // express without a slow conflict-detection pass.
       for (AttrId a = 0; a < d; ++a) {
         const Value* col = s_.cols[a];
         std::uint32_t* hist = vhist_.data() + s_.vhist_offset[a];
@@ -179,15 +183,8 @@ class MondrianWalker {
       }
     } else {
       for (AttrId a = 0; a < d; ++a) {
-        const Value* col = s_.cols[a];
-        Value mn = col[rows_[begin]], mx = mn;
-        for (std::size_t i = begin + 1; i < end; ++i) {
-          Value v = col[rows_[i]];
-          mn = std::min(mn, v);
-          mx = std::max(mx, v);
-        }
-        mins_[a] = mn;
-        maxs_[a] = mx;
+        simd::MinMaxGatherU32(s_.cols[a], rows_.data() + begin, end - begin, &mins_[a],
+                              &maxs_[a]);
       }
     }
 
@@ -248,7 +245,8 @@ class MondrianWalker {
         }
       }
       std::copy(scratch_.begin(), scratch_.end(), rows_.begin() + write);
-      for (std::size_t i = begin; i < end; ++i) sa_[i] = s_.table.sa(rows_[i]);
+      simd::GatherU32(s_.table.sa_column().data(), rows_.data() + begin, end - begin,
+                      sa_.data() + begin);
 
       *out_attr = attr;
       *out_split = split;
@@ -271,9 +269,8 @@ class MondrianWalker {
     if (use_hist) {
       median = medians_[attr];
     } else {
-      values_.clear();
-      const Value* col = s_.cols[attr];
-      for (std::size_t i = begin; i < end; ++i) values_.push_back(col[rows_[i]]);
+      values_.resize(end - begin);
+      simd::GatherU32(s_.cols[attr], rows_.data() + begin, end - begin, values_.data());
       const std::size_t k = values_.size() / 2;
       std::nth_element(values_.begin(), values_.begin() + k, values_.end());
       median = values_[k];

@@ -19,6 +19,7 @@
 #include "common/grouped_table.h"
 #include "common/histogram.h"
 #include "common/parallel.h"
+#include "common/simd.h"
 #include "common/workspace.h"
 #include "core/anonymizer.h"
 #include "core/tp.h"
@@ -436,9 +437,11 @@ TEST_F(ThreadCountEquivalence, KernelsAreByteIdenticalAcrossThreadBudgets) {
     GroupedTable grouped(t, &ws);
     ASSERT_EQ(grouped_ref.group_count(), grouped.group_count());
     for (GroupId g = 0; g < grouped_ref.group_count(); ++g) {
-      ASSERT_EQ(grouped_ref.group(g).qi_values, grouped.group(g).qi_values) << "group " << g;
-      ASSERT_EQ(grouped_ref.group(g).rows, grouped.group(g).rows) << "group " << g;
-      ASSERT_EQ(grouped_ref.group(g).sa_runs, grouped.group(g).sa_runs) << "group " << g;
+      const QiGroup& ref = grouped_ref.group(g);
+      const QiGroup& got = grouped.group(g);
+      ASSERT_TRUE(std::ranges::equal(ref.qi_values, got.qi_values)) << "group " << g;
+      ASSERT_TRUE(std::ranges::equal(ref.rows, got.rows)) << "group " << g;
+      ASSERT_TRUE(std::ranges::equal(ref.sa_runs, got.sa_runs)) << "group " << g;
     }
 
     // Bit-equality, not near-equality: the estimators' chunk geometry and
@@ -473,6 +476,69 @@ TEST_F(ThreadCountEquivalence, OutcomesAreBitIdenticalAcrossThreadBudgets) {
       EXPECT_EQ(reference[i].suppressed_tuples, outcome.suppressed_tuples);
       EXPECT_EQ(reference[i].kl_divergence, outcome.kl_divergence);
       ExpectSamePartition(reference[i].partition, outcome.partition);
+    }
+  }
+}
+
+// Restores both the thread budget and the SIMD dispatch level however a
+// test exits.
+class SimdEquivalence : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    SetThreadBudget(0);
+    simd::ForceLevel(simd::DetectedLevel());
+  }
+};
+
+TEST_F(SimdEquivalence, OutcomesAreBitIdenticalAcrossSimdLevelsAndThreads) {
+  // The full {scalar, sse2, avx2} x {1, 2, 4}-thread matrix (levels above
+  // DetectedLevel() are skipped on hosts that lack them). The scalar
+  // 1-thread corner is the reference; every other cell must reproduce its
+  // releases and KL doubles bit-for-bit -- the determinism contract of the
+  // SIMD layer, not just of the thread scheduler.
+  Table sal = GenerateSal(12000, 1);
+  Table t = sal.ProjectQi({kAge, kRace, kEducation});
+
+  simd::ForceLevel(simd::Level::kScalar);
+  SetThreadBudget(1);
+  std::vector<AnonymizationOutcome> reference;
+  for (Algorithm algo : kAllAlgorithms) {
+    reference.push_back(Anonymize(t, 4, algo, AnonymizerOptions{}));
+    ASSERT_TRUE(reference.back().feasible) << AlgorithmName(algo);
+  }
+  Workspace ref_ws;
+  GroupedTable grouped_ref(t, &ref_ws);
+
+  for (simd::Level level : {simd::Level::kScalar, simd::Level::kSse2, simd::Level::kAvx2}) {
+    if (level > simd::DetectedLevel()) continue;
+    simd::ForceLevel(level);
+    ASSERT_EQ(simd::ActiveLevel(), level);
+    for (unsigned threads : {1u, 2u, 4u}) {
+      SCOPED_TRACE(std::string("simd=") + simd::LevelName(level) +
+                   " threads=" + std::to_string(threads));
+      SetThreadBudget(threads);
+      Workspace ws;
+
+      GroupedTable grouped(t, &ws);
+      ASSERT_EQ(grouped_ref.group_count(), grouped.group_count());
+      for (GroupId g = 0; g < grouped_ref.group_count(); ++g) {
+        const QiGroup& ref = grouped_ref.group(g);
+        const QiGroup& got = grouped.group(g);
+        ASSERT_TRUE(std::ranges::equal(ref.qi_values, got.qi_values)) << "group " << g;
+        ASSERT_TRUE(std::ranges::equal(ref.rows, got.rows)) << "group " << g;
+        ASSERT_TRUE(std::ranges::equal(ref.sa_runs, got.sa_runs)) << "group " << g;
+      }
+
+      for (std::size_t i = 0; i < kAllAlgorithms.size(); ++i) {
+        const Algorithm algo = kAllAlgorithms[i];
+        AnonymizationOutcome outcome = Anonymize(t, 4, algo, AnonymizerOptions{}, &ws);
+        ASSERT_TRUE(outcome.feasible) << AlgorithmName(algo);
+        EXPECT_EQ(reference[i].stars, outcome.stars) << AlgorithmName(algo);
+        EXPECT_EQ(reference[i].suppressed_tuples, outcome.suppressed_tuples)
+            << AlgorithmName(algo);
+        EXPECT_EQ(reference[i].kl_divergence, outcome.kl_divergence) << AlgorithmName(algo);
+        ExpectSamePartition(reference[i].partition, outcome.partition);
+      }
     }
   }
 }

@@ -12,7 +12,8 @@ namespace ldv {
 namespace {
 
 TEST(PillarIndex, SparseConstruction) {
-  PillarIndex idx({{2, 3}, {5, 1}, {9, 3}});
+  const std::vector<std::pair<SaValue, std::uint32_t>> entries = {{2, 3}, {5, 1}, {9, 3}};
+  PillarIndex idx(entries);
   EXPECT_EQ(idx.slot_count(), 3u);
   EXPECT_EQ(idx.total(), 7u);
   EXPECT_EQ(idx.PillarHeight(), 3u);
