@@ -12,6 +12,7 @@
 
 #include <cstdlib>
 #include <map>
+#include <memory>
 #include <string>
 
 #include "anonymity/generalization.h"
@@ -26,6 +27,7 @@
 #include "core/tp.h"
 #include "data/acs_generator.h"
 #include "data/acs_schema.h"
+#include "data/dataset.h"
 #include "hilbert/hilbert_curve.h"
 #include "hilbert/hilbert_partitioner.h"
 #include "metrics/kl_divergence.h"
@@ -283,6 +285,41 @@ void BM_KlBlock(benchmark::State& state) {
 }
 BENCHMARK(BM_KlBlock)->Name("kl_block")->Arg(1024)->Arg(4096)->Arg(16384);
 
+// ---- Out-of-core series ----
+//
+// The paged data plane under its default (unbudgeted) sizing: streamed
+// synthetic ingestion through the PagedTableBuilder (chunked generation,
+// page staging, spill-file writes, SIMD domain validation, then the mmap
+// seal) and the chunked GroupedTable build with a sort buffer small
+// enough that both cardinalities spill runs and k-way merge. Both paths
+// are byte-identical to their in-RAM twins (paged_equivalence_test), so
+// these series track the cost of going out of core, not a different
+// answer.
+
+void BM_IngestStream(benchmark::State& state) {
+  DatasetSpec spec;
+  spec.n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    std::string error;
+    std::unique_ptr<PagedTable> paged = GenerateDatasetPaged(spec, {}, &error);
+    benchmark::DoNotOptimize(paged->resident().size());
+  }
+  state.SetItemsProcessed(state.iterations() * spec.n);
+}
+BENCHMARK(BM_IngestStream)->Name("ingest_stream")->Arg(10000)->Arg(100000);
+
+void BM_GroupingPaged(benchmark::State& state) {
+  const Table& t = SizedSal7(static_cast<std::size_t>(state.range(0)));
+  Workspace ws;
+  for (auto _ : state) {
+    GroupedTable grouped =
+        GroupedTable::BuildChunked(t, &ws, /*sort_buffer_records=*/4096);
+    benchmark::DoNotOptimize(grouped.group_count());
+  }
+  state.SetItemsProcessed(state.iterations() * t.size());
+}
+BENCHMARK(BM_GroupingPaged)->Name("grouping_paged")->Arg(10000)->Arg(100000);
+
 // ---- Intra-run parallel series ----
 //
 // The hot kernels again, under explicit thread budgets (1 / 2 / 4): the
@@ -379,6 +416,8 @@ void RegisterBenchFields() {
     fields[series("kl_multidim")] = {n, 4, 1, ActiveSimd()};
     fields[series("grouping_columnar")] = {n, 7, 1, ActiveSimd()};
     fields[series("kl_multidim_columnar")] = {n, 7, 1, ActiveSimd()};
+    fields[series("ingest_stream")] = {n, 7, 1, ActiveSimd()};
+    fields[series("grouping_paged")] = {n, 7, 1, ActiveSimd()};
   }
   for (const char* name : {"kl_block/1024", "kl_block/4096", "kl_block/16384"}) {
     fields[name] = {100000, 7, 1, ActiveSimd()};

@@ -4,13 +4,14 @@
 #include <charconv>
 
 #include "common/flags.h"
+#include "common/memory_budget.h"
 #include "common/schema_spec.h"
 
 namespace ldv {
 
 namespace {
 
-constexpr std::array<std::string_view, 17> kKnownFlags = {
+constexpr std::array<std::string_view, 18> kKnownFlags = {
     "algo",
     "l",
     "input",
@@ -28,6 +29,7 @@ constexpr std::array<std::string_view, 17> kKnownFlags = {
     "no-timings",
     "threads",
     "emit-input",
+    "memory-budget",
 };
 
 }  // namespace
@@ -155,6 +157,19 @@ bool ParseCliOptions(int argc, const char* const* argv, CliOptions* options, std
       return false;
     }
   }
+  std::string budget_text;
+  if (!flags.GetString("memory-budget", "", &budget_text, error)) return false;
+  if (!budget_text.empty()) {
+    if (!ParseByteSize(budget_text, &options->memory_budget, error)) {
+      *error = "--memory-budget: " + *error;
+      return false;
+    }
+    if (options->memory_budget != 0 && options->memory_budget < (8u << 20)) {
+      *error = "--memory-budget: " + budget_text +
+               " is below the 8M floor (page staging alone needs a few MiB)";
+      return false;
+    }
+  }
   if (!flags.GetString("emit-input", "", &options->emit_input, error)) return false;
   if (!options->emit_input.empty() && options->input.empty() &&
       options->ns.size() * options->ds.size() != 1) {
@@ -198,6 +213,10 @@ std::string CliUsage(std::string_view program) {
   usage += "                     workers, single jobs on in-kernel parallelism. T = count\n";
   usage += "                     or 'auto' (hardware). Outputs are byte-identical at any\n";
   usage += "                     T. default: auto\n";
+  usage += "  --memory-budget=B  cap accounted working memory (paged ingestion, page\n";
+  usage += "                     cache, external sorts, grouping arenas), e.g. 512M or\n";
+  usage += "                     2G (binary suffixes K/M/G/T). 0 or unset = unlimited\n";
+  usage += "                     (all-in-RAM). Outputs are byte-identical at any budget\n";
   usage += "  --kl=false         skip the KL-divergence estimate\n";
   usage += "  --no-timings       omit wall-clock fields (byte-deterministic reports)\n";
   usage += "  --emit-input=FILE  also write the input table as coded CSV\n";

@@ -56,6 +56,12 @@ struct CliOptions {
   /// hardware concurrency): sweeps spend it on batch workers, single jobs
   /// on in-kernel parallelism. Outputs never depend on it.
   std::uint32_t threads = 0;
+  /// Memory budget in bytes ("--memory-budget=512M", 0 = unlimited): caps
+  /// the explicitly accounted working memory (paged ingestion staging,
+  /// page-cache frames, external-sort buffers, grouping arenas) and
+  /// switches ingestion to the out-of-core paged path. Outputs are
+  /// byte-identical at any budget.
+  std::uint64_t memory_budget = 0;
   /// When non-empty, also write the (first) input table as CSV here.
   std::string emit_input;
   bool help = false;

@@ -1,22 +1,33 @@
 #ifndef LDIV_CLI_PIPELINE_H_
 #define LDIV_CLI_PIPELINE_H_
 
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "cli/cli_options.h"
+#include "common/paged_column.h"
 #include "common/table.h"
 #include "core/run_spec.h"
 
 namespace ldv {
 
 /// One materialized input table plus where it came from, for reports.
+/// Under --memory-budget the row data lives in `paged` (memory-mapped
+/// spill files) and `table` is the borrowed resident() view over it; the
+/// algorithms and report writers consume `table` either way, so outputs
+/// are byte-identical across the two storage modes.
 struct PipelineTable {
   Table table;
+  /// Keeps the spill files and mappings alive behind a borrowed `table`;
+  /// null for ordinary in-RAM inputs.
+  std::unique_ptr<PagedTable> paged;
   /// Provenance label, e.g. "csv:micro.csv" or "sal(n=10000, seed=1, d=3)".
   std::string source;
 
   explicit PipelineTable(Table t) : table(std::move(t)) {}
+  explicit PipelineTable(std::unique_ptr<PagedTable> p)
+      : table(p->resident()), paged(std::move(p)) {}
 };
 
 /// One completed pipeline job: its spec and the algorithm outcome.

@@ -74,7 +74,8 @@ std::string CsvError::ToString() const {
   return out;
 }
 
-void SplitCsvLine(const std::string& line, std::vector<std::string>* cells) {
+bool SplitCsvRecord(const std::string& line, std::vector<std::string>* cells,
+                    std::size_t* open_cell) {
   cells->clear();
   std::size_t length = line.size();
   if (length > 0 && line[length - 1] == '\r') --length;  // CRLF input
@@ -103,6 +104,12 @@ void SplitCsvLine(const std::string& line, std::vector<std::string>* cells) {
     }
   }
   cells->push_back(std::move(cell));
+  if (in_quotes && open_cell != nullptr) *open_cell = cells->size();
+  return !in_quotes;
+}
+
+void SplitCsvLine(const std::string& line, std::vector<std::string>* cells) {
+  SplitCsvRecord(line, cells, nullptr);
 }
 
 bool IsBlankCsvLine(const std::string& line) { return line.empty() || line == "\r"; }
@@ -149,34 +156,56 @@ bool WriteTableCsv(const Table& table, const std::string& path) {
   return static_cast<bool>(out);
 }
 
-std::optional<Table> ReadTableCsv(const Schema& schema, const std::string& path, CsvError* error) {
+namespace {
+
+// Splits the next line into cells with quote-state checking; false (with
+// `error` positioned at the open cell) when the line -- including a final
+// line truncated mid-quoted-field -- ends inside an open quote.
+bool SplitRecordChecked(const std::string& line, std::size_t line_number,
+                        const std::string& path, std::vector<std::string>* cells,
+                        CsvError* error) {
+  std::size_t open_cell = 0;
+  if (SplitCsvRecord(line, cells, &open_cell)) return true;
+  SetError(error, path, line_number, open_cell,
+           "unterminated quoted cell (quote opened but never closed before the end of the "
+           "line or file)");
+  return false;
+}
+
+// Streaming core of the coded readers: opens `path`, validates the header
+// against `schema`, then parses and domain-checks each data row and hands
+// it to row_fn(qi_values, sa). Both the in-RAM and the paged reader are
+// this loop plus a different sink, which is what keeps their outputs
+// byte-identical.
+template <typename RowFn>
+bool StreamCodedCsv(const Schema& schema, const std::string& path, CsvError* error,
+                    const RowFn& row_fn) {
   std::ifstream in(path);
   if (!in) {
     SetError(error, path, 0, 0, "cannot open file");
-    return std::nullopt;
+    return false;
   }
   std::string line;
   if (!std::getline(in, line)) {
     SetError(error, path, 1, 0, "empty file (missing header row)");
-    return std::nullopt;
+    return false;
   }
   std::vector<std::string> cells;
-  SplitCsvLine(line, &cells);
-  if (!ValidateHeader(schema, cells, path, error)) return std::nullopt;
+  if (!SplitRecordChecked(line, 1, path, &cells, error)) return false;
+  if (!ValidateHeader(schema, cells, path, error)) return false;
 
   const std::size_t d = schema.qi_count();
-  Table table(schema);
   std::vector<Value> qi(d);
   std::size_t line_number = 1;
   while (std::getline(in, line)) {
     ++line_number;
     if (IsBlankCsvLine(line)) continue;
-    SplitCsvLine(line, &cells);
+    if (!SplitRecordChecked(line, line_number, path, &cells, error)) return false;
     if (cells.size() != d + 1) {
       SetError(error, path, line_number, 0,
                "row has " + std::to_string(cells.size()) + " cells; expected " +
                    std::to_string(d + 1));
-      return std::nullopt;
+      return false;
     }
     SaValue sa = 0;
     for (std::size_t i = 0; i <= d; ++i) {
@@ -187,13 +216,13 @@ std::optional<Table> ReadTableCsv(const Schema& schema, const std::string& path,
         SetError(error, path, line_number, i + 1,
                  "cell '" + cells[i] + "' is not a non-negative integer code (is this a raw " +
                      "string-valued CSV? load it with format 'raw')");
-        return std::nullopt;
+        return false;
       }
       if (value >= attr.domain_size) {
         SetError(error, path, line_number, i + 1,
                  "value " + std::to_string(value) + " is outside the domain [0, " +
                      std::to_string(attr.domain_size) + ") of attribute '" + attr.name + "'");
-        return std::nullopt;
+        return false;
       }
       if (is_sa) {
         sa = static_cast<SaValue>(value);
@@ -201,84 +230,96 @@ std::optional<Table> ReadTableCsv(const Schema& schema, const std::string& path,
         qi[i] = static_cast<Value>(value);
       }
     }
-    table.AppendRow(qi, sa);
+    row_fn(std::span<const Value>(qi), sa);
   }
-  return table;
+  return true;
 }
 
-std::optional<Table> ReadRawTableCsv(const std::string& path, CsvError* error) {
+// Streaming core of the raw readers: parses + validates the header, calls
+// on_header(d) once (false aborts; the callback has set `error`), then
+// dictionary-encodes each row and hands it to row_fn(qi_values, sa).
+// Fills `out_schema` (with the dictionaries attached) on success.
+// Dictionary codes are insertion-ordered by first appearance in file
+// order, so every sink sees the identical encoding.
+template <typename HeaderFn, typename RowFn>
+bool StreamRawCsv(const std::string& path, CsvError* error, const HeaderFn& on_header,
+                  const RowFn& row_fn, Schema* out_schema) {
   std::ifstream in(path);
   if (!in) {
     SetError(error, path, 0, 0, "cannot open file");
-    return std::nullopt;
+    return false;
   }
   std::string line;
   if (!std::getline(in, line)) {
     SetError(error, path, 1, 0, "empty file (missing header row)");
-    return std::nullopt;
+    return false;
   }
   std::vector<std::string> header;
-  SplitCsvLine(line, &header);
+  if (!SplitRecordChecked(line, 1, path, &header, error)) return false;
   if (header.size() < 2) {
     SetError(error, path, 1, 0,
              "header names " + std::to_string(header.size()) +
                  " columns; raw ingestion needs at least one QI column plus the sensitive " +
                  "attribute (last column)");
-    return std::nullopt;
+    return false;
   }
   for (std::size_t i = 0; i < header.size(); ++i) {
     if (header[i].empty()) {
       SetError(error, path, 1, i + 1, "empty attribute name in header");
-      return std::nullopt;
+      return false;
     }
     for (std::size_t j = 0; j < i; ++j) {
       if (header[i] == header[j]) {
         SetError(error, path, 1, i + 1,
                  "duplicate attribute name '" + header[i] +
                      "' in header (the dictionary sidecar keys labels by attribute name)");
-        return std::nullopt;
+        return false;
       }
     }
   }
 
   const std::size_t d = header.size() - 1;
+  if (!on_header(d)) return false;
   std::vector<ValueDictionary> dictionaries(d + 1);
-  std::vector<std::vector<Value>> columns(d);
-  std::vector<SaValue> sa_column;
+  std::vector<Value> qi(d);
   std::vector<std::string> cells;
   std::size_t line_number = 1;
+  std::size_t rows = 0;
   while (std::getline(in, line)) {
     ++line_number;
     if (IsBlankCsvLine(line)) continue;
-    SplitCsvLine(line, &cells);
+    if (!SplitRecordChecked(line, line_number, path, &cells, error)) return false;
     if (cells.size() != d + 1) {
       SetError(error, path, line_number, 0,
                "row has " + std::to_string(cells.size()) + " cells; the header names " +
                    std::to_string(d + 1));
-      return std::nullopt;
+      return false;
     }
+    SaValue sa = 0;
     for (std::size_t i = 0; i <= d; ++i) {
       if (cells[i].empty()) {
         SetError(error, path, line_number, i + 1,
                  "empty cell (labels must be non-empty under attribute '" + header[i] + "')");
-        return std::nullopt;
+        return false;
       }
       if (cells[i] == "*") {
         SetError(error, path, line_number, i + 1,
                  "the label '*' is reserved for the suppression marker releases use");
-        return std::nullopt;
+        return false;
       }
       Value code = dictionaries[i].GetOrAdd(cells[i]);
       if (i < d) {
-        columns[i].push_back(code);
+        qi[i] = code;
       } else {
-        sa_column.push_back(static_cast<SaValue>(code));
+        sa = static_cast<SaValue>(code);
       }
     }
+    row_fn(std::span<const Value>(qi), sa);
+    ++rows;
   }
-  if (sa_column.empty()) {
+  if (rows == 0) {
     SetError(error, path, line_number, 0, "no data rows after the header");
-    return std::nullopt;
+    return false;
   }
 
   std::vector<Attribute> qi_attributes(d);
@@ -291,8 +332,85 @@ std::optional<Table> ReadRawTableCsv(const std::string& path, CsvError* error) {
   sensitive.name = header[d];
   sensitive.domain_size = dictionaries[d].size();
   sensitive.dictionary = std::move(dictionaries[d]);
-  return Table::FromColumns(Schema(std::move(qi_attributes), std::move(sensitive)),
-                            std::move(columns), std::move(sa_column));
+  *out_schema = Schema(std::move(qi_attributes), std::move(sensitive));
+  return true;
+}
+
+}  // namespace
+
+std::optional<Table> ReadTableCsv(const Schema& schema, const std::string& path, CsvError* error) {
+  Table table(schema);
+  if (!StreamCodedCsv(schema, path, error, [&table](std::span<const Value> qi, SaValue sa) {
+        table.AppendRow(qi, sa);
+      })) {
+    return std::nullopt;
+  }
+  return table;
+}
+
+std::optional<Table> ReadRawTableCsv(const std::string& path, CsvError* error) {
+  // In-RAM sink: accumulate plain column vectors and bulk-construct, the
+  // same shape (and cost) as the pre-streaming reader.
+  std::vector<std::vector<Value>> columns;
+  std::vector<SaValue> sa_column;
+  Schema schema;
+  const bool ok = StreamRawCsv(
+      path, error,
+      [&columns](std::size_t d) {
+        columns.resize(d);
+        return true;
+      },
+      [&columns, &sa_column](std::span<const Value> qi, SaValue sa) {
+        for (std::size_t i = 0; i < qi.size(); ++i) columns[i].push_back(qi[i]);
+        sa_column.push_back(sa);
+      },
+      &schema);
+  if (!ok) return std::nullopt;
+  return Table::FromColumns(std::move(schema), std::move(columns), std::move(sa_column));
+}
+
+std::unique_ptr<PagedTable> ReadTableCsvPaged(const Schema& schema, const std::string& path,
+                                              const PagedTableBuilder::Options& options,
+                                              CsvError* error) {
+  std::string build_error;
+  std::unique_ptr<PagedTableBuilder> builder =
+      PagedTableBuilder::Create(schema.qi_count(), options, &build_error);
+  if (builder == nullptr) {
+    SetError(error, path, 0, 0, build_error);
+    return nullptr;
+  }
+  if (!StreamCodedCsv(schema, path, error, [&builder](std::span<const Value> qi, SaValue sa) {
+        builder->AppendRow(qi, sa);
+      })) {
+    return nullptr;
+  }
+  std::unique_ptr<PagedTable> table = builder->Finish(schema, &build_error);
+  if (table == nullptr) SetError(error, path, 0, 0, build_error);
+  return table;
+}
+
+std::unique_ptr<PagedTable> ReadRawTableCsvPaged(const std::string& path,
+                                                 const PagedTableBuilder::Options& options,
+                                                 CsvError* error) {
+  std::string build_error;
+  std::unique_ptr<PagedTableBuilder> builder;
+  Schema schema;
+  const bool ok = StreamRawCsv(
+      path, error,
+      [&builder, &options, &build_error, &error, &path](std::size_t d) {
+        builder = PagedTableBuilder::Create(d, options, &build_error);
+        if (builder == nullptr) {
+          SetError(error, path, 0, 0, build_error);
+          return false;
+        }
+        return true;
+      },
+      [&builder](std::span<const Value> qi, SaValue sa) { builder->AppendRow(qi, sa); },
+      &schema);
+  if (!ok) return nullptr;
+  std::unique_ptr<PagedTable> table = builder->Finish(std::move(schema), &build_error);
+  if (table == nullptr) SetError(error, path, 0, 0, build_error);
+  return table;
 }
 
 bool WriteDictionaryCsv(const Schema& schema, const std::string& path) {

@@ -1,10 +1,12 @@
 #ifndef LDIV_COMMON_CSV_H_
 #define LDIV_COMMON_CSV_H_
 
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "common/paged_column.h"
 #include "common/table.h"
 
 namespace ldv {
@@ -30,7 +32,18 @@ struct CsvError {
 /// trailing carriage return (CRLF files saved on Windows) is stripped
 /// before splitting so it can never leak into the last cell's label.
 /// Embedded newlines are not supported -- ingestion is line-oriented.
+/// A quote left open at the end of the line is silently treated as
+/// closed; readers use SplitCsvRecord to reject that case instead.
 void SplitCsvLine(const std::string& line, std::vector<std::string>* cells);
+
+/// SplitCsvLine with quote-state checking: returns false when the line
+/// (or the file's final unterminated chunk) ends inside an open quoted
+/// cell, filling `open_cell` (when non-null) with the 1-based index of
+/// the offending cell. The cells parsed so far are still delivered. All
+/// ingestion goes through this so a truncated quoted field surfaces a
+/// positioned CsvError instead of EOF-succeeding with a mangled label.
+bool SplitCsvRecord(const std::string& line, std::vector<std::string>* cells,
+                    std::size_t* open_cell);
 
 /// True when the line holds no cells at all: empty, or a bare carriage
 /// return left behind by CRLF line endings. Readers skip such lines.
@@ -72,6 +85,23 @@ std::optional<Table> ReadTableCsv(const Schema& schema, const std::string& path,
 /// provided) on I/O failure, a ragged row, an empty cell, or a file
 /// without data rows.
 std::optional<Table> ReadRawTableCsv(const std::string& path, CsvError* error = nullptr);
+
+/// Streaming (out-of-core) twin of ReadTableCsv: rows are validated and
+/// appended straight into a PagedTableBuilder's page staging, so the row
+/// set is never materialized in RAM. Same header validation, cell
+/// diagnostics, and resulting data as the in-RAM reader -- the sealed
+/// table's resident() view is byte-identical to ReadTableCsv's output.
+std::unique_ptr<PagedTable> ReadTableCsvPaged(const Schema& schema, const std::string& path,
+                                              const PagedTableBuilder::Options& options,
+                                              CsvError* error = nullptr);
+
+/// Streaming twin of ReadRawTableCsv: builds the per-column dictionaries
+/// on the fly (insertion order matches the in-RAM reader exactly, so the
+/// codes agree) while writing pages. Dictionaries are O(distinct labels)
+/// resident; rows are not.
+std::unique_ptr<PagedTable> ReadRawTableCsvPaged(const std::string& path,
+                                                 const PagedTableBuilder::Options& options,
+                                                 CsvError* error = nullptr);
 
 /// Serializes the schema's value dictionaries as CSV rows of
 /// (attribute, code, label), QI attributes first, then the sensitive

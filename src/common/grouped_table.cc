@@ -3,7 +3,9 @@
 #include <algorithm>
 
 #include "common/check.h"
+#include "common/external_sort.h"
 #include "common/flat_map.h"
+#include "common/memory_budget.h"
 #include "common/parallel.h"
 #include "common/simd.h"
 
@@ -38,9 +40,30 @@ constexpr std::size_t kRowGrain = 16384;
 
 std::size_t ShardOf(std::uint64_t mixed) { return mixed >> kShardShift; }
 
+/// Rough resident scratch of the sharded build: the u64 hash array plus
+/// six u32 row-length arrays (~32 bytes per row).
+std::uint64_t ShardedScratchBytes(std::size_t n) { return 32ull * n; }
+
 }  // namespace
 
 GroupedTable::GroupedTable(const Table& table, Workspace* workspace) {
+  const bool stream = MemoryBudgetBytes() != 0 && !table.empty() &&
+                      !GlobalMemoryBudget().WouldFit(ShardedScratchBytes(table.size()));
+  if (stream) {
+    BuildChunkedImpl(table, workspace, 0);
+  } else {
+    BuildSharded(table, workspace);
+  }
+}
+
+GroupedTable GroupedTable::BuildChunked(const Table& table, Workspace* workspace,
+                                        std::size_t sort_buffer_records) {
+  GroupedTable grouped;
+  grouped.BuildChunkedImpl(table, workspace, sort_buffer_records);
+  return grouped;
+}
+
+void GroupedTable::BuildSharded(const Table& table, Workspace* workspace) {
   row_count_ = table.size();
   sa_domain_size_ = table.schema().sa_domain_size();
   if (table.empty()) return;
@@ -315,6 +338,170 @@ GroupedTable::GroupedTable(const Table& table, Workspace* workspace) {
       groups_[g].sa_runs = {runs, distinct.size()};
     }
   });
+  ChargeArenas();
+}
+
+void GroupedTable::BuildChunkedImpl(const Table& table, Workspace* workspace,
+                                    std::size_t sort_buffer_records) {
+  row_count_ = table.size();
+  sa_domain_size_ = table.schema().sa_domain_size();
+  if (table.empty()) return;
+
+  Workspace local;
+  Workspace& ws = workspace != nullptr ? *workspace : local;
+  const std::size_t n = table.size();
+  const std::size_t d = table.qi_count();
+  const std::size_t m = sa_domain_size_;
+
+  std::vector<const Value*> cols(d);
+  for (AttrId a = 0; a < d; ++a) cols[a] = table.column(a).data();
+  const SaValue* sa_col = table.sa_column().data();
+
+  MemoryBudget* budget = MemoryBudgetBytes() != 0 ? &GlobalMemoryBudget() : nullptr;
+  if (sort_buffer_records == 0) {
+    // Give the sort buffer a quarter of what's left, within sane bounds.
+    const std::uint64_t spend =
+        budget != nullptr ? budget->remaining() / 4 : 64ull << 20;
+    sort_buffer_records = static_cast<std::size_t>(std::clamp<std::uint64_t>(
+        spend / sizeof(SortRecord), 1u << 16, 4u << 20));
+  }
+  std::string sort_error;
+  std::unique_ptr<ExternalSorter> sorter = ExternalSorter::Create(
+      ExternalSorter::Options{.buffer_records = sort_buffer_records, .budget = budget},
+      &sort_error);
+  LDIV_CHECK(sorter != nullptr) << "external sort unavailable: " << sort_error;
+
+  // Single sequential pass in fixed row chunks: hash the chunk with the
+  // SIMD column fold, then resolve each row's signature in a growing
+  // (hash, gid) probe table. Scanning rows in order makes group ids
+  // first-occurrence ranks -- the exact ids the sharded build assigns.
+  auto chunk_hashes_s = ws.U64();
+  std::vector<std::uint64_t>& chunk_hashes = *chunk_hashes_s;
+  chunk_hashes.resize(std::min(n, kRowGrain));
+  std::vector<std::uint32_t> rep_row;      // gid -> globally first row
+  std::vector<std::uint32_t> sizes;        // gid -> |Q|
+  std::vector<std::uint64_t> slot_hash;    // probe table: signature hash
+  std::vector<std::uint32_t> slot_gid;     // probe table: gid + 1 (0 = empty)
+  std::size_t cap = 1024;
+  slot_hash.assign(cap, 0);
+  slot_gid.assign(cap, 0);
+
+  const auto same_signature = [&cols, d](RowId x, RowId y) {
+    for (AttrId a = 0; a < d; ++a) {
+      if (cols[a][x] != cols[a][y]) return false;
+    }
+    return true;
+  };
+
+  for (std::size_t begin = 0; begin < n; begin += kRowGrain) {
+    const std::size_t end = std::min(n, begin + kRowGrain);
+    const std::size_t len = end - begin;
+    std::fill_n(chunk_hashes.data(), len, 1469598103934665603ULL);
+    for (AttrId a = 0; a < d; ++a) {
+      simd::FnvFoldColumn(chunk_hashes.data(), cols[a] + begin, len);
+    }
+    for (std::size_t i = 0; i < len; ++i) {
+      const RowId r = static_cast<RowId>(begin + i);
+      const std::uint64_t h = chunk_hashes[i];
+      std::size_t mask = cap - 1;
+      std::size_t slot = MixU64(h) & mask;
+      std::uint32_t gid;
+      for (;;) {
+        if (slot_gid[slot] == 0) {
+          gid = static_cast<std::uint32_t>(rep_row.size());
+          slot_hash[slot] = h;
+          slot_gid[slot] = gid + 1;
+          rep_row.push_back(r);
+          sizes.push_back(0);
+          for (AttrId a = 0; a < d; ++a) qi_arena_.push_back(cols[a][r]);
+          break;
+        }
+        if (slot_hash[slot] == h && same_signature(r, rep_row[slot_gid[slot] - 1])) {
+          gid = slot_gid[slot] - 1;
+          break;
+        }
+        slot = (slot + 1) & mask;
+      }
+      ++sizes[gid];
+      sorter->Add((static_cast<std::uint64_t>(gid) << 32) | sa_col[r], r);
+      if (2 * rep_row.size() >= cap) {
+        // Grow the probe table; stored hashes make the rehash table-free.
+        const std::size_t new_cap = cap * 2;
+        std::vector<std::uint64_t> new_hash(new_cap, 0);
+        std::vector<std::uint32_t> new_gid(new_cap, 0);
+        const std::size_t new_mask = new_cap - 1;
+        for (std::size_t j = 0; j < cap; ++j) {
+          if (slot_gid[j] == 0) continue;
+          std::size_t k = MixU64(slot_hash[j]) & new_mask;
+          while (new_gid[k] != 0) k = (k + 1) & new_mask;
+          new_hash[k] = slot_hash[j];
+          new_gid[k] = slot_gid[j];
+        }
+        slot_hash.swap(new_hash);
+        slot_gid.swap(new_gid);
+        cap = new_cap;
+      }
+    }
+  }
+
+  const std::size_t s = rep_row.size();
+  std::vector<std::uint32_t> row_off(s + 1, 0);
+  for (std::size_t g = 0; g < s; ++g) row_off[g + 1] = row_off[g] + sizes[g];
+  std::vector<std::uint32_t> run_off(s + 1, 0);
+  const std::uint32_t m32 = static_cast<std::uint32_t>(m);
+  for (std::size_t g = 0; g < s; ++g) run_off[g + 1] = run_off[g] + std::min(sizes[g], m32);
+
+  rows_arena_.resize(n);
+  runs_arena_.resize(run_off[s]);
+  groups_.resize(s);
+  for (std::size_t g = 0; g < s; ++g) {
+    groups_[g].qi_values = {qi_arena_.data() + g * d, d};
+    groups_[g].rows = {rows_arena_.data() + row_off[g], sizes[g]};
+  }
+
+  // The merged (gid, sa, row) order IS the arena layout: groups back to
+  // back in first-occurrence order, rows sorted by (sa, row) within each
+  // group -- exactly what the sharded build's stable counting sort emits.
+  sorter->Finish();
+  SortRecord record;
+  std::uint32_t current_gid = 0;
+  SaValue current_sa = 0;
+  std::size_t run_cursor = 0;
+  bool first = true;
+  for (std::size_t i = 0; i < n; ++i) {
+    LDIV_CHECK(sorter->Next(&record)) << "external sort lost records";
+    const std::uint32_t gid = static_cast<std::uint32_t>(record.key >> 32);
+    const SaValue sa = static_cast<SaValue>(record.key & 0xffffffffu);
+    rows_arena_[i] = static_cast<RowId>(record.payload);
+    if (first || gid != current_gid || sa != current_sa) {
+      if (first || gid != current_gid) {
+        if (!first) {
+          groups_[current_gid].sa_runs = {runs_arena_.data() + run_off[current_gid],
+                                          run_cursor - run_off[current_gid]};
+        }
+        run_cursor = run_off[gid];
+      }
+      runs_arena_[run_cursor++] = {sa, static_cast<std::uint32_t>(i - row_off[gid])};
+      current_gid = gid;
+      current_sa = sa;
+      first = false;
+    }
+  }
+  LDIV_CHECK(!sorter->Next(&record)) << "external sort produced extra records";
+  if (!first) {
+    groups_[current_gid].sa_runs = {runs_arena_.data() + run_off[current_gid],
+                                    run_cursor - run_off[current_gid]};
+  }
+  ChargeArenas();
+}
+
+void GroupedTable::ChargeArenas() {
+  if (MemoryBudgetBytes() == 0) return;
+  const std::uint64_t bytes = qi_arena_.capacity() * sizeof(Value) +
+                              rows_arena_.capacity() * sizeof(RowId) +
+                              runs_arena_.capacity() * sizeof(runs_arena_[0]) +
+                              groups_.capacity() * sizeof(QiGroup);
+  arena_reservation_ = MemoryReservation(&GlobalMemoryBudget(), bytes);
 }
 
 std::uint64_t GroupedTable::MaxGroupSize() const {

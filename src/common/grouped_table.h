@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/histogram.h"
+#include "common/memory_budget.h"
 #include "common/table.h"
 #include "common/types.h"
 #include "common/workspace.h"
@@ -65,6 +66,12 @@ class GroupedTable {
   /// the sequential build at every thread count. When a Workspace is
   /// supplied, all scratch comes from its pools, so repeated grouping
   /// (sweeps, batch workers) does not touch the allocator.
+  ///
+  /// When a process memory budget is set (SetMemoryBudget) and the sharded
+  /// build's O(n) scratch would not fit the remaining budget, the ctor
+  /// takes the chunk-at-a-time streaming build instead (see BuildChunked);
+  /// both paths produce byte-identical groups, so the choice is purely a
+  /// residency/speed trade.
   explicit GroupedTable(const Table& table, Workspace* workspace = nullptr);
 
   // Copying is deleted: groups_ holds views into the arenas, and a copied
@@ -90,7 +97,27 @@ class GroupedTable {
   /// Largest group size.
   std::uint64_t MaxGroupSize() const;
 
+  /// Chunk-at-a-time low-memory build: one sequential pass streams the
+  /// columns in fixed row chunks through the SIMD hash fold, assigns
+  /// first-occurrence group ranks in a growing (hash, gid) probe table of
+  /// size O(s), and emits (gid << 32 | sa, row) records into a
+  /// budget-bounded ExternalSorter whose merged order IS the arena layout
+  /// (groups by first occurrence, rows by (sa, row) within a group) -- so
+  /// peak scratch is O(s) + the sort buffer instead of the sharded
+  /// build's ~32 bytes/row. Byte-identical to the ctor's sharded build.
+  /// `sort_buffer_records` == 0 derives the buffer from the process
+  /// budget; tests pass a small value to force multi-run spills.
+  static GroupedTable BuildChunked(const Table& table, Workspace* workspace = nullptr,
+                                   std::size_t sort_buffer_records = 0);
+
  private:
+  GroupedTable() = default;
+
+  void BuildSharded(const Table& table, Workspace* workspace);
+  void BuildChunkedImpl(const Table& table, Workspace* workspace,
+                        std::size_t sort_buffer_records);
+  void ChargeArenas();
+
   // Backing storage for every group's views: signatures (group-major, d
   // values each), member rows (group-major, exactly n entries) and SA runs
   // (group-major with per-group capacity min(|Q|, m); the spans carry the
@@ -101,6 +128,7 @@ class GroupedTable {
   std::vector<QiGroup> groups_;
   std::size_t row_count_ = 0;
   std::size_t sa_domain_size_ = 0;
+  MemoryReservation arena_reservation_;  // arenas charged to the process budget
 };
 
 }  // namespace ldv

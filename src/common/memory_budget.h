@@ -1,0 +1,108 @@
+#ifndef LDIV_COMMON_MEMORY_BUDGET_H_
+#define LDIV_COMMON_MEMORY_BUDGET_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace ldv {
+
+/// Byte-accounting object shared by the paged data plane: the page cache,
+/// the external sorter, and the budget-aware kernel paths all charge their
+/// resident buffers here so one number bounds the engine's working set.
+/// A total of 0 means "unlimited" (the in-RAM fast path); accounting is
+/// advisory -- Charge never fails -- and callers size their structures via
+/// remaining() BEFORE allocating, so the budget steers allocation sizes
+/// rather than aborting mid-run.
+class MemoryBudget {
+ public:
+  /// `total_bytes` == 0 builds an unlimited budget.
+  explicit MemoryBudget(std::uint64_t total_bytes = 0) : total_(total_bytes) {}
+
+  MemoryBudget(const MemoryBudget&) = delete;
+  MemoryBudget& operator=(const MemoryBudget&) = delete;
+
+  bool unlimited() const { return total_ == 0; }
+  std::uint64_t total() const { return total_; }
+  std::uint64_t used() const { return used_.load(std::memory_order_relaxed); }
+
+  /// High-water mark of used() over the budget's lifetime.
+  std::uint64_t peak() const { return peak_.load(std::memory_order_relaxed); }
+
+  /// total() - used(), saturating at 0. Unlimited budgets report a huge
+  /// remainder so size derivations (`remaining() / page_bytes`) stay sane.
+  std::uint64_t remaining() const;
+
+  /// True if charging `bytes` would keep used() within total(). Always
+  /// true for unlimited budgets.
+  bool WouldFit(std::uint64_t bytes) const;
+
+  /// Records `bytes` of resident memory. Never fails: the budget is a
+  /// sizing signal, not a hard allocator, and transient overshoot (e.g.
+  /// a merge heap plus the last run buffer) is visible through peak().
+  void Charge(std::uint64_t bytes);
+
+  /// Returns `bytes` previously charged.
+  void Release(std::uint64_t bytes);
+
+ private:
+  std::uint64_t total_ = 0;
+  std::atomic<std::uint64_t> used_{0};
+  std::atomic<std::uint64_t> peak_{0};
+};
+
+/// RAII charge against a budget; `budget` may be null (no-op) so call
+/// sites stay unconditional. Movable so owners can store reservations.
+class MemoryReservation {
+ public:
+  MemoryReservation() = default;
+  MemoryReservation(MemoryBudget* budget, std::uint64_t bytes);
+  ~MemoryReservation();
+
+  MemoryReservation(MemoryReservation&& other) noexcept;
+  MemoryReservation& operator=(MemoryReservation&& other) noexcept;
+  MemoryReservation(const MemoryReservation&) = delete;
+  MemoryReservation& operator=(const MemoryReservation&) = delete;
+
+  std::uint64_t bytes() const { return bytes_; }
+
+  /// Grows or shrinks the reservation to `bytes` in place.
+  void Resize(std::uint64_t bytes);
+
+  /// Returns the charge now instead of at destruction.
+  void Reset();
+
+ private:
+  MemoryBudget* budget_ = nullptr;
+  std::uint64_t bytes_ = 0;
+};
+
+/// Process-wide memory budget, the memory twin of SetThreadBudget: one
+/// run of the engine (CLI invocation, test, bench iteration) sets it once
+/// and every budget-aware layer reads it. 0 means unlimited -- all paths
+/// take the exact in-RAM code they take today. Setting a new total resets
+/// the accounting (used and peak drop to 0).
+void SetMemoryBudget(std::uint64_t total_bytes);
+
+/// The configured total in bytes; 0 when unlimited.
+std::uint64_t MemoryBudgetBytes();
+
+/// The process-wide accounting object. Its total() matches
+/// MemoryBudgetBytes(); pass &GlobalMemoryBudget() to budget-aware
+/// components (or nullptr to opt a component out of global accounting).
+MemoryBudget& GlobalMemoryBudget();
+
+/// Parses a human byte size: a non-negative integer with an optional
+/// K/M/G/T suffix (binary multiples, case-insensitive, optional trailing
+/// "B" or "iB" as in "512MiB"). Returns false and fills `error` on bad
+/// syntax or overflow. "0" parses to 0 (= unlimited).
+bool ParseByteSize(std::string_view text, std::uint64_t* bytes, std::string* error);
+
+/// Formats bytes compactly for messages: exact binary multiples print
+/// with their suffix ("512M", "4G"), everything else as plain bytes.
+std::string FormatByteSize(std::uint64_t bytes);
+
+}  // namespace ldv
+
+#endif  // LDIV_COMMON_MEMORY_BUDGET_H_

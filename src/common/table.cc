@@ -10,6 +10,13 @@ namespace ldv {
 
 Table::Table(Schema schema) : schema_(std::move(schema)), qi_columns_(schema_.qi_count()) {
   LDIV_CHECK(schema_.Valid()) << "invalid schema:" << schema_.ToString();
+  RefreshViews();
+}
+
+void Table::RefreshViews() {
+  qi_views_.resize(qi_columns_.size());
+  for (std::size_t a = 0; a < qi_columns_.size(); ++a) qi_views_[a] = qi_columns_[a];
+  sa_view_ = sa_data_;
 }
 
 Table Table::FromColumns(Schema schema, std::vector<std::vector<Value>> qi_columns,
@@ -24,10 +31,57 @@ Table Table::FromColumns(Schema schema, std::vector<std::vector<Value>> qi_colum
   for (SaValue v : sa_column) LDIV_CHECK_LT(v, table.schema_.sa_domain_size());
   table.qi_columns_ = std::move(qi_columns);
   table.sa_data_ = std::move(sa_column);
+  table.RefreshViews();
   return table;
 }
 
+Table Table::FromBorrowedColumns(Schema schema, std::vector<std::span<const Value>> qi_columns,
+                                 std::span<const SaValue> sa_column) {
+  Table table(std::move(schema));
+  LDIV_CHECK_EQ(qi_columns.size(), table.qi_count());
+  for (const std::span<const Value>& column : qi_columns) {
+    LDIV_CHECK_EQ(column.size(), sa_column.size());
+  }
+  table.qi_columns_.clear();
+  table.sa_data_.clear();
+  table.qi_views_ = std::move(qi_columns);
+  table.sa_view_ = sa_column;
+  table.borrowed_ = true;
+  return table;
+}
+
+Table::Table(const Table& other)
+    : schema_(other.schema_),
+      qi_columns_(other.qi_columns_),
+      sa_data_(other.sa_data_),
+      borrowed_(other.borrowed_) {
+  if (borrowed_) {
+    // A borrowed copy aliases the same external memory.
+    qi_views_ = other.qi_views_;
+    sa_view_ = other.sa_view_;
+  } else {
+    RefreshViews();
+  }
+}
+
+Table& Table::operator=(const Table& other) {
+  if (this != &other) {
+    schema_ = other.schema_;
+    qi_columns_ = other.qi_columns_;
+    sa_data_ = other.sa_data_;
+    borrowed_ = other.borrowed_;
+    if (borrowed_) {
+      qi_views_ = other.qi_views_;
+      sa_view_ = other.sa_view_;
+    } else {
+      RefreshViews();
+    }
+  }
+  return *this;
+}
+
 void Table::AppendRow(std::span<const Value> qi_values, SaValue sa) {
+  LDIV_CHECK(!borrowed_) << "cannot append to a borrowed table";
   LDIV_CHECK_EQ(qi_values.size(), qi_count());
   for (std::size_t i = 0; i < qi_values.size(); ++i) {
     LDIV_CHECK_LT(qi_values[i], schema_.qi(static_cast<AttrId>(i)).domain_size);
@@ -35,16 +89,19 @@ void Table::AppendRow(std::span<const Value> qi_values, SaValue sa) {
   LDIV_CHECK_LT(sa, schema_.sa_domain_size());
   for (std::size_t i = 0; i < qi_values.size(); ++i) qi_columns_[i].push_back(qi_values[i]);
   sa_data_.push_back(sa);
+  RefreshViews();
 }
 
 void Table::Reserve(std::size_t rows) {
+  LDIV_CHECK(!borrowed_) << "cannot reserve in a borrowed table";
   for (std::vector<Value>& column : qi_columns_) column.reserve(rows);
   sa_data_.reserve(rows);
+  RefreshViews();
 }
 
 std::vector<std::uint32_t> Table::SaHistogramCounts() const {
   std::vector<std::uint32_t> counts(schema_.sa_domain_size(), 0);
-  for (SaValue v : sa_data_) counts[v]++;
+  for (SaValue v : sa_view_) counts[v]++;
   return counts;
 }
 
@@ -59,22 +116,23 @@ Table Table::ProjectQi(const std::vector<AttrId>& qi_subset) const {
   columns.reserve(qi_subset.size());
   for (AttrId a : qi_subset) {
     LDIV_CHECK_LT(a, qi_count());
-    columns.push_back(qi_columns_[a]);
+    columns.emplace_back(qi_views_[a].begin(), qi_views_[a].end());
   }
-  return FromColumns(schema_.Project(qi_subset), std::move(columns), sa_data_);
+  return FromColumns(schema_.Project(qi_subset), std::move(columns),
+                     std::vector<SaValue>(sa_view_.begin(), sa_view_.end()));
 }
 
 Table Table::SelectRows(const std::vector<RowId>& rows) const {
   for (RowId r : rows) LDIV_CHECK_LT(r, size());
   std::vector<std::vector<Value>> columns(qi_count());
   for (std::size_t a = 0; a < qi_count(); ++a) {
-    const std::vector<Value>& source = qi_columns_[a];
+    const std::span<const Value> source = qi_views_[a];
     columns[a].reserve(rows.size());
     for (RowId r : rows) columns[a].push_back(source[r]);
   }
   std::vector<SaValue> sa;
   sa.reserve(rows.size());
-  for (RowId r : rows) sa.push_back(sa_data_[r]);
+  for (RowId r : rows) sa.push_back(sa_view_[r]);
   return FromColumns(schema_, std::move(columns), std::move(sa));
 }
 

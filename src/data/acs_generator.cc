@@ -33,70 +33,107 @@ std::uint32_t Clamp(std::int64_t v, std::int64_t lo, std::int64_t hi) {
   return static_cast<std::uint32_t>(std::max(lo, std::min(hi, v)));
 }
 
-enum class SaKind { kIncome, kOccupation };
+}  // namespace
 
-// Shared generator for the SAL / OCC families. All sampling goes through
-// the deterministic Rng so tables are reproducible bit-for-bit.
-Table GenerateAcs(const Schema& schema, SaKind kind, std::size_t n, std::uint64_t seed) {
-  Rng rng(seed);
+// All sampling goes through the deterministic Rng so tables are
+// reproducible bit-for-bit; sampler setup draws nothing from it, so the
+// per-row consumption order is exactly the historical GenerateAcs loop.
+struct AcsRowGenerator::Impl {
+  Impl(Kind kind, std::uint64_t seed)
+      : kind(kind),
+        schema(kind == Kind::kSal ? SalSchema() : OccSchema()),
+        rng(seed),
+        // Latent socio-economic status drives the education/income/
+        // occupation correlations (5 levels, skewed toward the low end
+        // like census data).
+        ses_dist({35, 30, 20, 10, 5}),
+        // Marital-status conditionals per age band (young/middle/senior).
+        marital_young({70, 20, 4, 2, 2, 2}),
+        marital_middle({15, 60, 12, 6, 4, 3}),
+        marital_senior({6, 50, 15, 20, 6, 3}),
+        race_dist(9, 1.3),
+        birthplace_dist(56, 1.1),
+        education_noise(6, 0.8),
+        workclass_noise(9, 1.0),
+        // Income is noticeably more skewed than Occupation; this is what
+        // makes the SAL workloads harder for TP than the OCC workloads
+        // (Section 6.1).
+        income_noise(50, 1.15),
+        occupation_noise(50, 0.6) {}
 
-  // Latent socio-economic status drives the education/income/occupation
-  // correlations (5 levels, skewed toward the low end like census data).
-  WeightedSampler ses_dist({35, 30, 20, 10, 5});
-  // Marital-status conditionals per age band (young / middle / senior).
-  WeightedSampler marital_young({70, 20, 4, 2, 2, 2});
-  WeightedSampler marital_middle({15, 60, 12, 6, 4, 3});
-  WeightedSampler marital_senior({6, 50, 15, 20, 6, 3});
-  ZipfSampler race_dist(9, 1.3);
-  ZipfSampler birthplace_dist(56, 1.1);
-  ZipfSampler education_noise(6, 0.8);
-  ZipfSampler workclass_noise(9, 1.0);
-  // Income is noticeably more skewed than Occupation; this is what makes
-  // the SAL workloads harder for TP than the OCC workloads (Section 6.1).
-  ZipfSampler income_noise(50, 1.15);
-  ZipfSampler occupation_noise(50, 0.6);
+  Kind kind;
+  Schema schema;
+  Rng rng;
+  WeightedSampler ses_dist;
+  WeightedSampler marital_young;
+  WeightedSampler marital_middle;
+  WeightedSampler marital_senior;
+  ZipfSampler race_dist;
+  ZipfSampler birthplace_dist;
+  ZipfSampler education_noise;
+  ZipfSampler workclass_noise;
+  ZipfSampler income_noise;
+  ZipfSampler occupation_noise;
+};
 
-  Table table(schema);
+AcsRowGenerator::AcsRowGenerator(Kind kind, std::uint64_t seed)
+    : impl_(std::make_unique<Impl>(kind, seed)) {}
+
+AcsRowGenerator::~AcsRowGenerator() = default;
+
+const Schema& AcsRowGenerator::schema() const { return impl_->schema; }
+
+void AcsRowGenerator::Next(Value* qi, SaValue* sa) {
+  Impl& g = *impl_;
+  std::uint32_t ses = g.ses_dist.Sample(g.rng);
+
+  // Age in [0, 79): sum of two uniforms gives the census-like central
+  // bulge; adults dominate.
+  std::uint32_t age = (g.rng.Below(40) + g.rng.Below(40)) % 79;
+  std::uint32_t gender = g.rng.Below(100) < 51 ? 0 : 1;
+  std::uint32_t race = g.race_dist.Sample(g.rng);
+  std::uint32_t marital =
+      (age < 12 ? g.marital_young : (age < 42 ? g.marital_middle : g.marital_senior))
+          .Sample(g.rng);
+  // Birth place mildly correlates with race (migration clusters).
+  std::uint32_t birthplace = (g.birthplace_dist.Sample(g.rng) + 5 * race) % 56;
+  // Education rises with SES and with adulthood.
+  std::uint32_t education =
+      Clamp(static_cast<std::int64_t>(g.education_noise.Sample(g.rng)) + 2 * ses +
+                (age >= 7 ? 2 : 0) + (age >= 17 ? 1 : 0),
+            0, 16);
+  std::uint32_t edu_band = education / 6;  // 0..2
+  std::uint32_t workclass = (g.workclass_noise.Sample(g.rng) + 3 * edu_band) % 9;
+
+  qi[kAge] = age;
+  qi[kGender] = gender;
+  qi[kRace] = race;
+  qi[kMarital] = marital;
+  qi[kBirthPlace] = birthplace;
+  qi[kEducation] = education;
+  qi[kWorkClass] = workclass;
+
+  if (g.kind == Kind::kSal) {
+    // Income bands shift upward with education and SES; the shift is kept
+    // small so the Zipf head (and hence the overall skew) survives.
+    *sa = Clamp(static_cast<std::int64_t>(g.income_noise.Sample(g.rng)) + education / 3 + ses,
+                0, 49);
+  } else {
+    // Occupation codes cluster by education band but stay much flatter.
+    *sa = (g.occupation_noise.Sample(g.rng) + 13 * edu_band) % 50;
+  }
+}
+
+namespace {
+
+Table GenerateAcs(AcsRowGenerator::Kind kind, std::size_t n, std::uint64_t seed) {
+  AcsRowGenerator gen(kind, seed);
+  Table table(gen.schema());
   table.Reserve(n);
   std::vector<Value> row(kAcsQiCount);
+  SaValue sa = 0;
   for (std::size_t i = 0; i < n; ++i) {
-    std::uint32_t ses = ses_dist.Sample(rng);
-
-    // Age in [0, 79): sum of two uniforms gives the census-like central
-    // bulge; adults dominate.
-    std::uint32_t age = (rng.Below(40) + rng.Below(40)) % 79;
-    std::uint32_t gender = rng.Below(100) < 51 ? 0 : 1;
-    std::uint32_t race = race_dist.Sample(rng);
-    std::uint32_t marital =
-        (age < 12 ? marital_young : (age < 42 ? marital_middle : marital_senior)).Sample(rng);
-    // Birth place mildly correlates with race (migration clusters).
-    std::uint32_t birthplace = (birthplace_dist.Sample(rng) + 5 * race) % 56;
-    // Education rises with SES and with adulthood.
-    std::uint32_t education =
-        Clamp(static_cast<std::int64_t>(education_noise.Sample(rng)) + 2 * ses +
-                  (age >= 7 ? 2 : 0) + (age >= 17 ? 1 : 0),
-              0, 16);
-    std::uint32_t edu_band = education / 6;  // 0..2
-    std::uint32_t workclass = (workclass_noise.Sample(rng) + 3 * edu_band) % 9;
-
-    row[kAge] = age;
-    row[kGender] = gender;
-    row[kRace] = race;
-    row[kMarital] = marital;
-    row[kBirthPlace] = birthplace;
-    row[kEducation] = education;
-    row[kWorkClass] = workclass;
-
-    SaValue sa;
-    if (kind == SaKind::kIncome) {
-      // Income bands shift upward with education and SES; the shift is kept
-      // small so the Zipf head (and hence the overall skew) survives.
-      sa = Clamp(static_cast<std::int64_t>(income_noise.Sample(rng)) + education / 3 + ses,
-                 0, 49);
-    } else {
-      // Occupation codes cluster by education band but stay much flatter.
-      sa = (occupation_noise.Sample(rng) + 13 * edu_band) % 50;
-    }
+    gen.Next(row.data(), &sa);
     table.AppendRow(row, sa);
   }
   return table;
@@ -105,11 +142,11 @@ Table GenerateAcs(const Schema& schema, SaKind kind, std::size_t n, std::uint64_
 }  // namespace
 
 Table GenerateSal(std::size_t n, std::uint64_t seed) {
-  return GenerateAcs(SalSchema(), SaKind::kIncome, n, seed);
+  return GenerateAcs(AcsRowGenerator::Kind::kSal, n, seed);
 }
 
 Table GenerateOcc(std::size_t n, std::uint64_t seed) {
-  return GenerateAcs(OccSchema(), SaKind::kOccupation, n, seed);
+  return GenerateAcs(AcsRowGenerator::Kind::kOcc, n, seed);
 }
 
 }  // namespace ldv

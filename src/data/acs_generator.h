@@ -3,6 +3,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 
 #include "common/table.h"
 
@@ -25,6 +26,31 @@ namespace ldv {
 /// Generation is deterministic in (n, seed) and platform-independent.
 Table GenerateSal(std::size_t n, std::uint64_t seed = 1);
 Table GenerateOcc(std::size_t n, std::uint64_t seed = 2);
+
+/// Streaming row source behind GenerateSal/GenerateOcc: Next() emits the
+/// exact row sequence those functions materialize, one row at a time, so
+/// the out-of-core (paged) generator stays byte-identical to the in-RAM
+/// one -- both are this sampler plus a different sink. Resident cost is
+/// the sampler state, independent of n.
+class AcsRowGenerator {
+ public:
+  enum class Kind { kSal, kOcc };
+
+  AcsRowGenerator(Kind kind, std::uint64_t seed);
+  ~AcsRowGenerator();
+  AcsRowGenerator(const AcsRowGenerator&) = delete;
+  AcsRowGenerator& operator=(const AcsRowGenerator&) = delete;
+
+  /// The full seven-QI extract schema (SalSchema / OccSchema per kind).
+  const Schema& schema() const;
+
+  /// Fills qi[0..kAcsQiCount) and *sa with the next row.
+  void Next(Value* qi, SaValue* sa);
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
 
 }  // namespace ldv
 

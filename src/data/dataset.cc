@@ -159,6 +159,78 @@ std::optional<Table> GenerateDataset(const DatasetSpec& spec, std::string* error
   return table.ProjectQi(prefix);
 }
 
+std::unique_ptr<PagedTable> GenerateDatasetPaged(const DatasetSpec& spec,
+                                                 const PagedTableBuilder::Options& options,
+                                                 std::string* error) {
+  std::optional<DatasetSpec> resolved = ResolveDatasetSpec(spec, error);
+  if (!resolved) return nullptr;
+
+  const std::size_t d = resolved->d;
+  std::unique_ptr<PagedTableBuilder> builder = PagedTableBuilder::Create(d, options, error);
+  if (builder == nullptr) return nullptr;
+
+  AcsRowGenerator gen(resolved->name == "sal" ? AcsRowGenerator::Kind::kSal
+                                              : AcsRowGenerator::Kind::kOcc,
+                      resolved->seed);
+
+  // Chunked generation: rows are sampled one at a time but handed to the
+  // builder in column chunks, so appends amortize to one memcpy per page.
+  // The prefix projection for d < 7 simply never buffers the dropped
+  // attributes -- same effect as GenerateDataset's ProjectQi, without the
+  // intermediate 7-column table.
+  constexpr std::size_t kChunkRows = 16384;
+  std::vector<std::vector<Value>> qi_chunks(d);
+  for (std::vector<Value>& chunk : qi_chunks) chunk.reserve(kChunkRows);
+  std::vector<SaValue> sa_chunk;
+  sa_chunk.reserve(kChunkRows);
+  const auto flush = [&]() {
+    for (std::size_t a = 0; a < d; ++a) {
+      builder->AppendQiChunk(static_cast<AttrId>(a), qi_chunks[a].data(), qi_chunks[a].size());
+      qi_chunks[a].clear();
+    }
+    builder->AppendSaChunk(sa_chunk.data(), sa_chunk.size());
+    sa_chunk.clear();
+  };
+
+  Value row[kAcsQiCount];
+  SaValue sa = 0;
+  for (std::size_t i = 0; i < resolved->n; ++i) {
+    gen.Next(row, &sa);
+    for (std::size_t a = 0; a < d; ++a) qi_chunks[a].push_back(row[a]);
+    sa_chunk.push_back(sa);
+    if (sa_chunk.size() == kChunkRows) flush();
+  }
+  if (!sa_chunk.empty()) flush();
+
+  Schema schema = gen.schema();
+  if (d < kAcsQiCount) {
+    std::vector<AttrId> prefix(d);
+    for (std::size_t i = 0; i < d; ++i) prefix[i] = static_cast<AttrId>(i);
+    schema = schema.Project(prefix);
+  }
+  return builder->Finish(std::move(schema), error);
+}
+
+std::unique_ptr<PagedTable> LoadTableCsvPaged(const std::string& path, CsvFormat format,
+                                              const Schema* schema,
+                                              const PagedTableBuilder::Options& options,
+                                              std::string* error) {
+  if (!ResolveCsvFormat(path, format, schema != nullptr, &format, error)) return nullptr;
+  CsvError csv_error;
+  if (format == CsvFormat::kCoded) {
+    if (schema == nullptr) {
+      *error = "a coded CSV load requires a schema";
+      return nullptr;
+    }
+    std::unique_ptr<PagedTable> table = ReadTableCsvPaged(*schema, path, options, &csv_error);
+    if (table == nullptr) *error = csv_error.ToString();
+    return table;
+  }
+  std::unique_ptr<PagedTable> table = ReadRawTableCsvPaged(path, options, &csv_error);
+  if (table == nullptr) *error = csv_error.ToString();
+  return table;
+}
+
 std::string DatasetLabel(const DatasetSpec& spec) {
   std::string error;
   std::optional<DatasetSpec> resolved = ResolveDatasetSpec(spec, &error);

@@ -2,10 +2,12 @@
 #define LDIV_DATA_DATASET_H_
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 #include <string_view>
 
+#include "common/paged_column.h"
 #include "common/table.h"
 
 namespace ldv {
@@ -69,6 +71,23 @@ std::optional<DatasetSpec> ResolveDatasetSpec(const DatasetSpec& spec, std::stri
 
 /// Materializes the table described by `spec` (resolved internally).
 std::optional<Table> GenerateDataset(const DatasetSpec& spec, std::string* error);
+
+/// Out-of-core twin of GenerateDataset: streams the same row sequence in
+/// column chunks straight into a PagedTableBuilder, so resident cost is
+/// one staging page per column plus the chunk buffers -- independent of n.
+/// The sealed table's resident() view is byte-identical to
+/// GenerateDataset's output (prefix projection for d < 7 included).
+std::unique_ptr<PagedTable> GenerateDatasetPaged(const DatasetSpec& spec,
+                                                 const PagedTableBuilder::Options& options,
+                                                 std::string* error);
+
+/// Out-of-core twin of LoadTableCsv: same format resolution and
+/// diagnostics, but rows stream into pages (see ReadTableCsvPaged /
+/// ReadRawTableCsvPaged) instead of materializing in RAM.
+std::unique_ptr<PagedTable> LoadTableCsvPaged(const std::string& path, CsvFormat format,
+                                              const Schema* schema,
+                                              const PagedTableBuilder::Options& options,
+                                              std::string* error);
 
 /// One-line description of the spec, e.g. "sal(n=10000, seed=1, d=3)";
 /// reports and job labels use it to record where a table came from.

@@ -9,6 +9,8 @@
 
 #include "anonymity/eligibility.h"
 #include "common/check.h"
+#include "common/external_sort.h"
+#include "common/memory_budget.h"
 #include "common/parallel.h"
 #include "common/workspace.h"
 #include "hilbert/hilbert_curve.h"
@@ -82,8 +84,62 @@ void ComputeCodes(const Table& table, Workspace& ws, std::vector<std::uint64_t>*
               });
 }
 
+// Out-of-core variant of ComputeOrder: rows are Hilbert-encoded in fixed
+// chunks and fed straight into a budget-bounded external sort of
+// (code, row) records, so neither the full code array (8 bytes/row) nor
+// any sort scratch is ever resident -- peak memory is one encode chunk
+// plus the sorter's buffer. The sorted (key, payload) order equals the
+// in-RAM path's comparator `codes[a] < codes[b], ties by a < b` exactly,
+// so the emitted order is byte-identical.
+void ComputeOrderExternal(const Table& table, Workspace& ws, std::vector<RowId>* order) {
+  constexpr std::size_t kEncodeChunk = 65536;
+  std::uint32_t d = static_cast<std::uint32_t>(table.qi_count());
+  std::uint32_t bits_needed = 1;
+  for (AttrId a = 0; a < d; ++a) {
+    bits_needed = std::max(bits_needed,
+                           HilbertCurve::BitsForDomain(table.schema().qi(a).domain_size));
+  }
+  std::uint32_t bits = std::min(bits_needed, std::max(1u, 64u / d));
+  std::uint32_t shift = bits_needed - bits;
+  HilbertCurve curve(d, bits);
+
+  MemoryBudget* budget = MemoryBudgetBytes() != 0 ? &GlobalMemoryBudget() : nullptr;
+  const std::uint64_t spend = budget != nullptr ? budget->remaining() / 4 : 64ull << 20;
+  const std::size_t buffer_records = static_cast<std::size_t>(
+      std::clamp<std::uint64_t>(spend / sizeof(SortRecord), 1u << 16, 4u << 20));
+  std::string sort_error;
+  std::unique_ptr<ExternalSorter> sorter = ExternalSorter::Create(
+      ExternalSorter::Options{.buffer_records = buffer_records, .budget = budget}, &sort_error);
+  LDIV_CHECK(sorter != nullptr) << "external sort unavailable: " << sort_error;
+
+  std::vector<const Value*> cols(d);
+  for (AttrId a = 0; a < d; ++a) cols[a] = table.column(a).data();
+  auto chunk_s = ws.U64();
+  std::vector<std::uint64_t>& chunk = *chunk_s;
+  chunk.resize(std::min(table.size(), kEncodeChunk));
+  for (std::size_t begin = 0; begin < table.size(); begin += kEncodeChunk) {
+    const std::size_t count = std::min(kEncodeChunk, table.size() - begin);
+    curve.EncodeBlock(cols.data(), shift, begin, count, chunk.data());
+    for (std::size_t i = 0; i < count; ++i) sorter->Add(chunk[i], begin + i);
+  }
+  sorter->Finish();
+  order->resize(table.size());
+  SortRecord record;
+  for (std::size_t i = 0; i < table.size(); ++i) {
+    LDIV_CHECK(sorter->Next(&record)) << "external sort lost records";
+    (*order)[i] = static_cast<RowId>(record.payload);
+  }
+}
+
 // Sorted Hilbert order of the table's rows, drawn from the workspace.
+// Under a process memory budget that cannot fit the code array plus sort,
+// the external-sort path streams instead (byte-identical output).
 void ComputeOrder(const Table& table, Workspace& ws, std::vector<RowId>* order) {
+  if (MemoryBudgetBytes() != 0 &&
+      !GlobalMemoryBudget().WouldFit(12ull * table.size())) {  // codes + sorted order
+    ComputeOrderExternal(table, ws, order);
+    return;
+  }
   auto codes_s = ws.U64();
   std::vector<std::uint64_t>& codes = *codes_s;
   ComputeCodes(table, ws, &codes);

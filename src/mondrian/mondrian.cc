@@ -8,6 +8,7 @@
 
 #include "anonymity/eligibility.h"
 #include "common/check.h"
+#include "common/memory_budget.h"
 #include "common/parallel.h"
 #include "common/simd.h"
 #include "common/workspace.h"
@@ -390,6 +391,14 @@ MondrianResult MondrianAnonymize(const Table& table, std::uint32_t l, Workspace*
   Workspace local;
   Workspace& ws = workspace != nullptr ? *workspace : local;
   MondrianShared shared(table, l);
+
+  // The recursion's resident working set is dominated by the two O(n)
+  // buffers below; under a process memory budget, account for them so
+  // peak() reflects the solve (the passes themselves already run
+  // chunk-at-a-time over columns or in-place over these buffers).
+  MemoryReservation budget_charge(
+      MemoryBudgetBytes() != 0 ? &GlobalMemoryBudget() : nullptr,
+      2ull * shared.n * sizeof(std::uint32_t));
 
   // The shared row-id and SA buffers every walker indexes into.
   auto rows_s = ws.U32();

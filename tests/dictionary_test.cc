@@ -134,6 +134,50 @@ TEST(RawCsv, StructuredErrorsCarryLineAndColumn) {
   EXPECT_NE(error.reason.find("cannot open"), std::string::npos);
 }
 
+TEST(RawCsv, TruncatedQuotedCellIsAPositionedErrorNotEofSuccess) {
+  // A file whose final chunk ends mid-quoted-field (e.g. a truncated
+  // download) used to EOF-succeed with the partial label silently
+  // treated as a closed quote; ingestion must reject it with the line
+  // and cell of the open quote instead.
+  CsvError error;
+  std::string truncated =
+      WriteTempFile("raw_truncated.csv", "City,Disease\nLisbon,flu\nPorto,\"ast");
+  EXPECT_FALSE(ReadRawTableCsv(truncated, &error).has_value());
+  EXPECT_EQ(error.line, 3u);
+  EXPECT_EQ(error.column, 2u);
+  EXPECT_NE(error.reason.find("unterminated quoted cell"), std::string::npos)
+      << error.ToString();
+  std::remove(truncated.c_str());
+
+  // Same rejection mid-file: line-oriented ingestion never spans records
+  // across newlines, so an unclosed quote on any line is an error.
+  std::string mid_file =
+      WriteTempFile("raw_midquote.csv", "City,Disease\n\"Lisbon,flu\nPorto,asthma\n");
+  EXPECT_FALSE(ReadRawTableCsv(mid_file, &error).has_value());
+  EXPECT_EQ(error.line, 2u);
+  EXPECT_EQ(error.column, 1u);
+  std::remove(mid_file.c_str());
+
+  // The coded reader rejects the same shape.
+  Schema schema = testutil::MakeSchema({5}, 3);
+  std::string coded = WriteTempFile("coded_truncated.csv", "A1,B\n1,\"0");
+  EXPECT_FALSE(ReadTableCsv(schema, coded, &error).has_value());
+  EXPECT_EQ(error.line, 2u);
+  EXPECT_EQ(error.column, 2u);
+  EXPECT_NE(error.reason.find("unterminated"), std::string::npos);
+  std::remove(coded.c_str());
+
+  // The low-level splitter reports the open cell; the legacy silent
+  // wrapper still closes it (writers never emit such lines).
+  std::vector<std::string> cells;
+  std::size_t open_cell = 0;
+  EXPECT_FALSE(SplitCsvRecord("a,\"b", &cells, &open_cell));
+  EXPECT_EQ(open_cell, 2u);
+  ASSERT_EQ(cells.size(), 2u);
+  EXPECT_EQ(cells[1], "b");
+  EXPECT_TRUE(SplitCsvRecord("a,\"b\"", &cells, &open_cell));
+}
+
 TEST(CodedCsv, HeaderIsValidatedAgainstSchema) {
   Schema schema({Attribute{"Age", 5}, Attribute{"Gender", 2}}, Attribute{"Income", 3});
   CsvError error;

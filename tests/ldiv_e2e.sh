@@ -108,6 +108,43 @@ expect_exit 2 "$BIN" --algo=tp --l=100000 --input="$INPUT" --schema="$SCHEMA" --
 expect_exit 3 "$BIN" --input="$TMP/no_such_file.csv" --schema="$SCHEMA" --out="$TMP/x"
 expect_exit 1 "$BIN" --threads=lots --out="$TMP/x"
 
+echo "== memory budget: out-of-core runs are byte-identical =="
+# Malformed sizes and sub-floor budgets are usage errors, caught up front.
+expect_exit 1 "$BIN" --memory-budget=bogus --out="$TMP/x"
+expect_exit 1 "$BIN" --memory-budget=1M --out="$TMP/x"
+# CSV input through the paged readers (tiny pages force heavy cache
+# eviction even on the micro table) vs the in-RAM readers.
+"$BIN" --algo=all --l=2 --input="$INPUT" --schema="$SCHEMA" --sweep \
+  --write-releases --no-timings --out="$TMP/csvref" 2> /dev/null
+LDIV_PAGE_BYTES=4096 "$BIN" --algo=all --l=2 --input="$INPUT" --schema="$SCHEMA" \
+  --sweep --write-releases --no-timings --memory-budget=8M \
+  --out="$TMP/csvbud" 2> /dev/null
+# Synthetic table big enough that the 8M budget cannot hold the grouping
+# scratch (32n = 12.8M): the GroupedTable build streams through the
+# external sorter and ingestion goes through the page cache.
+"$BIN" --algo=all --l=4 --n=400000 --d=3 --sweep --write-releases \
+  --no-timings --out="$TMP/bigref" 2> /dev/null
+LDIV_PAGE_BYTES=4096 "$BIN" --algo=all --l=4 --n=400000 --d=3 --sweep \
+  --write-releases --no-timings --memory-budget=8M \
+  --out="$TMP/bigbud" 2> /dev/null
+for pair in "csvref csvbud" "bigref bigbud"; do
+  set -- $pair
+  check_json "$TMP/$1.json" 6
+  cmp "$TMP/$1.json" "$TMP/$2.json" ||
+    { echo "FAIL: report depends on --memory-budget ($1)"; exit 1; }
+  cmp "$TMP/$1_metrics.csv" "$TMP/$2_metrics.csv" ||
+    { echo "FAIL: metrics depend on --memory-budget ($1)"; exit 1; }
+  for k in $(seq 0 5); do
+    cmp "$TMP/$1.job$k.csv" "$TMP/$2.job$k.csv" ||
+      { echo "FAIL: release job$k depends on --memory-budget ($1)"; exit 1; }
+    if [ -f "$TMP/$1.job${k}_sa.csv" ]; then
+      cmp "$TMP/$1.job${k}_sa.csv" "$TMP/$2.job${k}_sa.csv" ||
+        { echo "FAIL: sensitive table job$k depends on --memory-budget ($1)"; exit 1; }
+    fi
+  done
+  echo "ok: $1 == $2"
+done
+
 fi  # LDIV_E2E_ONLY != threads
 
 echo "== sweep: 12-job grid, deterministic across thread budgets =="

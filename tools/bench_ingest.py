@@ -1,0 +1,125 @@
+#!/usr/bin/env python3
+"""Merge a freshly generated BENCH_*.json into the committed trajectory.
+
+Usage:
+    tools/bench_ingest.py FRESH.json [--into BENCH_micro.json] [--dry-run]
+
+Takes the trajectory file a bench binary just wrote (FRESH.json, e.g.
+build/BENCH_micro.json) and folds it into the committed copy: series are
+keyed by name, fresh datapoints replace same-named committed ones, and
+series the fresh run did not exercise (a filtered run, a host without a
+bench leg) keep their committed values. The merged file is rewritten in
+the bench binaries' own formatting -- one datapoint per line, fields in
+(name, ns_per_op, n, attrs, threads, simd) order -- so the diff against
+the previous commit stays one line per re-measured series.
+
+Stdlib-only on purpose, like tools/bench_compare.py: it runs on bare CI
+runners and developer hosts with no packages installed.
+"""
+
+import argparse
+import json
+import sys
+
+# Field order of bench_util.h's JsonReport::WriteTo; preserved so merged
+# files are byte-compatible with freshly generated ones.
+FIELD_ORDER = ("name", "ns_per_op", "n", "attrs", "threads", "simd")
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            report = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        sys.exit(f"bench_ingest: cannot read {path}: {e}")
+    if not isinstance(report.get("tool"), str):
+        sys.exit(f"bench_ingest: {path} has no 'tool' field")
+    benchmarks = report.get("benchmarks")
+    if not isinstance(benchmarks, list):
+        sys.exit(f"bench_ingest: {path} has no 'benchmarks' list")
+    for bench in benchmarks:
+        name, ns = bench.get("name"), bench.get("ns_per_op")
+        if not isinstance(name, str) or not isinstance(ns, (int, float)) or ns <= 0:
+            sys.exit(f"bench_ingest: malformed entry in {path}: {bench!r}")
+        unknown = set(bench) - set(FIELD_ORDER)
+        if unknown:
+            sys.exit(f"bench_ingest: unknown fields {sorted(unknown)} in {path}: {bench!r}")
+    return report
+
+
+def format_entry(bench):
+    parts = [f'"name": {json.dumps(bench["name"])}']
+    parts.append(f'"ns_per_op": {float(bench["ns_per_op"]):.1f}')
+    for field in ("n", "attrs", "threads"):
+        if field in bench:
+            parts.append(f'"{field}": {int(bench[field])}')
+    if "simd" in bench:
+        parts.append(f'"simd": {json.dumps(bench["simd"])}')
+    return "{" + ", ".join(parts) + "}"
+
+
+def render(tool, benchmarks):
+    lines = ["{", f'  "tool": "{tool}",', '  "benchmarks": [']
+    for i, bench in enumerate(benchmarks):
+        comma = "," if i + 1 < len(benchmarks) else ""
+        lines.append(f"    {format_entry(bench)}{comma}")
+    lines.append("  ]")
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("fresh", help="trajectory file a bench binary just wrote")
+    parser.add_argument(
+        "--into",
+        default="BENCH_micro.json",
+        metavar="PATH",
+        help="committed trajectory to merge into (default: BENCH_micro.json)",
+    )
+    parser.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="print the merged file instead of rewriting --into",
+    )
+    args = parser.parse_args()
+
+    fresh = load(args.fresh)
+    committed = load(args.into)
+    if committed["benchmarks"] and fresh["tool"] != committed["tool"]:
+        sys.exit(
+            f"bench_ingest: tool mismatch: {args.fresh} is from "
+            f"'{fresh['tool']}', {args.into} from '{committed['tool']}'"
+        )
+
+    fresh_by_name = {bench["name"]: bench for bench in fresh["benchmarks"]}
+    merged = []
+    replaced = 0
+    for bench in committed["benchmarks"]:
+        new = fresh_by_name.pop(bench["name"], None)
+        if new is not None:
+            replaced += 1
+        merged.append(new if new is not None else bench)
+    appended = list(fresh_by_name.values())  # insertion order = fresh file order
+    merged.extend(appended)
+
+    text = render(fresh["tool"], merged)
+    if args.dry_run:
+        sys.stdout.write(text)
+    else:
+        try:
+            with open(args.into, "w") as f:
+                f.write(text)
+        except OSError as e:
+            sys.exit(f"bench_ingest: cannot write {args.into}: {e}")
+    kept = len(merged) - replaced - len(appended)
+    print(
+        f"bench_ingest: {args.into}: {replaced} series re-measured, "
+        f"{len(appended)} new, {kept} kept",
+        file=sys.stderr,
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
