@@ -34,8 +34,10 @@ constexpr std::array<std::string_view, 18> kKnownFlags = {
 
 }  // namespace
 
-bool ParseCliOptions(int argc, const char* const* argv, CliOptions* options, std::string* error) {
-  FlagSet flags;
+bool ParseCliOptions(int argc, const char* const* argv, CliOptions* options, std::string* error,
+                     std::span<const std::string_view> extra_flags, FlagSet* raw_flags) {
+  FlagSet local_flags;
+  FlagSet& flags = raw_flags != nullptr ? *raw_flags : local_flags;
   if (!flags.ParseArgs(argc, argv, error)) return false;
   if (flags.Has("help")) {
     options->help = true;
@@ -46,24 +48,23 @@ bool ParseCliOptions(int argc, const char* const* argv, CliOptions* options, std
   if (!flags.GetString("config", "", &config, error)) return false;
   if (!config.empty() && !flags.ParseConfigFile(config, error)) return false;
 
-  std::vector<std::string> unknown = flags.UnknownKeys(kKnownFlags);
+  std::vector<std::string_view> known(kKnownFlags.begin(), kKnownFlags.end());
+  known.insert(known.end(), extra_flags.begin(), extra_flags.end());
+  std::vector<std::string> unknown = flags.UnknownKeys(known);
   if (!unknown.empty()) {
     *error = "unknown flag --" + unknown.front() + " (see --help)";
     return false;
   }
 
+  // Syntactic layer: flag grammar, typed values, and flag-PRESENCE
+  // conflicts (which only the parser can see -- a JobSpec has no notion
+  // of which keys were explicitly set).
   std::string algo_list;
   if (!flags.GetString("algo", "tp+", &algo_list, error)) return false;
   if (!ParseAlgorithmList(algo_list, &options->algorithms, error)) return false;
 
   constexpr std::array<std::uint32_t, 1> kDefaultL = {2};
   if (!flags.GetUint32List("l", kDefaultL, &options->ls, error)) return false;
-  for (std::uint32_t l : options->ls) {
-    if (l == 0) {
-      *error = "--l: the privacy parameter must be at least 1";
-      return false;
-    }
-  }
 
   if (!flags.GetString("input", "", &options->input, error)) return false;
   std::string format_text;
@@ -78,27 +79,7 @@ bool ParseCliOptions(int argc, const char* const* argv, CliOptions* options, std
   }
   std::string schema_spec;
   if (!flags.GetString("schema", "", &schema_spec, error)) return false;
-  if (!options->input.empty()) {
-    if (!schema_spec.empty()) {
-      if (options->format == CsvFormat::kRaw) {
-        *error = "--format=raw infers the schema from the file's labels; drop --schema";
-        return false;
-      }
-      options->schema = ParseSchemaSpec(schema_spec, error);
-      if (!options->schema) return false;
-    } else if (options->format == CsvFormat::kCoded) {
-      *error = "--format=coded requires --schema (e.g. --schema=Age:79,Gender:2|Income:50)";
-      return false;
-    }
-    // Resolve kAuto at parse time so a coded-looking file without --schema
-    // is a usage error (exit 1), not a silent raw ingestion of digit
-    // strings; detection I/O failures resolve to raw and the loader's own
-    // open error reports through the pipeline's exit code.
-    if (!ResolveCsvFormat(options->input, options->format, options->schema.has_value(),
-                          &options->format, error)) {
-      return false;
-    }
-  } else if (!schema_spec.empty()) {
+  if (options->input.empty() && !schema_spec.empty()) {
     *error = "--schema only applies to --input CSV data (synthetic datasets carry their own)";
     return false;
   }
@@ -120,24 +101,9 @@ bool ParseCliOptions(int argc, const char* const* argv, CliOptions* options, std
     }
     options->ns = {0};
     options->ds = {0};
-  } else {
-    // Validate every (n, d) grid cell up front: spec mistakes are usage
-    // errors (exit 1), not pipeline failures.
-    for (std::uint64_t n : options->ns) {
-      for (std::uint64_t d : options->ds) {
-        DatasetSpec cell = options->dataset;
-        cell.n = static_cast<std::size_t>(n);
-        cell.d = static_cast<std::size_t>(d);
-        if (!ResolveDatasetSpec(cell, error).has_value()) return false;
-      }
-    }
   }
 
   if (!flags.GetString("out", "ldiv_out", &options->out, error)) return false;
-  if (options->out.empty()) {
-    *error = "--out must not be empty";
-    return false;
-  }
   if (!flags.GetBool("sweep", false, &options->sweep, error)) return false;
   if (!flags.GetBool("write-releases", false, &options->write_releases, error)) return false;
   if (!flags.GetBool("kl", true, &options->compute_kl, error)) return false;
@@ -164,25 +130,53 @@ bool ParseCliOptions(int argc, const char* const* argv, CliOptions* options, std
       *error = "--memory-budget: " + *error;
       return false;
     }
-    if (options->memory_budget != 0 && options->memory_budget < (8u << 20)) {
-      *error = "--memory-budget: " + budget_text +
-               " is below the 8M floor (page staging alone needs a few MiB)";
-      return false;
-    }
   }
   if (!flags.GetString("emit-input", "", &options->emit_input, error)) return false;
-  if (!options->emit_input.empty() && options->input.empty() &&
-      options->ns.size() * options->ds.size() != 1) {
-    *error = "--emit-input needs a single input table; the (n, d) grid has " +
-             std::to_string(options->ns.size() * options->ds.size());
+
+  // Semantic layer: the one validation pass shared with the daemon.
+  // Passing the raw schema text (instead of a formatted round-trip) keeps
+  // the user's spelling in error messages.
+  JobSpec spec = ToJobSpec(*options);
+  spec.schema_spec = schema_spec;
+  Expected<ResolvedJobSpec, PipelineError> resolved = ResolveJobSpec(spec);
+  if (!resolved.ok()) {
+    *error = resolved.error().message;
     return false;
   }
+  if (!options->input.empty()) {
+    // Surface the resolved encoding so the pipeline (and tests) only ever
+    // see kCoded or kRaw.
+    options->format = resolved->format;
+    options->schema = resolved->schema;
+  }
   return true;
+}
+
+JobSpec ToJobSpec(const CliOptions& options) {
+  JobSpec spec;
+  spec.algorithms = options.algorithms;
+  spec.ls = options.ls;
+  spec.input = options.input;
+  spec.format = options.format;
+  spec.schema_spec = options.schema.has_value() ? FormatSchemaSpec(*options.schema) : "";
+  spec.dataset = options.dataset;
+  spec.ns = options.ns;
+  spec.ds = options.ds;
+  spec.out = options.out;
+  spec.sweep = options.sweep;
+  spec.write_releases = options.write_releases;
+  spec.compute_kl = options.compute_kl;
+  spec.timings = options.timings;
+  spec.threads = options.threads;
+  spec.memory_budget = options.memory_budget;
+  spec.emit_input = options.emit_input;
+  return spec;
 }
 
 std::string CliUsage(std::string_view program) {
   std::string usage;
   usage += "usage: " + std::string(program) + " [flags]\n";
+  usage += "       " + std::string(program) + " serve|submit|ctl [flags]\n";
   usage += "\n";
   usage += "End-to-end l-diversity pipeline: load or generate a microdata table, run\n";
   usage += "one registered algorithm (or a sweep grid through the batch driver), and\n";
@@ -223,7 +217,14 @@ std::string CliUsage(std::string_view program) {
   usage += "  --config=FILE      key = value file of the flags above (flags win)\n";
   usage += "  --help             this text\n";
   usage += "\n";
-  usage += "exit codes: 0 ok, 1 usage error, 2 infeasible instance, 3 I/O error\n";
+  usage += "subcommands (see README for the daemon protocol):\n";
+  usage += "  serve   run the ldivd anonymization daemon on a unix socket\n";
+  usage += "  submit  send one job (the flags above, plus --socket/--priority/\n";
+  usage += "          --deadline-ms) to a running daemon\n";
+  usage += "  ctl     daemon control: ldiv ctl --socket=PATH stats|ping|shutdown\n";
+  usage += "\n";
+  usage += "exit codes: 0 ok, 1 usage error, 2 infeasible instance, 3 I/O error,\n";
+  usage += "            4 daemon unavailable / backpressure / expired deadline\n";
   return usage;
 }
 

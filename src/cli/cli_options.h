@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -10,14 +11,22 @@
 #include "common/schema.h"
 #include "core/run_spec.h"
 #include "data/dataset.h"
+#include "engine/job_spec.h"
 
 namespace ldv {
+
+class FlagSet;
 
 /// Fully resolved options of one `ldiv` invocation: flags (and the
 /// optional `--config` file, which flags override) parsed, validated and
 /// expanded into typed values. Everything here is user input, so parsing
 /// reports through error strings -- an `ldiv` user can never trip an
 /// LDIV_CHECK from the command line.
+///
+/// ParseCliOptions owns only the *syntactic* layer (flag grammar, typed
+/// value parsing, flag-presence conflicts); every semantic rule lives in
+/// ResolveJobSpec, the single validation pass shared with the daemon,
+/// which the parser runs so spec mistakes still surface as usage errors.
 struct CliOptions {
   /// Algorithms to run, in job order ("--algo=tp,mondrian" or "all").
   std::vector<Algorithm> algorithms = {Algorithm::kTpPlus};
@@ -69,8 +78,17 @@ struct CliOptions {
 
 /// Parses argv (and any `--config` file) into `*options`. Returns false
 /// with a one-line message on any malformed, unknown or inconsistent
-/// flag; `*options` is default-complete on success.
-bool ParseCliOptions(int argc, const char* const* argv, CliOptions* options, std::string* error);
+/// flag; `*options` is default-complete on success. Front-ends with
+/// additional flags (the `ldiv submit` client) pass their names through
+/// `extra_flags` and read the raw values back through `raw_flags`.
+bool ParseCliOptions(int argc, const char* const* argv, CliOptions* options, std::string* error,
+                     std::span<const std::string_view> extra_flags = {},
+                     FlagSet* raw_flags = nullptr);
+
+/// Maps parsed options onto the engine's JobSpec -- the one
+/// CliOptions -> JobSpec normalization point. Purely mechanical; semantic
+/// validation happens in ResolveJobSpec.
+JobSpec ToJobSpec(const CliOptions& options);
 
 /// The usage text printed by --help and on parse errors.
 std::string CliUsage(std::string_view program);

@@ -1,146 +1,16 @@
 #include "cli/pipeline.h"
 
-#include <algorithm>
-#include <cstdlib>
-#include <optional>
-#include <utility>
-
-#include "common/memory_budget.h"
-#include "common/parallel.h"
-#include "common/workspace.h"
-#include "core/batch.h"
-#include "data/dataset.h"
-
 namespace ldv {
 
-namespace {
-
-// Sizes the paged-ingestion machinery from the run's memory budget: the
-// page cache gets roughly a quarter of the budget (clamped to [8, 256]
-// frames) so staging pages, sort buffers, and grouping arenas keep the
-// rest. LDIV_PAGE_BYTES overrides the page size (tests and the CI
-// memory-capped leg set it tiny to force heavy eviction on small inputs).
-PagedTableBuilder::Options PagedOptionsFromBudget() {
-  PagedTableBuilder::Options paged;
-  paged.budget = &GlobalMemoryBudget();
-  if (const char* env = std::getenv("LDIV_PAGE_BYTES")) {
-    char* end = nullptr;
-    const unsigned long long bytes = std::strtoull(env, &end, 10);
-    if (end != env && *end == '\0' && bytes >= 64 && bytes % sizeof(std::uint32_t) == 0) {
-      paged.page_bytes = static_cast<std::size_t>(bytes);
-    }
-  }
-  const std::uint64_t budget = MemoryBudgetBytes();
-  if (budget != 0) {
-    const std::uint64_t frames = budget / 4 / paged.page_bytes;
-    paged.cache_frames = static_cast<std::size_t>(
-        std::clamp<std::uint64_t>(frames, 8, 256));
-  }
-  return paged;
+Engine& GlobalEngine() {
+  // Leaked intentionally: cached tables must stay valid for any
+  // static-destruction-order stragglers.
+  static Engine* engine = new Engine;
+  return *engine;
 }
 
-bool MaterializeTables(const CliOptions& options, PipelineResult* result, std::string* error) {
-  const bool paged = MemoryBudgetBytes() != 0;
-  const PagedTableBuilder::Options paged_options = PagedOptionsFromBudget();
-  if (!options.input.empty()) {
-    const Schema* schema = options.schema.has_value() ? &*options.schema : nullptr;
-    std::optional<PipelineTable> input;
-    if (paged) {
-      std::unique_ptr<PagedTable> table =
-          LoadTableCsvPaged(options.input, options.format, schema, paged_options, error);
-      if (table == nullptr) return false;
-      if (table->size() == 0) {
-        *error = "'" + options.input + "' holds no data rows";
-        return false;
-      }
-      input.emplace(std::move(table));
-    } else {
-      std::optional<Table> table = LoadTableCsv(options.input, options.format, schema, error);
-      if (!table) return false;
-      if (table->empty()) {
-        *error = "'" + options.input + "' holds no data rows";
-        return false;
-      }
-      input.emplace(std::move(*table));
-    }
-    input->source = (options.format == CsvFormat::kRaw ? "csv-raw:" : "csv:") + options.input;
-    result->tables.push_back(std::move(*input));
-    return true;
-  }
-
-  // Synthetic grid: one table per (n, d) cell, n-major -- the job order
-  // the report documents.
-  for (std::uint64_t n : options.ns) {
-    for (std::uint64_t d : options.ds) {
-      DatasetSpec spec = options.dataset;
-      spec.n = static_cast<std::size_t>(n);
-      spec.d = static_cast<std::size_t>(d);
-      std::optional<PipelineTable> input;
-      if (paged) {
-        std::unique_ptr<PagedTable> table = GenerateDatasetPaged(spec, paged_options, error);
-        if (table == nullptr) return false;
-        input.emplace(std::move(table));
-      } else {
-        std::optional<Table> table = GenerateDataset(spec, error);
-        if (!table) return false;
-        input.emplace(std::move(*table));
-      }
-      input->source = DatasetLabel(spec);
-      result->tables.push_back(std::move(*input));
-    }
-  }
-  return true;
-}
-
-}  // namespace
-
-bool RunPipeline(const CliOptions& options, PipelineResult* result, std::string* error) {
-  if (options.algorithms.empty() || options.ls.empty()) {
-    *error = "nothing to run: the algorithm and l lists must be non-empty";
-    return false;
-  }
-  // One budget for the whole run: the batch driver and the in-kernel
-  // parallelism both draw from it (see src/common/parallel.h).
-  SetThreadBudget(options.threads);
-  result->threads = ThreadBudget();
-  // Likewise one memory budget (0 = unlimited): ingestion, grouping, and
-  // the Hilbert sort all consult it through GlobalMemoryBudget().
-  SetMemoryBudget(options.memory_budget);
-  if (!MaterializeTables(options, result, error)) return false;
-  if (result->tables.empty()) {
-    *error = "nothing to run: the (n, d) grid produced no input tables";
-    return false;
-  }
-
-  AnonymizerOptions algo_options;
-  algo_options.compute_kl = options.compute_kl;
-  std::vector<RunSpec> specs = ExpandRunGrid(options.algorithms, options.ls,
-                                             result->tables.size(), algo_options);
-  result->jobs.reserve(specs.size());
-
-  if (specs.size() == 1 && !options.sweep) {
-    // Single invocation: run inline so errors and timings stay on the
-    // calling thread.
-    const RunSpec& spec = specs.front();
-    Workspace workspace;
-    AnonymizationOutcome outcome =
-        AlgorithmRegistry::Global()
-            .Create(spec.algorithm, spec.options)
-            ->Run(result->tables[spec.table_index].table, spec.l, &workspace);
-    result->jobs.push_back({spec, std::move(outcome)});
-    return true;
-  }
-
-  std::vector<const Table*> tables;
-  tables.reserve(result->tables.size());
-  for (const PipelineTable& input : result->tables) tables.push_back(&input.table);
-  // BatchOptions::threads stays 0: the driver follows the budget set
-  // above, splitting it between job-level workers and inner kernels.
-  std::vector<AnonymizationOutcome> outcomes = AnonymizeBatch(ToBatchJobs(specs, tables));
-  for (std::size_t i = 0; i < specs.size(); ++i) {
-    result->jobs.push_back({specs[i], std::move(outcomes[i])});
-  }
-  return true;
+Expected<PipelineResult, PipelineError> RunPipeline(const CliOptions& options) {
+  return GlobalEngine().Run(ToJobSpec(options));
 }
 
 }  // namespace ldv

@@ -1,59 +1,33 @@
 #ifndef LDIV_CLI_PIPELINE_H_
 #define LDIV_CLI_PIPELINE_H_
 
-#include <memory>
-#include <string>
-#include <vector>
-
 #include "cli/cli_options.h"
-#include "common/paged_column.h"
-#include "common/table.h"
-#include "core/run_spec.h"
+#include "common/expected.h"
+#include "engine/engine.h"
+#include "engine/error.h"
 
 namespace ldv {
 
-/// One materialized input table plus where it came from, for reports.
-/// Under --memory-budget the row data lives in `paged` (memory-mapped
-/// spill files) and `table` is the borrowed resident() view over it; the
-/// algorithms and report writers consume `table` either way, so outputs
-/// are byte-identical across the two storage modes.
-struct PipelineTable {
-  Table table;
-  /// Keeps the spill files and mappings alive behind a borrowed `table`;
-  /// null for ordinary in-RAM inputs.
-  std::unique_ptr<PagedTable> paged;
-  /// Provenance label, e.g. "csv:micro.csv" or "sal(n=10000, seed=1, d=3)".
-  std::string source;
+/// The CLI pipeline is a thin adapter over the engine since the ldivd
+/// redesign: CliOptions normalize into a JobSpec (ToJobSpec) and run
+/// through the shared Engine, so the one-shot CLI and the daemon execute
+/// byte-identical code paths. The old names remain as aliases for callers
+/// that grew up against the pipeline API.
+using PipelineTable = EngineTable;
+using PipelineJobResult = EngineJob;
+using PipelineResult = JobResult;
 
-  explicit PipelineTable(Table t) : table(std::move(t)) {}
-  explicit PipelineTable(std::unique_ptr<PagedTable> p)
-      : table(p->resident()), paged(std::move(p)) {}
-};
-
-/// One completed pipeline job: its spec and the algorithm outcome.
-struct PipelineJobResult {
-  RunSpec spec;
-  AnonymizationOutcome outcome;
-};
-
-/// Everything one `ldiv` invocation produced, in deterministic job order
-/// (the ExpandRunGrid order: table-major, then algorithm, then l).
-struct PipelineResult {
-  std::vector<PipelineTable> tables;
-  std::vector<PipelineJobResult> jobs;
-  /// The resolved thread budget the run executed under. An execution
-  /// detail like wall-clock: reports include it only alongside timings,
-  /// so --no-timings output stays byte-identical across budgets.
-  unsigned threads = 1;
-};
+/// The process-wide engine the CLI adapters share: one DatasetCache, one
+/// run lock. The daemon constructs its own Engine instead.
+Engine& GlobalEngine();
 
 /// Runs the full pipeline described by `options`: materialize the input
-/// table(s) (CSV load or synthetic generation), expand the run grid, and
-/// execute it -- inline with one Workspace for a single job, through
-/// AnonymizeBatch for a grid (or when options.sweep forces it). Returns
-/// false with a message on load/generation failure; infeasible jobs are
-/// not an error (they are reported with feasible = false).
-bool RunPipeline(const CliOptions& options, PipelineResult* result, std::string* error);
+/// table(s) (CSV load or synthetic generation, through the DatasetCache),
+/// expand the run grid, and execute it -- inline with one Workspace for a
+/// single job, through AnonymizeBatch for a grid (or when options.sweep
+/// forces it). Load/generation failures return a typed PipelineError;
+/// infeasible jobs are not an error (reported with feasible = false).
+Expected<PipelineResult, PipelineError> RunPipeline(const CliOptions& options);
 
 }  // namespace ldv
 

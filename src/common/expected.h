@@ -1,0 +1,57 @@
+#ifndef LDIV_COMMON_EXPECTED_H_
+#define LDIV_COMMON_EXPECTED_H_
+
+#include <utility>
+#include <variant>
+
+#include "common/check.h"
+
+namespace ldv {
+
+/// Minimal value-or-error carrier, the return convention of the engine
+/// and daemon layers: every fallible call returns `Expected<T, E>` instead
+/// of the bool + out-param + error-string triple the CLI pipeline used to
+/// thread around. `E` is a typed error (see engine/error.h) so callers
+/// branch on a code instead of string-matching messages.
+///
+/// Accessors abort on misuse (value() on an error) -- checking ok() first
+/// is part of the contract, exactly like dereferencing an optional.
+template <typename T, typename E>
+class Expected {
+ public:
+  Expected(T value) : state_(std::in_place_index<0>, std::move(value)) {}
+  Expected(E error) : state_(std::in_place_index<1>, std::move(error)) {}
+
+  bool ok() const { return state_.index() == 0; }
+  explicit operator bool() const { return ok(); }
+
+  T& value() {
+    LDIV_CHECK(ok()) << "Expected::value() on an error";
+    return std::get<0>(state_);
+  }
+  const T& value() const {
+    LDIV_CHECK(ok()) << "Expected::value() on an error";
+    return std::get<0>(state_);
+  }
+
+  E& error() {
+    LDIV_CHECK(!ok()) << "Expected::error() on a value";
+    return std::get<1>(state_);
+  }
+  const E& error() const {
+    LDIV_CHECK(!ok()) << "Expected::error() on a value";
+    return std::get<1>(state_);
+  }
+
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+  T& operator*() { return value(); }
+  const T& operator*() const { return value(); }
+
+ private:
+  std::variant<T, E> state_;
+};
+
+}  // namespace ldv
+
+#endif  // LDIV_COMMON_EXPECTED_H_

@@ -1,6 +1,7 @@
 #include "common/flags.h"
 
 #include <fstream>
+#include <iterator>
 #include <limits>
 
 namespace ldv {
@@ -87,27 +88,34 @@ bool FlagSet::ParseConfigFile(const std::string& path, std::string* error) {
     *error = "cannot open config file '" + path + "'";
     return false;
   }
-  std::string line;
+  std::string text((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  return ParseConfigText(text, path, error);
+}
+
+bool FlagSet::ParseConfigText(std::string_view text, std::string_view label, std::string* error) {
   int lineno = 0;
-  while (std::getline(in, line)) {
+  while (!text.empty()) {
     ++lineno;
+    std::size_t newline = text.find('\n');
+    std::string_view line = text.substr(0, newline);
+    text.remove_prefix(newline == std::string_view::npos ? text.size() : newline + 1);
     std::string_view body = Trim(line);
     std::size_t hash = body.find('#');
     if (hash != std::string_view::npos) body = Trim(body.substr(0, hash));
     if (body.empty()) continue;
     std::size_t eq = body.find('=');
     if (eq == std::string_view::npos) {
-      *error = path + ":" + std::to_string(lineno) + ": expected 'key = value', got '" +
+      *error = std::string(label) + ":" + std::to_string(lineno) + ": expected 'key = value', got '" +
                std::string(body) + "'";
       return false;
     }
     std::string_view key = Trim(body.substr(0, eq));
     std::string_view value = Trim(body.substr(eq + 1));
     if (key.empty()) {
-      *error = path + ":" + std::to_string(lineno) + ": empty key";
+      *error = std::string(label) + ":" + std::to_string(lineno) + ": empty key";
       return false;
     }
-    // Command-line flags (parsed first) win over the config file.
+    // Earlier sources (command-line flags, an earlier config) win.
     Insert(std::string(key), std::string(value), /*override_existing=*/false);
   }
   return true;

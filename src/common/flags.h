@@ -29,6 +29,12 @@ class FlagSet {
   /// failure or a malformed line. Existing keys are not overridden.
   bool ParseConfigFile(const std::string& path, std::string* error);
 
+  /// Parses config-file syntax from an in-memory string (the JobSpec wire
+  /// format of the engine/daemon layers). `label` names the source in
+  /// error positions the way the path does for ParseConfigFile. Existing
+  /// keys are not overridden.
+  bool ParseConfigText(std::string_view text, std::string_view label, std::string* error);
+
   bool Has(std::string_view name) const;
 
   /// Typed getters: `*out` receives the parsed value when the flag is

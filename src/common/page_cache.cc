@@ -14,23 +14,61 @@ namespace ldv {
 
 namespace {
 
-std::string SpillDirectory() {
-  for (const char* var : {"LDIV_SPILL_DIR", "TMPDIR"}) {
-    const char* dir = std::getenv(var);
-    if (dir != nullptr && dir[0] != '\0') return dir;
-  }
-  return "/tmp";
-}
-
 std::uint32_t NextSpillId() {
   static std::atomic<std::uint32_t> counter{0};
   return counter.fetch_add(1, std::memory_order_relaxed);
 }
 
+struct SpillDirectoryResolution {
+  bool ok = false;
+  std::string directory;
+  std::string error;
+};
+
+SpillDirectoryResolution ResolveSpillDirectoryOnce() {
+  SpillDirectoryResolution resolution;
+  std::string source = "the built-in default";
+  resolution.directory = "/tmp";
+  for (const char* var : {"LDIV_SPILL_DIR", "TMPDIR"}) {
+    const char* dir = std::getenv(var);
+    if (dir != nullptr && dir[0] != '\0') {
+      resolution.directory = dir;
+      source = std::string("$") + var;
+      break;
+    }
+  }
+  // Probe writability up front so a bad environment fails with one clear
+  // message at resolution time instead of a surprise deep in ingestion.
+  std::string pattern = resolution.directory + "/ldiv-spill-probe-XXXXXX";
+  const int fd = ::mkstemp(pattern.data());
+  if (fd < 0) {
+    resolution.error = "spill directory '" + resolution.directory + "' (from " + source +
+                       ") is not writable: " + std::strerror(errno);
+    return resolution;
+  }
+  ::close(fd);
+  ::unlink(pattern.c_str());
+  resolution.ok = true;
+  return resolution;
+}
+
 }  // namespace
 
+bool ResolveSpillDirectory(std::string* directory, std::string* error) {
+  // Magic-static: the environment is consulted and probed exactly once
+  // per process, no matter how many columns spill.
+  static const SpillDirectoryResolution resolution = ResolveSpillDirectoryOnce();
+  if (!resolution.ok) {
+    if (error != nullptr) *error = resolution.error;
+    return false;
+  }
+  if (directory != nullptr) *directory = resolution.directory;
+  return true;
+}
+
 std::unique_ptr<SpillFile> SpillFile::Create(std::string* error) {
-  const std::string directory = SpillDirectory();
+  std::string directory;
+  if (!ResolveSpillDirectory(&directory, error)) return nullptr;
   std::string pattern = directory + "/ldiv-spill-XXXXXX";
   const int fd = ::mkstemp(pattern.data());
   if (fd < 0) {

@@ -16,8 +16,19 @@ namespace ldv {
 /// Default page size for spilled columns: 1 MiB = 256K u32 values.
 inline constexpr std::size_t kDefaultPageBytes = 1u << 20;
 
+/// Resolves the spill directory ONCE per process: the first of
+/// LDIV_SPILL_DIR, TMPDIR, /tmp that exists and is writable (probed with
+/// an mkstemp that is removed immediately). Every SpillFile shares the
+/// result, so a run spilling hundreds of columns stats the environment
+/// exactly once instead of once per column. On failure, returns false
+/// with an error naming the directory and the environment variable it
+/// came from; the cached outcome (success or failure) is sticky for the
+/// process lifetime.
+bool ResolveSpillDirectory(std::string* directory, std::string* error);
+
 /// One anonymous temp file holding spilled column bytes. The file is
-/// created in LDIV_SPILL_DIR (else TMPDIR, else /tmp) and unlinked
+/// created in the resolved spill directory (see ResolveSpillDirectory:
+/// LDIV_SPILL_DIR, else TMPDIR, else /tmp) and unlinked
 /// immediately, so spill space is reclaimed by the OS even on a crash;
 /// the fd (and with it the storage) lives exactly as long as this
 /// object. Space is handed out by a bump allocator; reads and writes

@@ -1,0 +1,67 @@
+#include "daemon/client.h"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+namespace ldv {
+
+namespace {
+
+// Connects with a short retry loop so `ldiv serve & ldiv submit` works
+// without a sleep in between: ECONNREFUSED / ENOENT while the daemon is
+// still binding are retried for ~2s, anything else fails immediately.
+int ConnectWithRetry(const std::string& socket_path, std::string* error) {
+  struct sockaddr_un addr = {};
+  if (socket_path.empty() || socket_path.size() >= sizeof(addr.sun_path)) {
+    *error = "--socket: bad socket path '" + socket_path + "'";
+    return -1;
+  }
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
+
+  constexpr int kAttempts = 20;
+  for (int attempt = 0;; ++attempt) {
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) {
+      *error = std::string("socket: ") + std::strerror(errno);
+      return -1;
+    }
+    if (::connect(fd, reinterpret_cast<const struct sockaddr*>(&addr), sizeof(addr)) == 0) {
+      return fd;
+    }
+    const int err = errno;
+    ::close(fd);
+    if ((err != ECONNREFUSED && err != ENOENT) || attempt + 1 >= kAttempts) {
+      *error = "cannot connect to daemon at '" + socket_path + "': " + std::strerror(err);
+      return -1;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+}
+
+}  // namespace
+
+bool DaemonRequest(const std::string& socket_path, const Frame& request, Frame* reply,
+                   std::map<std::string, std::string>* kv, std::string* error) {
+  const int fd = ConnectWithRetry(socket_path, error);
+  if (fd < 0) return false;
+  if (!WriteFrame(fd, request, error)) {
+    ::close(fd);
+    return false;
+  }
+  // 0 = unbounded silence budget: a queued job legitimately says nothing
+  // until a worker runs it; a daemon crash still surfaces as EOF.
+  const bool ok = ReadFrame(fd, reply, error, nullptr, 0);
+  ::close(fd);
+  if (!ok) return false;
+  if (kv != nullptr && !ParseKvPayload(reply->payload, kv, error)) return false;
+  return true;
+}
+
+}  // namespace ldv

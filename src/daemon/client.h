@@ -1,0 +1,22 @@
+#ifndef LDIV_DAEMON_CLIENT_H_
+#define LDIV_DAEMON_CLIENT_H_
+
+#include <map>
+#include <string>
+
+#include "daemon/protocol.h"
+
+namespace ldv {
+
+/// One daemon round trip: connect to `socket_path`, send `request`, read
+/// the reply frame into `*reply` and its parsed payload into `*kv`.
+/// Connection refusals are retried briefly (the serve/submit race in
+/// scripts: the daemon may still be binding); a missing socket after the
+/// retry budget, a refused connection or a protocol error all return
+/// false with a one-line reason.
+bool DaemonRequest(const std::string& socket_path, const Frame& request, Frame* reply,
+                   std::map<std::string, std::string>* kv, std::string* error);
+
+}  // namespace ldv
+
+#endif  // LDIV_DAEMON_CLIENT_H_

@@ -1,0 +1,172 @@
+#include "daemon/protocol.h"
+
+#include <poll.h>
+#include <sys/socket.h>
+
+#include <cerrno>
+#include <charconv>
+#include <cstring>
+
+namespace ldv {
+
+namespace {
+
+// One poll slice: how long a blocked read waits before rechecking the
+// cancel flag.
+constexpr int kPollSliceMs = 200;
+
+std::string_view TrimView(std::string_view text) {
+  while (!text.empty() && (text.front() == ' ' || text.front() == '\t')) text.remove_prefix(1);
+  while (!text.empty() && (text.back() == ' ' || text.back() == '\t' || text.back() == '\r')) {
+    text.remove_suffix(1);
+  }
+  return text;
+}
+
+// Reads exactly `bytes` into `data`, polling in slices so cancellation
+// and the silence budget are honored. Returns false with a reason on
+// EOF/error/timeout/cancel.
+bool ReadExact(int fd, char* data, std::size_t bytes, std::string* error,
+               const std::atomic<bool>* cancel, int silence_budget_ms) {
+  int waited_ms = 0;
+  while (bytes > 0) {
+    if (cancel != nullptr && cancel->load(std::memory_order_relaxed)) {
+      *error = "read cancelled (daemon shutting down)";
+      return false;
+    }
+    struct pollfd pfd = {};
+    pfd.fd = fd;
+    pfd.events = POLLIN;
+    const int ready = ::poll(&pfd, 1, kPollSliceMs);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      *error = std::string("poll: ") + std::strerror(errno);
+      return false;
+    }
+    if (ready == 0) {
+      waited_ms += kPollSliceMs;
+      if (silence_budget_ms > 0 && waited_ms >= silence_budget_ms) {
+        *error = "timed out waiting for frame bytes";
+        return false;
+      }
+      continue;
+    }
+    const ssize_t got = ::recv(fd, data, bytes, 0);
+    if (got < 0) {
+      if (errno == EINTR || errno == EAGAIN) continue;
+      *error = std::string("recv: ") + std::strerror(errno);
+      return false;
+    }
+    if (got == 0) {
+      *error = "connection closed mid-frame";
+      return false;
+    }
+    data += got;
+    bytes -= static_cast<std::size_t>(got);
+    waited_ms = 0;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool ReadFrame(int fd, Frame* frame, std::string* error, const std::atomic<bool>* cancel,
+               int silence_budget_ms) {
+  // Header: read byte-by-byte to the newline. Headers are tiny
+  // ("ldiv1 job 123\n"), so the per-byte reads are noise next to the
+  // payload read that follows.
+  std::string header;
+  char c = 0;
+  while (true) {
+    if (!ReadExact(fd, &c, 1, error, cancel, silence_budget_ms)) {
+      if (header.empty() && *error == "connection closed mid-frame") *error = "connection closed";
+      return false;
+    }
+    if (c == '\n') break;
+    header.push_back(c);
+    if (header.size() > 128) {
+      *error = "oversized frame header";
+      return false;
+    }
+  }
+
+  const std::size_t magic_end = header.find(' ');
+  if (magic_end == std::string::npos ||
+      std::string_view(header).substr(0, magic_end) != kProtocolMagic) {
+    *error = "bad frame magic (expected '" + std::string(kProtocolMagic) + " <verb> <nbytes>')";
+    return false;
+  }
+  const std::size_t verb_end = header.find(' ', magic_end + 1);
+  if (verb_end == std::string::npos) {
+    *error = "bad frame header '" + header + "'";
+    return false;
+  }
+  frame->verb = header.substr(magic_end + 1, verb_end - magic_end - 1);
+
+  std::size_t payload_bytes = 0;
+  const char* size_begin = header.data() + verb_end + 1;
+  const char* size_end = header.data() + header.size();
+  auto [ptr, ec] = std::from_chars(size_begin, size_end, payload_bytes);
+  if (ec != std::errc{} || ptr != size_end || frame->verb.empty()) {
+    *error = "bad frame header '" + header + "'";
+    return false;
+  }
+  if (payload_bytes > kMaxFramePayload) {
+    *error = "frame payload of " + std::to_string(payload_bytes) + " bytes exceeds the " +
+             std::to_string(kMaxFramePayload) + "-byte limit";
+    return false;
+  }
+
+  frame->payload.resize(payload_bytes);
+  return payload_bytes == 0 ||
+         ReadExact(fd, frame->payload.data(), payload_bytes, error, cancel, silence_budget_ms);
+}
+
+bool WriteFrame(int fd, const Frame& frame, std::string* error) {
+  std::string wire = std::string(kProtocolMagic) + " " + frame.verb + " " +
+                     std::to_string(frame.payload.size()) + "\n" + frame.payload;
+  const char* data = wire.data();
+  std::size_t bytes = wire.size();
+  while (bytes > 0) {
+    // MSG_NOSIGNAL: a client that disconnected before its reply must
+    // surface as EPIPE, not kill the daemon with SIGPIPE.
+    const ssize_t sent = ::send(fd, data, bytes, MSG_NOSIGNAL);
+    if (sent < 0) {
+      if (errno == EINTR) continue;
+      if (error != nullptr) *error = std::string("send: ") + std::strerror(errno);
+      return false;
+    }
+    data += sent;
+    bytes -= static_cast<std::size_t>(sent);
+  }
+  return true;
+}
+
+std::string EncodeKvPayload(const std::map<std::string, std::string>& pairs) {
+  std::string payload;
+  for (const auto& [key, value] : pairs) {
+    payload += key + " = " + value + "\n";
+  }
+  return payload;
+}
+
+bool ParseKvPayload(std::string_view payload, std::map<std::string, std::string>* pairs,
+                    std::string* error) {
+  while (!payload.empty()) {
+    const std::size_t eol = payload.find('\n');
+    std::string_view line = payload.substr(0, eol);
+    payload.remove_prefix(eol == std::string_view::npos ? payload.size() : eol + 1);
+    if (TrimView(line).empty()) continue;
+    const std::size_t eq = line.find('=');
+    if (eq == std::string_view::npos) {
+      if (error != nullptr) *error = "payload line without '=': '" + std::string(line) + "'";
+      return false;
+    }
+    std::string key(TrimView(line.substr(0, eq)));
+    std::string value(TrimView(line.substr(eq + 1)));
+    (*pairs)[std::move(key)] = std::move(value);
+  }
+  return true;
+}
+
+}  // namespace ldv

@@ -1,0 +1,72 @@
+#ifndef LDIV_DAEMON_PROTOCOL_H_
+#define LDIV_DAEMON_PROTOCOL_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+namespace ldv {
+
+/// The ldivd wire protocol, version 1. One frame per request and one per
+/// reply, over a unix stream socket:
+///
+///   ldiv1 <verb> <nbytes>\n
+///   <nbytes bytes of payload>
+///
+/// The header is ASCII (trivially inspectable with socat); the payload is
+/// `key = value` lines -- a job request carries a serialized JobSpec
+/// (engine/job_spec.h) plus client keys (priority, deadline-ms), replies
+/// carry result or error keys. Verbs:
+///
+///   requests:  job | stats | ping | shutdown
+///   replies:   ok | busy | error
+///
+/// `busy` is the explicit backpressure reply (queue full); its payload
+/// carries retry-after-ms. A full queue NEVER silently drops or hangs a
+/// connection -- every accepted frame gets exactly one reply frame.
+inline constexpr std::string_view kProtocolMagic = "ldiv1";
+
+/// Upper bound on a frame payload. A serialized JobSpec is a few hundred
+/// bytes; 1 MiB leaves room for pathological flag values while bounding
+/// what a client can make the daemon buffer.
+inline constexpr std::size_t kMaxFramePayload = 1u << 20;
+
+struct Frame {
+  std::string verb;
+  std::string payload;
+};
+
+/// Reads one frame from `fd`. Blocks in ~200ms slices so a daemon
+/// shutdown (signalled through `*cancel`, may be null) interrupts a
+/// half-read frame instead of waiting on a stalled client forever.
+/// `silence_budget_ms` bounds how long the peer may send NOTHING (it
+/// resets on every byte): the daemon uses the ~10s default against
+/// stalled clients; a submit client waiting on a queued job passes 0 =
+/// unbounded, since a daemon crash still surfaces as EOF. Returns false
+/// on EOF, malformed header, oversized payload, budget exhaustion or
+/// cancellation, with a one-line reason in `*error`.
+bool ReadFrame(int fd, Frame* frame, std::string* error,
+               const std::atomic<bool>* cancel = nullptr, int silence_budget_ms = 10000);
+
+/// Writes one frame to `fd` (MSG_NOSIGNAL -- a vanished client must not
+/// SIGPIPE the daemon). Returns false on any short write or error.
+bool WriteFrame(int fd, const Frame& frame, std::string* error);
+
+/// Renders `pairs` as the protocol's `key = value\n` payload lines.
+/// Values must be single-line; keys are emitted in map order so payloads
+/// are deterministic.
+std::string EncodeKvPayload(const std::map<std::string, std::string>& pairs);
+
+/// Parses a reply payload's `key = value` lines. Stricter than the
+/// FlagSet config parser on purpose: no comments, no continuation -- a
+/// value is everything after the first '=' (trimmed), so error messages
+/// survive the round trip verbatim. Returns false on a line with no '='.
+bool ParseKvPayload(std::string_view payload, std::map<std::string, std::string>* pairs,
+                    std::string* error);
+
+}  // namespace ldv
+
+#endif  // LDIV_DAEMON_PROTOCOL_H_

@@ -1,0 +1,82 @@
+#include "engine/dataset_cache.h"
+
+#include <sys/stat.h>
+
+#include <utility>
+
+#include "engine/engine.h"
+
+namespace ldv {
+
+std::shared_ptr<const EngineTable> DatasetCache::Lookup(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++stats_.misses;
+    return nullptr;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);
+  ++stats_.hits;
+  return it->second->table;
+}
+
+void DatasetCache::Insert(const std::string& key, std::shared_ptr<const EngineTable> table,
+                          std::uint64_t bytes) {
+  if (bytes > capacity_) return;  // also covers the capacity == 0 (disabled) case
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    stats_.resident_bytes -= it->second->bytes;
+    it->second->table = std::move(table);
+    it->second->bytes = bytes;
+    stats_.resident_bytes += bytes;
+    lru_.splice(lru_.begin(), lru_, it->second);
+  } else {
+    lru_.push_front(Entry{key, std::move(table), bytes});
+    index_[key] = lru_.begin();
+    stats_.resident_bytes += bytes;
+    ++stats_.insertions;
+  }
+  EvictPastCapacityLocked();
+  stats_.entries = lru_.size();
+}
+
+void DatasetCache::EvictPastCapacityLocked() {
+  while (stats_.resident_bytes > capacity_ && !lru_.empty()) {
+    const Entry& victim = lru_.back();
+    stats_.resident_bytes -= victim.bytes;
+    index_.erase(victim.key);
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+}
+
+DatasetCache::Stats DatasetCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Stats snapshot = stats_;
+  snapshot.entries = lru_.size();
+  return snapshot;
+}
+
+void DatasetCache::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  lru_.clear();
+  index_.clear();
+  stats_.resident_bytes = 0;
+  stats_.entries = 0;
+}
+
+std::string DatasetCache::CsvKey(const std::string& path, CsvFormat format,
+                                 const std::string& schema_spec) {
+  struct ::stat st{};
+  if (::stat(path.c_str(), &st) != 0) return "";
+  return "csv|" + std::string(CsvFormatName(format)) + "|" + schema_spec + "|" + path + "|" +
+         std::to_string(static_cast<long long>(st.st_mtime)) + "|" +
+         std::to_string(static_cast<long long>(st.st_size));
+}
+
+std::string DatasetCache::SyntheticKey(const DatasetSpec& resolved_cell) {
+  return "syn|" + DatasetLabel(resolved_cell);
+}
+
+}  // namespace ldv

@@ -1,0 +1,213 @@
+#include "engine/engine.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <optional>
+#include <utility>
+
+#include "common/memory_budget.h"
+#include "common/parallel.h"
+#include "common/workspace.h"
+#include "core/batch.h"
+#include "data/dataset.h"
+#include "engine/report.h"
+
+namespace ldv {
+
+namespace {
+
+// Sizes the paged-ingestion machinery from the run's memory budget: the
+// page cache gets roughly a quarter of the budget (clamped to [8, 256]
+// frames) so staging pages, sort buffers, and grouping arenas keep the
+// rest. LDIV_PAGE_BYTES overrides the page size (tests and the CI
+// memory-capped leg set it tiny to force heavy eviction on small inputs).
+PagedTableBuilder::Options PagedOptionsFromBudget() {
+  PagedTableBuilder::Options paged;
+  paged.budget = &GlobalMemoryBudget();
+  if (const char* env = std::getenv("LDIV_PAGE_BYTES")) {
+    char* end = nullptr;
+    const unsigned long long bytes = std::strtoull(env, &end, 10);
+    if (end != env && *end == '\0' && bytes >= 64 && bytes % sizeof(std::uint32_t) == 0) {
+      paged.page_bytes = static_cast<std::size_t>(bytes);
+    }
+  }
+  const std::uint64_t budget = MemoryBudgetBytes();
+  if (budget != 0) {
+    const std::uint64_t frames = budget / 4 / paged.page_bytes;
+    paged.cache_frames = static_cast<std::size_t>(
+        std::clamp<std::uint64_t>(frames, 8, 256));
+  }
+  return paged;
+}
+
+// Resident-byte estimate for DatasetCache accounting: the columnar row
+// data plus a small allowance for schema/dictionary storage.
+std::uint64_t EstimateTableBytes(const Table& table) {
+  return static_cast<std::uint64_t>(table.size()) * (table.qi_count() + 1) *
+             sizeof(std::uint32_t) +
+         4096;
+}
+
+}  // namespace
+
+Engine::Engine(EngineOptions options) : cache_(options.cache_bytes) {}
+
+Expected<bool, PipelineError> Engine::MaterializeTables(const ResolvedJobSpec& resolved,
+                                                        JobResult* result) {
+  const JobSpec& spec = resolved.spec;
+  const bool paged = MemoryBudgetBytes() != 0;
+  const PagedTableBuilder::Options paged_options = PagedOptionsFromBudget();
+  std::string error;
+  if (!spec.input.empty()) {
+    const Schema* schema = resolved.schema.has_value() ? &*resolved.schema : nullptr;
+    const std::string source =
+        (resolved.format == CsvFormat::kRaw ? "csv-raw:" : "csv:") + spec.input;
+    if (paged) {
+      // Budgeted runs bypass the cache: their paged tables hold
+      // reservations against this run's process-global budget, which the
+      // next SetMemoryBudget replaces.
+      std::unique_ptr<PagedTable> table =
+          LoadTableCsvPaged(spec.input, resolved.format, schema, paged_options, &error);
+      if (table == nullptr) return IoError(error);
+      if (table->size() == 0) return IoError("'" + spec.input + "' holds no data rows");
+      auto entry = std::make_shared<EngineTable>(std::move(table));
+      entry->source = source;
+      result->tables.push_back(std::move(entry));
+      return true;
+    }
+    const std::string key = DatasetCache::CsvKey(spec.input, resolved.format, spec.schema_spec);
+    if (!key.empty()) {
+      if (std::shared_ptr<const EngineTable> hit = cache_.Lookup(key)) {
+        ++result->cache_hits;
+        result->tables.push_back(std::move(hit));
+        return true;
+      }
+      ++result->cache_misses;
+    }
+    std::optional<Table> table = LoadTableCsv(spec.input, resolved.format, schema, &error);
+    if (!table) return IoError(error);
+    if (table->empty()) return IoError("'" + spec.input + "' holds no data rows");
+    auto entry = std::make_shared<EngineTable>(std::move(*table));
+    entry->source = source;
+    if (!key.empty()) cache_.Insert(key, entry, EstimateTableBytes(entry->table));
+    result->tables.push_back(std::move(entry));
+    return true;
+  }
+
+  // Synthetic grid: one table per (n, d) cell, n-major -- the job order
+  // the report documents.
+  for (std::uint64_t n : spec.ns) {
+    for (std::uint64_t d : spec.ds) {
+      DatasetSpec cell = spec.dataset;
+      cell.n = static_cast<std::size_t>(n);
+      cell.d = static_cast<std::size_t>(d);
+      if (paged) {
+        std::unique_ptr<PagedTable> table = GenerateDatasetPaged(cell, paged_options, &error);
+        if (table == nullptr) return IoError(error);
+        auto entry = std::make_shared<EngineTable>(std::move(table));
+        entry->source = DatasetLabel(cell);
+        result->tables.push_back(std::move(entry));
+        continue;
+      }
+      const std::string key = DatasetCache::SyntheticKey(cell);
+      if (std::shared_ptr<const EngineTable> hit = cache_.Lookup(key)) {
+        ++result->cache_hits;
+        result->tables.push_back(std::move(hit));
+        continue;
+      }
+      ++result->cache_misses;
+      std::optional<Table> table = GenerateDataset(cell, &error);
+      if (!table) return IoError(error);
+      auto entry = std::make_shared<EngineTable>(std::move(*table));
+      entry->source = DatasetLabel(cell);
+      cache_.Insert(key, entry, EstimateTableBytes(entry->table));
+      result->tables.push_back(std::move(entry));
+    }
+  }
+  return true;
+}
+
+Expected<JobResult, PipelineError> Engine::RunLocked(const ResolvedJobSpec& resolved) {
+  const JobSpec& spec = resolved.spec;
+  JobResult result;
+  // One budget for the whole run: the batch driver and the in-kernel
+  // parallelism both draw from it (see src/common/parallel.h).
+  SetThreadBudget(spec.threads);
+  result.threads = ThreadBudget();
+  // Likewise one memory budget (0 = unlimited): ingestion, grouping, and
+  // the Hilbert sort all consult it through GlobalMemoryBudget().
+  SetMemoryBudget(spec.memory_budget);
+  Expected<bool, PipelineError> materialized = MaterializeTables(resolved, &result);
+  if (!materialized.ok()) return materialized.error();
+  if (result.tables.empty()) {
+    return UsageError("n", "nothing to run: the (n, d) grid produced no input tables");
+  }
+
+  AnonymizerOptions algo_options;
+  algo_options.compute_kl = spec.compute_kl;
+  std::vector<RunSpec> specs =
+      ExpandRunGrid(spec.algorithms, spec.ls, result.tables.size(), algo_options);
+  result.jobs.reserve(specs.size());
+
+  if (specs.size() == 1 && !spec.sweep) {
+    // Single invocation: run inline so errors and timings stay on the
+    // calling thread.
+    const RunSpec& run = specs.front();
+    Workspace workspace;
+    AnonymizationOutcome outcome =
+        AlgorithmRegistry::Global()
+            .Create(run.algorithm, run.options)
+            ->Run(result.tables[run.table_index]->table, run.l, &workspace);
+    result.jobs.push_back({run, std::move(outcome)});
+    return result;
+  }
+
+  std::vector<const Table*> tables;
+  tables.reserve(result.tables.size());
+  for (const std::shared_ptr<const EngineTable>& input : result.tables) {
+    tables.push_back(&input->table);
+  }
+  // BatchOptions::threads stays 0: the driver follows the budget set
+  // above, splitting it between job-level workers and inner kernels.
+  std::vector<AnonymizationOutcome> outcomes = AnonymizeBatch(ToBatchJobs(specs, tables));
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    result.jobs.push_back({specs[i], std::move(outcomes[i])});
+  }
+  return result;
+}
+
+Expected<JobResult, PipelineError> Engine::Run(const JobSpec& spec) {
+  Expected<ResolvedJobSpec, PipelineError> resolved = ResolveJobSpec(spec);
+  if (!resolved.ok()) return resolved.error();
+  std::lock_guard<std::mutex> lock(run_mutex_);
+  return RunLocked(*resolved);
+}
+
+Expected<ExecuteSummary, PipelineError> Engine::Execute(const JobSpec& spec,
+                                                        std::string* notices) {
+  Expected<ResolvedJobSpec, PipelineError> resolved = ResolveJobSpec(spec);
+  if (!resolved.ok()) return resolved.error();
+  // Hold the run lock through output writing and JobResult destruction:
+  // no paged table (and its budget reservation) outlives its run epoch.
+  std::lock_guard<std::mutex> lock(run_mutex_);
+  Expected<JobResult, PipelineError> result = RunLocked(*resolved);
+  if (!result.ok()) return result.error();
+  std::optional<PipelineError> write_error = WriteJobOutputs(resolved->spec, *result, notices);
+  if (write_error.has_value()) return *write_error;
+
+  ExecuteSummary summary;
+  summary.job_count = result->jobs.size();
+  for (const EngineJob& job : result->jobs) {
+    if (!job.outcome.feasible) ++summary.infeasible;
+  }
+  summary.threads = result->threads;
+  summary.cache_hits = result->cache_hits;
+  summary.cache_misses = result->cache_misses;
+  // A sweep treats infeasible cells as data; a single run fails loudly.
+  summary.exit_code = (summary.job_count == 1 && summary.infeasible > 0)
+                          ? ExitCodeFor(PipelineErrorCode::kInfeasible)
+                          : 0;
+  return summary;
+}
+
+}  // namespace ldv

@@ -1,0 +1,58 @@
+#ifndef LDIV_ENGINE_ERROR_H_
+#define LDIV_ENGINE_ERROR_H_
+
+#include <string>
+
+namespace ldv {
+
+/// Failure taxonomy of the engine and daemon layers. Every recoverable
+/// failure in the pipeline is one of these; the process exit codes the
+/// CLI documents ("0 ok, 1 usage error, 2 infeasible instance, 3 I/O
+/// error, 4 unavailable") derive from this enum through ExitCodeFor --
+/// one table instead of string matching at every front-end.
+enum class PipelineErrorCode {
+  kUsage = 1,        ///< malformed or inconsistent job specification
+  kInfeasible = 2,   ///< the instance admits no l-diverse release
+  kIo = 3,           ///< load/generation/write failure
+  kUnavailable = 4,  ///< daemon backpressure, expired deadline, no server
+};
+
+/// A typed pipeline failure: the code drives the exit status and the
+/// daemon's wire error, `field` names the offending JobSpec key / CLI
+/// flag when one is attributable ("l", "schema", ...; empty otherwise),
+/// and `message` is the complete human-readable one-liner.
+struct PipelineError {
+  PipelineErrorCode code = PipelineErrorCode::kUsage;
+  std::string field;
+  std::string message;
+};
+
+/// The process exit status for `code` -- the single exit-code table.
+inline int ExitCodeFor(PipelineErrorCode code) { return static_cast<int>(code); }
+
+/// The stable wire/display name of `code`.
+inline const char* PipelineErrorCodeName(PipelineErrorCode code) {
+  switch (code) {
+    case PipelineErrorCode::kUsage:
+      return "usage";
+    case PipelineErrorCode::kInfeasible:
+      return "infeasible";
+    case PipelineErrorCode::kIo:
+      return "io";
+    case PipelineErrorCode::kUnavailable:
+      return "unavailable";
+  }
+  return "unknown";
+}
+
+inline PipelineError UsageError(std::string field, std::string message) {
+  return {PipelineErrorCode::kUsage, std::move(field), std::move(message)};
+}
+
+inline PipelineError IoError(std::string message) {
+  return {PipelineErrorCode::kIo, "", std::move(message)};
+}
+
+}  // namespace ldv
+
+#endif  // LDIV_ENGINE_ERROR_H_

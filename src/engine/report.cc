@@ -1,4 +1,4 @@
-#include "cli/report.h"
+#include "engine/report.h"
 
 #include <cstdio>
 #include <fstream>
@@ -76,7 +76,7 @@ bool WriteFile(const std::string& content, const std::string& path, std::string*
 
 }  // namespace
 
-std::string RenderJsonReport(const PipelineResult& result, const ReportOptions& options) {
+std::string RenderJsonReport(const JobResult& result, const ReportOptions& options) {
   std::string json;
   json += "{\n";
   json += "  \"ldiv_report_version\": 1,\n";
@@ -90,7 +90,7 @@ std::string RenderJsonReport(const PipelineResult& result, const ReportOptions& 
 
   json += "  \"tables\": [\n";
   for (std::size_t t = 0; t < result.tables.size(); ++t) {
-    const PipelineTable& input = result.tables[t];
+    const EngineTable& input = *result.tables[t];
     json += "    {\"index\": " + std::to_string(t) + ", \"source\": ";
     AppendJsonString(input.source, &json);
     json += ", \"rows\": " + std::to_string(input.table.size());
@@ -103,7 +103,7 @@ std::string RenderJsonReport(const PipelineResult& result, const ReportOptions& 
 
   json += "  \"jobs\": [\n";
   for (std::size_t i = 0; i < result.jobs.size(); ++i) {
-    const PipelineJobResult& job = result.jobs[i];
+    const EngineJob& job = result.jobs[i];
     const AnonymizationOutcome& outcome = job.outcome;
     json += "    {\n";
     json += "      \"job\": " + std::to_string(i) + ",\n";
@@ -135,7 +135,7 @@ std::string RenderJsonReport(const PipelineResult& result, const ReportOptions& 
   return json;
 }
 
-std::string RenderMetricsCsv(const PipelineResult& result, const ReportOptions& options) {
+std::string RenderMetricsCsv(const JobResult& result, const ReportOptions& options) {
   std::string csv =
       "job,table,source,algorithm,methodology,l,rows,feasible,stars,"
       "suppressed_tuples,groups,min_group,max_group,mean_group,kl_divergence,"
@@ -143,9 +143,9 @@ std::string RenderMetricsCsv(const PipelineResult& result, const ReportOptions& 
   if (options.include_seconds) csv += ",seconds";
   csv += "\n";
   for (std::size_t i = 0; i < result.jobs.size(); ++i) {
-    const PipelineJobResult& job = result.jobs[i];
+    const EngineJob& job = result.jobs[i];
     const AnonymizationOutcome& outcome = job.outcome;
-    const PipelineTable& input = result.tables[job.spec.table_index];
+    const EngineTable& input = *result.tables[job.spec.table_index];
     csv += std::to_string(i) + "," + std::to_string(job.spec.table_index) + ",";
     csv += CsvQuote(input.source) + ",";
     csv += std::string(AlgorithmName(job.spec.algorithm)) + ",";
@@ -170,12 +170,12 @@ std::string RenderMetricsCsv(const PipelineResult& result, const ReportOptions& 
   return csv;
 }
 
-bool WriteJsonReport(const PipelineResult& result, const std::string& path,
+bool WriteJsonReport(const JobResult& result, const std::string& path,
                      const ReportOptions& options, std::string* error) {
   return WriteFile(RenderJsonReport(result, options), path, error);
 }
 
-bool WriteMetricsCsv(const PipelineResult& result, const std::string& path,
+bool WriteMetricsCsv(const JobResult& result, const std::string& path,
                      const ReportOptions& options, std::string* error) {
   return WriteFile(RenderMetricsCsv(result, options), path, error);
 }
@@ -222,6 +222,48 @@ bool WriteReleaseForOutcome(const Table& table, const AnonymizationOutcome& outc
     }
   }
   return WriteFile(qit, stem + ".csv", error) && WriteFile(st, stem + "_sa.csv", error);
+}
+
+std::optional<PipelineError> WriteJobOutputs(const JobSpec& spec, const JobResult& result,
+                                             std::string* notices) {
+  std::string error;
+  if (!spec.emit_input.empty()) {
+    // ResolveJobSpec guarantees a single-table grid when emit_input is
+    // set, so tables.front() is the one input.
+    if (!WriteTableCsv(result.tables.front()->table, spec.emit_input)) {
+      return IoError("cannot write '" + spec.emit_input + "'");
+    }
+    if (notices != nullptr) *notices += "wrote input table to " + spec.emit_input + "\n";
+  }
+
+  // A raw (dictionary-coded) input serializes its dictionaries alongside
+  // the releases so the codes stay machine-recoverable.
+  if (!result.tables.empty() && result.tables.front()->table.schema().has_dictionaries()) {
+    std::string dict_path = spec.out + "_dict.csv";
+    if (!WriteDictionaryCsv(result.tables.front()->table.schema(), dict_path)) {
+      return IoError("cannot write '" + dict_path + "'");
+    }
+    if (notices != nullptr) *notices += "wrote value dictionaries to " + dict_path + "\n";
+  }
+
+  // Releases: single-job runs always write one; sweeps write per-job
+  // releases only on request (write_releases).
+  const bool single = result.jobs.size() == 1;
+  for (std::size_t i = 0; i < result.jobs.size(); ++i) {
+    if (!single && !spec.write_releases) break;
+    const EngineJob& job = result.jobs[i];
+    std::string stem = single ? spec.out : spec.out + ".job" + std::to_string(i);
+    const Table& table = result.tables[job.spec.table_index]->table;
+    if (!WriteReleaseForOutcome(table, job.outcome, stem, &error)) return IoError(error);
+  }
+
+  ReportOptions report_options;
+  report_options.include_seconds = spec.timings;
+  if (!WriteJsonReport(result, spec.out + ".json", report_options, &error) ||
+      !WriteMetricsCsv(result, spec.out + "_metrics.csv", report_options, &error)) {
+    return IoError(error);
+  }
+  return std::nullopt;
 }
 
 }  // namespace ldv

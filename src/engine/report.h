@@ -1,9 +1,10 @@
-#ifndef LDIV_CLI_REPORT_H_
-#define LDIV_CLI_REPORT_H_
+#ifndef LDIV_ENGINE_REPORT_H_
+#define LDIV_ENGINE_REPORT_H_
 
+#include <optional>
 #include <string>
 
-#include "cli/pipeline.h"
+#include "engine/engine.h"
 
 namespace ldv {
 
@@ -19,16 +20,16 @@ struct ReportOptions {
 /// uniform utility metrics of AnonymizationOutcome. Key order is fixed and
 /// number formatting locale-independent, so equal results render equal
 /// bytes.
-std::string RenderJsonReport(const PipelineResult& result, const ReportOptions& options = {});
+std::string RenderJsonReport(const JobResult& result, const ReportOptions& options = {});
 
 /// The same rows as CSV (one line per job), for spreadsheet pipelines.
-std::string RenderMetricsCsv(const PipelineResult& result, const ReportOptions& options = {});
+std::string RenderMetricsCsv(const JobResult& result, const ReportOptions& options = {});
 
 /// Writes RenderJsonReport / RenderMetricsCsv to `path`. Returns false
 /// with `*error` set on I/O failure.
-bool WriteJsonReport(const PipelineResult& result, const std::string& path,
+bool WriteJsonReport(const JobResult& result, const std::string& path,
                      const ReportOptions& options, std::string* error);
-bool WriteMetricsCsv(const PipelineResult& result, const std::string& path,
+bool WriteMetricsCsv(const JobResult& result, const std::string& path,
                      const ReportOptions& options, std::string* error);
 
 /// Writes the anonymized release of one job. Suppression-view outcomes
@@ -40,6 +41,16 @@ bool WriteMetricsCsv(const PipelineResult& result, const std::string& path,
 bool WriteReleaseForOutcome(const Table& table, const AnonymizationOutcome& outcome,
                             const std::string& stem, std::string* error);
 
+/// Writes everything `spec` asks for from a completed run, in the order
+/// the one-shot CLI always has: the emit-input copy, the dictionary
+/// sidecar of a raw input, the release(s) (single runs always write one;
+/// sweeps only with write_releases, at <out>.jobK stems), and the
+/// JSON/CSV reports. One "wrote ..." notice line per side artifact
+/// appends to `*notices` (may be null) for the front-end to print.
+/// Returns the I/O error that stopped the writes, or nullopt on success.
+std::optional<PipelineError> WriteJobOutputs(const JobSpec& spec, const JobResult& result,
+                                             std::string* notices);
+
 }  // namespace ldv
 
-#endif  // LDIV_CLI_REPORT_H_
+#endif  // LDIV_ENGINE_REPORT_H_

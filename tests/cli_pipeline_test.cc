@@ -11,7 +11,7 @@
 
 #include "anonymity/eligibility.h"
 #include "anonymity/release.h"
-#include "cli/report.h"
+#include "engine/report.h"
 #include "common/csv.h"
 #include "common/parallel.h"
 #include "common/rng.h"
@@ -32,31 +32,31 @@ TEST(CliPipeline, SingleRunOnSyntheticData) {
   CliOptions options = SyntheticOptions();
   options.algorithms = {Algorithm::kTp};
   options.ls = {2};
-  PipelineResult result;
-  std::string error;
-  ASSERT_TRUE(RunPipeline(options, &result, &error)) << error;
+  Expected<PipelineResult, PipelineError> result_run = RunPipeline(options);
+  ASSERT_TRUE(result_run.ok()) << result_run.error().message;
+  const PipelineResult& result = result_run.value();
   ASSERT_EQ(result.tables.size(), 1u);
-  EXPECT_EQ(result.tables[0].table.size(), 1200u);
-  EXPECT_EQ(result.tables[0].table.qi_count(), 3u);
-  EXPECT_EQ(result.tables[0].source, "sal(n=1200, seed=1, d=3)");
+  EXPECT_EQ(result.tables[0]->table.size(), 1200u);
+  EXPECT_EQ(result.tables[0]->table.qi_count(), 3u);
+  EXPECT_EQ(result.tables[0]->source, "sal(n=1200, seed=1, d=3)");
   ASSERT_EQ(result.jobs.size(), 1u);
   EXPECT_TRUE(result.jobs[0].outcome.feasible);
-  EXPECT_TRUE(IsLDiverse(result.tables[0].table, result.jobs[0].outcome.partition, 2));
+  EXPECT_TRUE(IsLDiverse(result.tables[0]->table, result.jobs[0].outcome.partition, 2));
 }
 
 TEST(CliPipeline, EveryRegisteredAlgorithmRunsEndToEnd) {
   CliOptions options = SyntheticOptions();
   options.algorithms.assign(kAllAlgorithms.begin(), kAllAlgorithms.end());
   options.ls = {4};
-  PipelineResult result;
-  std::string error;
-  ASSERT_TRUE(RunPipeline(options, &result, &error)) << error;
+  Expected<PipelineResult, PipelineError> result_run = RunPipeline(options);
+  ASSERT_TRUE(result_run.ok()) << result_run.error().message;
+  const PipelineResult& result = result_run.value();
   ASSERT_EQ(result.jobs.size(), kAlgorithmCount);
   for (std::size_t i = 0; i < result.jobs.size(); ++i) {
     const PipelineJobResult& job = result.jobs[i];
     EXPECT_EQ(job.spec.algorithm, kAllAlgorithms[i]) << "job order must follow the grid";
     EXPECT_TRUE(job.outcome.feasible) << RunSpecLabel(job.spec);
-    EXPECT_TRUE(IsLDiverse(result.tables[0].table, job.outcome.partition, 4))
+    EXPECT_TRUE(IsLDiverse(result.tables[0]->table, job.outcome.partition, 4))
         << RunSpecLabel(job.spec);
   }
 }
@@ -76,16 +76,17 @@ TEST(CliPipeline, CsvInputRoundTripsThroughRelease) {
   options.schema = table.schema();
   options.algorithms = {Algorithm::kTpPlus};
   options.ls = {3};
-  PipelineResult result;
-  std::string error;
-  ASSERT_TRUE(RunPipeline(options, &result, &error)) << error;
+  Expected<PipelineResult, PipelineError> result_run = RunPipeline(options);
+  ASSERT_TRUE(result_run.ok()) << result_run.error().message;
+  const PipelineResult& result = result_run.value();
   ASSERT_EQ(result.jobs.size(), 1u);
   ASSERT_TRUE(result.jobs[0].outcome.feasible);
-  EXPECT_EQ(result.tables[0].source, "csv:" + input_path);
+  EXPECT_EQ(result.tables[0]->source, "csv:" + input_path);
 
   std::string stem = testing::TempDir() + "cli_pipeline_release";
+  std::string error;
   ASSERT_TRUE(
-      WriteReleaseForOutcome(result.tables[0].table, result.jobs[0].outcome, stem, &error))
+      WriteReleaseForOutcome(result.tables[0]->table, result.jobs[0].outcome, stem, &error))
       << error;
   std::optional<std::vector<ReleaseRow>> rows = ReadReleaseCsv(table.schema(), stem + ".csv");
   ASSERT_TRUE(rows.has_value());
@@ -116,9 +117,9 @@ TEST(CliPipeline, SweepGridIsJobOrderedAndThreadCountInvariant) {
   report_options.include_seconds = false;
 
   options.threads = 1;
-  PipelineResult serial;
-  std::string error;
-  ASSERT_TRUE(RunPipeline(options, &serial, &error)) << error;
+  Expected<PipelineResult, PipelineError> serial_run = RunPipeline(options);
+  ASSERT_TRUE(serial_run.ok()) << serial_run.error().message;
+  const PipelineResult& serial = serial_run.value();
   ASSERT_EQ(serial.jobs.size(), 8u);
   EXPECT_EQ(serial.tables.size(), 2u);
   EXPECT_EQ(RunSpecLabel(serial.jobs[0].spec), "Mondrian/l=2/table=0");
@@ -126,8 +127,9 @@ TEST(CliPipeline, SweepGridIsJobOrderedAndThreadCountInvariant) {
   EXPECT_EQ(RunSpecLabel(serial.jobs[7].spec), "Anatomy/l=4/table=1");
 
   options.threads = 4;
-  PipelineResult threaded;
-  ASSERT_TRUE(RunPipeline(options, &threaded, &error)) << error;
+  Expected<PipelineResult, PipelineError> threaded_run = RunPipeline(options);
+  ASSERT_TRUE(threaded_run.ok()) << threaded_run.error().message;
+  const PipelineResult& threaded = threaded_run.value();
   EXPECT_EQ(RenderJsonReport(serial, report_options),
             RenderJsonReport(threaded, report_options));
   EXPECT_EQ(RenderMetricsCsv(serial, report_options),
@@ -151,9 +153,9 @@ TEST(CliPipeline, SingleJobIsThreadBudgetInvariant) {
   std::string reference_json, reference_csv;
   for (std::uint32_t threads : {1u, 2u, 4u}) {
     options.threads = threads;
-    PipelineResult result;
-    std::string error;
-    ASSERT_TRUE(RunPipeline(options, &result, &error)) << error;
+    Expected<PipelineResult, PipelineError> result_run = RunPipeline(options);
+    ASSERT_TRUE(result_run.ok()) << result_run.error().message;
+    const PipelineResult& result = result_run.value();
     ASSERT_EQ(result.jobs.size(), 2u);
     EXPECT_EQ(result.threads, threads);
     std::string json = RenderJsonReport(result, report_options);
@@ -173,9 +175,9 @@ TEST(CliPipeline, ReportRecordsThreadsOnlyBesideTimings) {
   CliOptions options = SyntheticOptions();
   options.algorithms = {Algorithm::kTp};
   options.threads = 3;
-  PipelineResult result;
-  std::string error;
-  ASSERT_TRUE(RunPipeline(options, &result, &error)) << error;
+  Expected<PipelineResult, PipelineError> result_run = RunPipeline(options);
+  ASSERT_TRUE(result_run.ok()) << result_run.error().message;
+  const PipelineResult& result = result_run.value();
   SetThreadBudget(0);
 
   ReportOptions with_timings;
@@ -192,34 +194,40 @@ TEST(CliPipeline, InfeasibleJobIsReportedNotFatal) {
   options.ns = {50};
   options.algorithms = {Algorithm::kTp};
   options.ls = {10000};
-  PipelineResult result;
-  std::string error;
-  ASSERT_TRUE(RunPipeline(options, &result, &error)) << error;
+  Expected<PipelineResult, PipelineError> result_run = RunPipeline(options);
+  ASSERT_TRUE(result_run.ok()) << result_run.error().message;
+  const PipelineResult& result = result_run.value();
   ASSERT_EQ(result.jobs.size(), 1u);
   EXPECT_FALSE(result.jobs[0].outcome.feasible);
 }
 
-TEST(CliPipeline, LoadAndGenerationFailuresAreCleanErrors) {
+TEST(CliPipeline, LoadAndGenerationFailuresAreCleanTypedErrors) {
   CliOptions missing;
   missing.input = testing::TempDir() + "cli_pipeline_missing.csv";
   missing.format = CsvFormat::kCoded;
   missing.schema = testutil::MakeSchema({4, 4}, 3);
-  PipelineResult result;
-  std::string error;
-  EXPECT_FALSE(RunPipeline(missing, &result, &error));
-  EXPECT_NE(error.find("cannot open"), std::string::npos) << error;
+  Expected<PipelineResult, PipelineError> result = RunPipeline(missing);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code, PipelineErrorCode::kIo);
+  EXPECT_EQ(ExitCodeFor(result.error().code), 3);
+  EXPECT_NE(result.error().message.find("cannot open"), std::string::npos)
+      << result.error().message;
 
   CliOptions bad_dataset = SyntheticOptions();
   bad_dataset.dataset.name = "census";
-  PipelineResult result2;
-  EXPECT_FALSE(RunPipeline(bad_dataset, &result2, &error));
-  EXPECT_NE(error.find("census"), std::string::npos);
+  Expected<PipelineResult, PipelineError> result2 = RunPipeline(bad_dataset);
+  ASSERT_FALSE(result2.ok());
+  EXPECT_EQ(result2.error().code, PipelineErrorCode::kUsage);
+  EXPECT_EQ(result2.error().field, "dataset");
+  EXPECT_NE(result2.error().message.find("census"), std::string::npos);
 
   CliOptions bad_d = SyntheticOptions();
   bad_d.ds = {9};
-  PipelineResult result3;
-  EXPECT_FALSE(RunPipeline(bad_d, &result3, &error));
-  EXPECT_NE(error.find("out of range"), std::string::npos) << error;
+  Expected<PipelineResult, PipelineError> result3 = RunPipeline(bad_d);
+  ASSERT_FALSE(result3.ok());
+  EXPECT_EQ(result3.error().code, PipelineErrorCode::kUsage);
+  EXPECT_NE(result3.error().message.find("out of range"), std::string::npos)
+      << result3.error().message;
 }
 
 }  // namespace

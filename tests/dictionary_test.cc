@@ -10,7 +10,7 @@
 #include <sstream>
 
 #include "anonymity/release.h"
-#include "cli/report.h"
+#include "engine/report.h"
 #include "common/csv.h"
 #include "core/anonymizer.h"
 #include "data/dataset.h"

@@ -1,0 +1,137 @@
+#!/usr/bin/env bash
+# End-to-end gate for the `ldivd` daemon surface. Run by ctest
+# (ldivd_e2e) and by CI's daemon-e2e job:
+#
+#   ldivd_e2e.sh <path-to-ldiv-binary> <repo-source-dir>
+#
+# Starts `ldiv serve` on a unix socket, drives it with `ldiv submit` and
+# `ldiv ctl`, and requires: byte-identical outputs versus the one-shot
+# CLI (including under --memory-budget and --threads), a DatasetCache hit
+# on a repeated submission (observable in the reply and in ctl stats),
+# explicit busy backpressure under a submit flood (exit 4, never a hang
+# or a drop), and a graceful drain on shutdown.
+set -euo pipefail
+
+BIN=$1
+SRC=$2
+INPUT="$SRC/tests/data/micro.csv"
+SCHEMA='Age:79,Gender:2,Race:9|Income:50'
+
+TMP=$(mktemp -d)
+SOCK="$TMP/ldivd.sock"
+SERVE_LOG="$TMP/serve.log"
+SERVE_PID=
+
+cleanup() {
+  [ -n "$SERVE_PID" ] && kill "$SERVE_PID" 2> /dev/null
+  [ -n "$SERVE_PID" ] && wait "$SERVE_PID" 2> /dev/null
+  rm -rf "$TMP"
+}
+trap cleanup EXIT
+
+echo "== serve: daemon starts and answers ping =="
+"$BIN" serve --socket="$SOCK" --queue-depth=4 --workers=1 2> "$SERVE_LOG" &
+SERVE_PID=$!
+# `ldiv ctl` retries ECONNREFUSED/ENOENT briefly, so no sleep is needed.
+"$BIN" ctl --socket="$SOCK" ping | grep -q "status = ok" ||
+  { echo "FAIL: ping"; cat "$SERVE_LOG"; exit 1; }
+
+echo "== submit matrix: byte-identical to the one-shot CLI =="
+# One-shot references (--no-timings for byte-determinism), then the same
+# jobs through the daemon. Matrix covers a plain run, a sweep with
+# releases, a --threads run and a --memory-budget out-of-core run.
+run_pair() {
+  local name=$1
+  shift
+  "$BIN" "$@" --no-timings --out="$TMP/oneshot_$name" 2> /dev/null
+  "$BIN" submit --socket="$SOCK" "$@" --no-timings --out="$TMP/daemon_$name" > /dev/null
+  cmp "$TMP/oneshot_$name.json" "$TMP/daemon_$name.json" ||
+    { echo "FAIL: $name JSON differs between one-shot and daemon"; exit 1; }
+  cmp "$TMP/oneshot_${name}_metrics.csv" "$TMP/daemon_${name}_metrics.csv" ||
+    { echo "FAIL: $name metrics differ between one-shot and daemon"; exit 1; }
+  if [ -f "$TMP/oneshot_$name.csv" ]; then
+    cmp "$TMP/oneshot_$name.csv" "$TMP/daemon_$name.csv" ||
+      { echo "FAIL: $name release differs between one-shot and daemon"; exit 1; }
+  fi
+  echo "ok: $name"
+}
+run_pair csv --algo=tp+ --l=2 --input="$INPUT" --schema="$SCHEMA"
+run_pair sweep --algo=all --l=2,4 --n=2000 --d=3 --sweep --write-releases
+for k in $(seq 0 11); do
+  cmp "$TMP/oneshot_sweep.job$k.csv" "$TMP/daemon_sweep.job$k.csv" ||
+    { echo "FAIL: sweep release job$k differs between one-shot and daemon"; exit 1; }
+done
+run_pair threads --algo=mondrian --l=2 --n=20000 --d=3 --threads=2
+run_pair budget --algo=hilbert --l=2 --n=50000 --d=3 --memory-budget=8M
+
+echo "== repeat submission hits the DatasetCache =="
+# daemon_csv ran the micro CSV once already; the same input again must be
+# served from cache, visible in the reply and in ctl stats.
+"$BIN" submit --socket="$SOCK" --algo=tp --l=2 --input="$INPUT" --schema="$SCHEMA" \
+  --no-timings --out="$TMP/daemon_csv2" > "$TMP/repeat.out"
+grep -q "cache-hits = 1" "$TMP/repeat.out" ||
+  { echo "FAIL: repeated input missed the DatasetCache"; cat "$TMP/repeat.out"; exit 1; }
+"$BIN" ctl --socket="$SOCK" stats > "$TMP/stats.out"
+grep -q "cache-hits = [1-9]" "$TMP/stats.out" ||
+  { echo "FAIL: ctl stats reports no cache hits"; cat "$TMP/stats.out"; exit 1; }
+
+echo "== spec errors reply with exit codes, not hangs =="
+expect_exit() {
+  local want=$1
+  shift
+  local got=0
+  "$@" > /dev/null 2>&1 || got=$?
+  [ "$got" -eq "$want" ] ||
+    { echo "FAIL: expected exit $want, got $got for: $*"; exit 1; }
+}
+expect_exit 1 "$BIN" submit --socket="$SOCK" --algo=bogus --out="$TMP/x"
+expect_exit 2 "$BIN" submit --socket="$SOCK" --algo=tp --l=100000 --input="$INPUT" \
+  --schema="$SCHEMA" --out="$TMP/x"
+expect_exit 3 "$BIN" submit --socket="$SOCK" --input="$TMP/no_such_file.csv" \
+  --schema="$SCHEMA" --out="$TMP/x"
+expect_exit 4 "$BIN" submit --socket="$TMP/no_daemon_here.sock" --algo=tp --out="$TMP/x"
+
+echo "== flood: backpressure is an explicit busy reply (exit 4) =="
+# More simultaneous submits than queue-depth=4 can hold behind one
+# worker: every client must exit 0 (ran) or 4 (busy); anything else --
+# or a hang -- is a protocol failure.
+FLOOD=10
+declare -a FLOOD_PIDS=()
+for i in $(seq 1 $FLOOD); do
+  "$BIN" submit --socket="$SOCK" --algo=tp --l=2 --n=150000 --d=3 \
+    --no-timings --out="$TMP/flood_$i" > /dev/null 2> /dev/null &
+  FLOOD_PIDS+=($!)
+done
+RAN=0
+BUSY=0
+for pid in "${FLOOD_PIDS[@]}"; do
+  got=0
+  wait "$pid" || got=$?
+  case "$got" in
+    0) RAN=$((RAN + 1)) ;;
+    4) BUSY=$((BUSY + 1)) ;;
+    *) echo "FAIL: flood client exited $got (want 0 or 4)"; exit 1 ;;
+  esac
+done
+[ $((RAN + BUSY)) -eq $FLOOD ] || { echo "FAIL: flood lost a client"; exit 1; }
+[ "$RAN" -ge 1 ] || { echo "FAIL: flood ran no jobs at all"; exit 1; }
+echo "ok: $RAN ran, $BUSY got busy replies"
+"$BIN" ctl --socket="$SOCK" stats | grep -q "rejected-busy = $BUSY" ||
+  { echo "FAIL: ctl stats disagrees with observed busy replies"; exit 1; }
+
+echo "== graceful shutdown drains and exits 0 =="
+"$BIN" ctl --socket="$SOCK" shutdown | grep -q "status = stopping" ||
+  { echo "FAIL: shutdown ack"; exit 1; }
+SHUTDOWN_OK=0
+for _ in $(seq 1 100); do
+  kill -0 "$SERVE_PID" 2> /dev/null || { SHUTDOWN_OK=1; break; }
+  sleep 0.1
+done
+[ "$SHUTDOWN_OK" = 1 ] || { echo "FAIL: daemon did not stop within 10s"; exit 1; }
+wait "$SERVE_PID" || { echo "FAIL: serve exited non-zero"; cat "$SERVE_LOG"; exit 1; }
+SERVE_PID=
+grep -q "drained and stopped" "$SERVE_LOG" ||
+  { echo "FAIL: serve log has no drain line"; cat "$SERVE_LOG"; exit 1; }
+[ -S "$SOCK" ] && { echo "FAIL: socket file survived shutdown"; exit 1; }
+
+echo "ldivd e2e: all checks passed"

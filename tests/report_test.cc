@@ -2,7 +2,7 @@
 // timings off), the metrics CSV shape, and the release writers for both
 // the suppression view and the Anatomy bucketization pair.
 
-#include "cli/report.h"
+#include "engine/report.h"
 
 #include <gtest/gtest.h>
 
@@ -11,6 +11,7 @@
 #include <sstream>
 
 #include "anonymity/release.h"
+#include "cli/pipeline.h"
 #include "core/algorithm.h"
 #include "test_util.h"
 
@@ -23,8 +24,8 @@ using testutil::PaperTable1;
 // the golden below pins the exact rendering rather than algorithm output.
 PipelineResult UnitResult() {
   PipelineResult result;
-  PipelineTable input(PaperTable1());
-  input.source = "unit";
+  auto input = std::make_shared<PipelineTable>(PaperTable1());
+  input->source = "unit";
   result.tables.push_back(std::move(input));
 
   PipelineJobResult job;

@@ -8,26 +8,58 @@
 //        --schema=Age:79,Gender:2,Education:17|Income:50
 //   ldiv --algo=all --l=2,4 --dataset=sal --n=10000 --d=3 --sweep --out=grid
 //
-// Exit codes: 0 success, 1 usage error, 2 infeasible instance, 3 I/O error.
+// Subcommands turn the same pipeline into a service (see README):
+//
+//   ldiv serve --socket=/tmp/ldivd.sock --queue-depth=16
+//   ldiv submit --socket=/tmp/ldivd.sock --algo=tp+ --l=4 --out=release
+//   ldiv ctl --socket=/tmp/ldivd.sock stats|ping|shutdown
+//
+// Exit codes: 0 success, 1 usage error, 2 infeasible instance, 3 I/O
+// error, 4 daemon unavailable / backpressure / expired deadline.
 
+#include <unistd.h>
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <csignal>
 #include <cstdio>
+#include <cstring>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "cli/cli_options.h"
 #include "cli/pipeline.h"
-#include "cli/report.h"
-#include "common/csv.h"
+#include "common/flags.h"
+#include "common/memory_budget.h"
+#include "daemon/client.h"
+#include "daemon/daemon.h"
+#include "daemon/protocol.h"
+#include "engine/report.h"
 
 namespace {
 
 constexpr int kExitOk = 0;
 constexpr int kExitUsage = 1;
-constexpr int kExitInfeasible = 2;
-constexpr int kExitIo = 3;
+constexpr int kExitUnavailable = 4;
 
-}  // namespace
+// Set by the SIGINT/SIGTERM handler; a watcher thread turns it into a
+// graceful Daemon::Stop (the handler itself must stay async-signal-safe).
+std::atomic<bool> g_signal_stop{false};
 
-int main(int argc, char** argv) {
+void OnStopSignal(int) { g_signal_stop.store(true, std::memory_order_relaxed); }
+
+// The daemon's CWD is not the client's: every path in a submitted spec
+// crosses the socket absolutized.
+std::string Absolutize(const std::string& path) {
+  if (path.empty() || path.front() == '/') return path;
+  char cwd[4096];
+  if (::getcwd(cwd, sizeof cwd) == nullptr) return path;
+  return std::string(cwd) + "/" + path;
+}
+
+int OneShotMain(int argc, char** argv) {
   using namespace ldv;
 
   CliOptions options;
@@ -41,54 +73,20 @@ int main(int argc, char** argv) {
     return kExitOk;
   }
 
-  PipelineResult result;
-  if (!RunPipeline(options, &result, &error)) {
-    std::fprintf(stderr, "ldiv: %s\n", error.c_str());
-    return kExitIo;
+  Expected<PipelineResult, PipelineError> run = RunPipeline(options);
+  if (!run.ok()) {
+    std::fprintf(stderr, "ldiv: %s\n", run.error().message.c_str());
+    return ExitCodeFor(run.error().code);
   }
+  const PipelineResult& result = run.value();
 
-  if (!options.emit_input.empty()) {
-    // ParseCliOptions guarantees a single-table grid when --emit-input is
-    // set, so tables.front() is the one input.
-    if (!WriteTableCsv(result.tables.front().table, options.emit_input)) {
-      std::fprintf(stderr, "ldiv: cannot write '%s'\n", options.emit_input.c_str());
-      return kExitIo;
-    }
-    std::fprintf(stderr, "wrote input table to %s\n", options.emit_input.c_str());
+  std::string notices;
+  if (std::optional<PipelineError> write_error =
+          WriteJobOutputs(ToJobSpec(options), result, &notices)) {
+    std::fprintf(stderr, "ldiv: %s\n", write_error->message.c_str());
+    return ExitCodeFor(write_error->code);
   }
-
-  // A raw (dictionary-coded) input serializes its dictionaries alongside
-  // the releases so the codes stay machine-recoverable.
-  if (!result.tables.empty() && result.tables.front().table.schema().has_dictionaries()) {
-    std::string dict_path = options.out + "_dict.csv";
-    if (!WriteDictionaryCsv(result.tables.front().table.schema(), dict_path)) {
-      std::fprintf(stderr, "ldiv: cannot write '%s'\n", dict_path.c_str());
-      return kExitIo;
-    }
-    std::fprintf(stderr, "wrote value dictionaries to %s\n", dict_path.c_str());
-  }
-
-  // Releases: single-job runs always write one; sweeps write per-job
-  // releases only on request (--write-releases).
-  bool single = result.jobs.size() == 1;
-  for (std::size_t i = 0; i < result.jobs.size(); ++i) {
-    if (!single && !options.write_releases) break;
-    const PipelineJobResult& job = result.jobs[i];
-    std::string stem = single ? options.out : options.out + ".job" + std::to_string(i);
-    const Table& table = result.tables[job.spec.table_index].table;
-    if (!WriteReleaseForOutcome(table, job.outcome, stem, &error)) {
-      std::fprintf(stderr, "ldiv: %s\n", error.c_str());
-      return kExitIo;
-    }
-  }
-
-  ReportOptions report_options;
-  report_options.include_seconds = options.timings;
-  if (!WriteJsonReport(result, options.out + ".json", report_options, &error) ||
-      !WriteMetricsCsv(result, options.out + "_metrics.csv", report_options, &error)) {
-    std::fprintf(stderr, "ldiv: %s\n", error.c_str());
-    return kExitIo;
-  }
+  std::fprintf(stderr, "%s", notices.c_str());
 
   // One summary line per job, in job order.
   std::size_t infeasible = 0;
@@ -112,6 +110,233 @@ int main(int argc, char** argv) {
                options.out.c_str(), result.jobs.size());
 
   // A sweep treats infeasible cells as data; a single run fails loudly.
-  if (single && infeasible > 0) return kExitInfeasible;
+  if (result.jobs.size() == 1 && infeasible > 0) {
+    return ExitCodeFor(PipelineErrorCode::kInfeasible);
+  }
   return kExitOk;
+}
+
+int ServeMain(int argc, char** argv) {
+  using namespace ldv;
+
+  FlagSet flags;
+  std::string error;
+  constexpr std::array<std::string_view, 5> kServeFlags = {
+      "socket", "queue-depth", "workers", "cache-bytes", "retry-after-ms"};
+  DaemonOptions options;
+  std::uint64_t queue_depth = 16;
+  std::uint64_t workers = 1;
+  std::string cache_text;
+  std::uint64_t retry_after_ms = 100;
+  bool parsed = flags.ParseArgs(argc, argv, &error) &&
+                flags.GetString("socket", "", &options.socket_path, &error) &&
+                flags.GetUint64("queue-depth", 16, &queue_depth, &error) &&
+                flags.GetUint64("workers", 1, &workers, &error) &&
+                flags.GetString("cache-bytes", "256M", &cache_text, &error) &&
+                flags.GetUint64("retry-after-ms", 100, &retry_after_ms, &error);
+  if (parsed) {
+    std::vector<std::string> unknown =
+        flags.UnknownKeys(std::span<const std::string_view>(kServeFlags));
+    if (!unknown.empty()) {
+      parsed = false;
+      error = "unknown flag --" + unknown.front() + " (see --help)";
+    }
+  }
+  if (parsed && options.socket_path.empty()) {
+    parsed = false;
+    error = "serve requires --socket=PATH";
+  }
+  if (parsed && !ParseByteSize(cache_text, &options.cache_bytes, &error)) {
+    parsed = false;
+    error = "--cache-bytes: " + error;
+  }
+  if (parsed && queue_depth == 0) {
+    parsed = false;
+    error = "--queue-depth must be at least 1";
+  }
+  if (!parsed) {
+    std::fprintf(stderr, "ldiv serve: %s\n", error.c_str());
+    return kExitUsage;
+  }
+  options.queue_depth = static_cast<std::size_t>(queue_depth);
+  options.workers = static_cast<std::size_t>(workers);
+  options.retry_after_ms = static_cast<std::uint32_t>(retry_after_ms);
+
+  Daemon daemon(options);
+  if (!daemon.Start(&error)) {
+    std::fprintf(stderr, "ldiv serve: %s\n", error.c_str());
+    return ExitCodeFor(PipelineErrorCode::kIo);
+  }
+  std::fprintf(stderr, "ldivd listening on %s (queue %zu, %zu worker%s)\n",
+               options.socket_path.c_str(), options.queue_depth, options.workers,
+               options.workers == 1 ? "" : "s");
+
+  std::signal(SIGINT, OnStopSignal);
+  std::signal(SIGTERM, OnStopSignal);
+  std::thread signal_watcher([&daemon] {
+    while (!g_signal_stop.load(std::memory_order_relaxed)) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    }
+    daemon.Stop();
+  });
+
+  daemon.WaitForShutdown();
+  // Unblock the watcher if shutdown came over the socket, not a signal.
+  g_signal_stop.store(true, std::memory_order_relaxed);
+  signal_watcher.join();
+  std::fprintf(stderr, "ldivd drained and stopped\n");
+  return kExitOk;
+}
+
+int SubmitMain(int argc, char** argv) {
+  using namespace ldv;
+
+  constexpr std::array<std::string_view, 3> kSubmitFlags = {"socket", "priority", "deadline-ms"};
+  CliOptions options;
+  FlagSet raw_flags;
+  std::string error;
+  if (!ParseCliOptions(argc, argv, &options, &error,
+                       std::span<const std::string_view>(kSubmitFlags), &raw_flags)) {
+    std::fprintf(stderr, "ldiv submit: %s\n\n%s", error.c_str(), CliUsage(argv[0]).c_str());
+    return kExitUsage;
+  }
+  if (options.help) {
+    std::fprintf(stdout, "%s", CliUsage(argv[0]).c_str());
+    return kExitOk;
+  }
+
+  std::string socket_path;
+  std::uint32_t priority = 0;
+  std::uint64_t deadline_ms = 0;
+  if (!raw_flags.GetString("socket", "", &socket_path, &error) ||
+      !raw_flags.GetUint32("priority", 0, &priority, &error) ||
+      !raw_flags.GetUint64("deadline-ms", 0, &deadline_ms, &error)) {
+    std::fprintf(stderr, "ldiv submit: %s\n", error.c_str());
+    return kExitUsage;
+  }
+  if (socket_path.empty()) {
+    std::fprintf(stderr, "ldiv submit: submit requires --socket=PATH\n");
+    return kExitUsage;
+  }
+
+  options.input = Absolutize(options.input);
+  options.out = Absolutize(options.out);
+  options.emit_input = Absolutize(options.emit_input);
+  JobSpec spec = ToJobSpec(options);
+  spec.priority = priority;
+  spec.deadline_ms = deadline_ms;
+
+  Frame reply;
+  std::map<std::string, std::string> kv;
+  if (!DaemonRequest(socket_path, Frame{"job", SerializeJobSpec(spec)}, &reply, &kv, &error)) {
+    std::fprintf(stderr, "ldiv submit: %s\n", error.c_str());
+    return kExitUnavailable;
+  }
+
+  if (reply.verb == "busy") {
+    std::fprintf(stderr, "ldiv submit: %s (retry after %s ms)\n", kv["error"].c_str(),
+                 kv["retry-after-ms"].c_str());
+    return kExitUnavailable;
+  }
+  if (reply.verb != "ok") {
+    std::fprintf(stderr, "ldiv submit: %s\n", kv["error"].c_str());
+    int exit_code = kExitUnavailable;
+    std::uint64_t parsed_code = 0;
+    if (ParseUint64(kv["exit-code"], &parsed_code) && parsed_code != 0) {
+      exit_code = static_cast<int>(parsed_code);
+    }
+    return exit_code;
+  }
+
+  // Mirror the one-shot CLI: notices to stderr, the result summary (the
+  // reply's key = value lines) to stdout, exit status from the server.
+  for (std::size_t i = 0;; ++i) {
+    auto notice = kv.find("notice-" + std::to_string(i));
+    if (notice == kv.end()) break;
+    std::fprintf(stderr, "%s\n", notice->second.c_str());
+  }
+  for (const auto& [key, value] : kv) {
+    if (key.rfind("notice-", 0) == 0) continue;
+    std::fprintf(stdout, "%s = %s\n", key.c_str(), value.c_str());
+  }
+  std::uint64_t exit_code = 0;
+  ParseUint64(kv["exit-code"], &exit_code);
+  return static_cast<int>(exit_code);
+}
+
+int CtlMain(int argc, char** argv) {
+  using namespace ldv;
+
+  // The command is the one positional token; everything else is flags.
+  std::string command;
+  std::vector<char*> flag_argv = {argv[0]};
+  for (int i = 1; i < argc; ++i) {
+    if (argv[i][0] != '-' && command.empty()) {
+      command = argv[i];
+    } else {
+      flag_argv.push_back(argv[i]);
+    }
+  }
+
+  FlagSet flags;
+  std::string error;
+  std::string socket_path;
+  constexpr std::array<std::string_view, 1> kCtlFlags = {"socket"};
+  bool parsed = flags.ParseArgs(static_cast<int>(flag_argv.size()), flag_argv.data(), &error) &&
+                flags.GetString("socket", "", &socket_path, &error);
+  if (parsed) {
+    std::vector<std::string> unknown =
+        flags.UnknownKeys(std::span<const std::string_view>(kCtlFlags));
+    if (!unknown.empty()) {
+      parsed = false;
+      error = "unknown flag --" + unknown.front() + " (see --help)";
+    }
+  }
+  if (parsed && socket_path.empty()) {
+    parsed = false;
+    error = "ctl requires --socket=PATH";
+  }
+  if (parsed && command != "stats" && command != "ping" && command != "shutdown") {
+    parsed = false;
+    error = "ctl expects one command: stats | ping | shutdown";
+  }
+  if (!parsed) {
+    std::fprintf(stderr, "ldiv ctl: %s\n", error.c_str());
+    return kExitUsage;
+  }
+
+  Frame reply;
+  std::map<std::string, std::string> kv;
+  if (!DaemonRequest(socket_path, Frame{command, ""}, &reply, &kv, &error)) {
+    std::fprintf(stderr, "ldiv ctl: %s\n", error.c_str());
+    return kExitUnavailable;
+  }
+  if (reply.verb != "ok") {
+    std::fprintf(stderr, "ldiv ctl: %s\n", kv["error"].c_str());
+    return kExitUnavailable;
+  }
+  for (const auto& [key, value] : kv) {
+    std::fprintf(stdout, "%s = %s\n", key.c_str(), value.c_str());
+  }
+  return kExitOk;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Subcommand dispatch: a non-flag argv[1] selects the daemon verbs; the
+  // flag-only form stays the one-shot pipeline for compatibility.
+  const std::string verb = argc > 1 && argv[1][0] != '-' ? argv[1] : "";
+  if (verb.empty()) return OneShotMain(argc, argv);
+
+  std::vector<char*> rest = {argv[0]};
+  for (int i = 2; i < argc; ++i) rest.push_back(argv[i]);
+  const int rest_argc = static_cast<int>(rest.size());
+  if (verb == "serve") return ServeMain(rest_argc, rest.data());
+  if (verb == "submit") return SubmitMain(rest_argc, rest.data());
+  if (verb == "ctl") return CtlMain(rest_argc, rest.data());
+
+  std::fprintf(stderr, "ldiv: unknown subcommand '%s' (expected serve, submit or ctl)\n\n%s",
+               verb.c_str(), ldv::CliUsage(argv[0]).c_str());
+  return kExitUsage;
 }
