@@ -28,6 +28,9 @@
 #include "data/acs_generator.h"
 #include "data/acs_schema.h"
 #include "data/dataset.h"
+#include "engine/artifact_cache.h"
+#include "engine/engine.h"
+#include "engine/job_spec.h"
 #include "hilbert/hilbert_curve.h"
 #include "hilbert/hilbert_partitioner.h"
 #include "metrics/kl_divergence.h"
@@ -370,6 +373,56 @@ void RunGroupingPar(benchmark::State& state, unsigned threads) {
   state.SetItemsProcessed(state.iterations() * t.size());
 }
 
+// ---- Cross-job artifact cache series ----
+//
+// `sweep_cached` pushes a 3-l TP sweep through a warm Engine each
+// iteration, so the shared GroupedTable resolves from the ArtifactCache
+// instead of being rebuilt per run -- the steady-state cost of a
+// repeated grouping-bound sweep. `grouping_artifact_hit` isolates the
+// hit path itself (one lookup pinning a resident artifact) for a direct
+// ns/op contrast with the cold `grouping` build series at equal n.
+
+void BM_SweepCached(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Engine engine;
+  JobSpec spec;
+  spec.dataset.name = "sal";
+  spec.ns = {n};
+  spec.ds = {4};
+  spec.algorithms = {Algorithm::kTp};
+  spec.ls = {2, 4, 6};
+  spec.compute_kl = false;
+  spec.timings = false;
+  {
+    Expected<JobResult, PipelineError> warm = engine.Run(spec);
+    if (!warm.ok()) {
+      state.SkipWithError(warm.error().message.c_str());
+      return;
+    }
+  }
+  for (auto _ : state) {
+    Expected<JobResult, PipelineError> result = engine.Run(spec);
+    benchmark::DoNotOptimize(result.ok());
+  }
+  SetThreadBudget(1);
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_SweepCached)->Name("sweep_cached")->Arg(10000)->Arg(100000);
+
+void BM_GroupingArtifactHit(benchmark::State& state) {
+  const Table& t = SizedSal4(static_cast<std::size_t>(state.range(0)));
+  ArtifactCache cache(256u << 20);
+  auto grouped = std::make_shared<GroupedTable>(t);
+  const std::string key = ArtifactCache::GroupedKey("bench", t);
+  cache.InsertGrouped(key, grouped, grouped->ApproxBytes());
+  for (auto _ : state) {
+    std::shared_ptr<const GroupedTable> hit = cache.LookupGrouped(key);
+    benchmark::DoNotOptimize(hit->group_count());
+  }
+  state.SetItemsProcessed(state.iterations() * t.size());
+}
+BENCHMARK(BM_GroupingArtifactHit)->Name("grouping_artifact_hit")->Arg(10000)->Arg(100000);
+
 void RegisterParallelSeries() {
   for (unsigned threads : {1u, 2u, 4u}) {
     std::string suffix = "/";
@@ -418,6 +471,8 @@ void RegisterBenchFields() {
     fields[series("kl_multidim_columnar")] = {n, 7, 1, ActiveSimd()};
     fields[series("ingest_stream")] = {n, 7, 1, ActiveSimd()};
     fields[series("grouping_paged")] = {n, 7, 1, ActiveSimd()};
+    fields[series("sweep_cached")] = {n, 4, 1, ActiveSimd()};
+    fields[series("grouping_artifact_hit")] = {n, 4, 1, ActiveSimd()};
   }
   for (const char* name : {"kl_block/1024", "kl_block/4096", "kl_block/16384"}) {
     fields[name] = {100000, 7, 1, ActiveSimd()};

@@ -11,7 +11,7 @@ namespace ldv {
 
 namespace {
 
-constexpr std::array<std::string_view, 18> kKnownFlags = {
+constexpr std::array<std::string_view, 19> kKnownFlags = {
     "algo",
     "l",
     "input",
@@ -30,6 +30,7 @@ constexpr std::array<std::string_view, 18> kKnownFlags = {
     "threads",
     "emit-input",
     "memory-budget",
+    "artifact-cache",
 };
 
 }  // namespace
@@ -131,6 +132,14 @@ bool ParseCliOptions(int argc, const char* const* argv, CliOptions* options, std
       return false;
     }
   }
+  std::string artifact_text;
+  if (!flags.GetString("artifact-cache", "", &artifact_text, error)) return false;
+  if (!artifact_text.empty()) {
+    if (!ParseByteSize(artifact_text, &options->artifact_cache, error)) {
+      *error = "--artifact-cache: " + *error;
+      return false;
+    }
+  }
   if (!flags.GetString("emit-input", "", &options->emit_input, error)) return false;
 
   // Semantic layer: the one validation pass shared with the daemon.
@@ -169,6 +178,7 @@ JobSpec ToJobSpec(const CliOptions& options) {
   spec.timings = options.timings;
   spec.threads = options.threads;
   spec.memory_budget = options.memory_budget;
+  spec.artifact_cache = options.artifact_cache;
   spec.emit_input = options.emit_input;
   return spec;
 }
@@ -211,6 +221,11 @@ std::string CliUsage(std::string_view program) {
   usage += "                     cache, external sorts, grouping arenas), e.g. 512M or\n";
   usage += "                     2G (binary suffixes K/M/G/T). 0 or unset = unlimited\n";
   usage += "                     (all-in-RAM). Outputs are byte-identical at any budget\n";
+  usage += "  --artifact-cache=B cap the cross-job artifact cache (memoized GroupedTable\n";
+  usage += "                     builds + Hilbert row orders, keyed by dataset content +\n";
+  usage += "                     QI schema), e.g. 64M; 0 disables. unset = engine default\n";
+  usage += "                     (256M, clamped to a quarter of --memory-budget). Outputs\n";
+  usage += "                     are byte-identical with the cache on, off, or evicting\n";
   usage += "  --kl=false         skip the KL-divergence estimate\n";
   usage += "  --no-timings       omit wall-clock fields (byte-deterministic reports)\n";
   usage += "  --emit-input=FILE  also write the input table as coded CSV\n";

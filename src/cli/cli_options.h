@@ -71,6 +71,11 @@ struct CliOptions {
   /// switches ingestion to the out-of-core paged path. Outputs are
   /// byte-identical at any budget.
   std::uint64_t memory_budget = 0;
+  /// ArtifactCache capacity ("--artifact-cache=64M"): cross-job
+  /// memoization of GroupedTable builds and Hilbert row orders. Unset
+  /// (kArtifactCacheAuto) lets the engine pick; 0 disables. Outputs are
+  /// byte-identical with the cache on, off, or thrashing.
+  std::uint64_t artifact_cache = kArtifactCacheAuto;
   /// When non-empty, also write the (first) input table as CSV here.
   std::string emit_input;
   bool help = false;

@@ -41,7 +41,7 @@ class ExternalSorter {
   struct Options {
     std::size_t buffer_records = 1u << 20;        // in-RAM run size (16 B each)
     std::size_t merge_buffer_records = 1u << 14;  // per-run merge read buffer
-    MemoryBudget* budget = nullptr;
+    std::shared_ptr<MemoryBudget> budget;
   };
 
   /// Creates the sorter (and its spill file); null + `error` when temp

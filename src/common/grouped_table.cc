@@ -357,7 +357,8 @@ void GroupedTable::BuildChunkedImpl(const Table& table, Workspace* workspace,
   for (AttrId a = 0; a < d; ++a) cols[a] = table.column(a).data();
   const SaValue* sa_col = table.sa_column().data();
 
-  MemoryBudget* budget = MemoryBudgetBytes() != 0 ? &GlobalMemoryBudget() : nullptr;
+  std::shared_ptr<MemoryBudget> budget =
+      MemoryBudgetBytes() != 0 ? GlobalMemoryBudgetShared() : nullptr;
   if (sort_buffer_records == 0) {
     // Give the sort buffer a quarter of what's left, within sane bounds.
     const std::uint64_t spend =
@@ -497,11 +498,12 @@ void GroupedTable::BuildChunkedImpl(const Table& table, Workspace* workspace,
 
 void GroupedTable::ChargeArenas() {
   if (MemoryBudgetBytes() == 0) return;
-  const std::uint64_t bytes = qi_arena_.capacity() * sizeof(Value) +
-                              rows_arena_.capacity() * sizeof(RowId) +
-                              runs_arena_.capacity() * sizeof(runs_arena_[0]) +
-                              groups_.capacity() * sizeof(QiGroup);
-  arena_reservation_ = MemoryReservation(&GlobalMemoryBudget(), bytes);
+  arena_reservation_ = MemoryReservation(GlobalMemoryBudgetShared(), ApproxBytes());
+}
+
+std::uint64_t GroupedTable::ApproxBytes() const {
+  return qi_arena_.capacity() * sizeof(Value) + rows_arena_.capacity() * sizeof(RowId) +
+         runs_arena_.capacity() * sizeof(runs_arena_[0]) + groups_.capacity() * sizeof(QiGroup);
 }
 
 std::uint64_t GroupedTable::MaxGroupSize() const {

@@ -97,6 +97,19 @@ class GroupedTable {
   /// Largest group size.
   std::uint64_t MaxGroupSize() const;
 
+  /// Approximate resident footprint of the arenas and group table, the
+  /// same sum ChargeArenas charges against the process budget. Used by
+  /// caches to account for a retained GroupedTable.
+  std::uint64_t ApproxBytes() const;
+
+  /// Drops the arena charge against the process MemoryBudget without
+  /// freeing the arenas. SetMemoryBudget starts a fresh budget epoch
+  /// between runs, so a GroupedTable that outlives its run (e.g. one
+  /// retained by the engine's artifact cache) releases the charge here
+  /// rather than staying accounted to a finished epoch; the cache charges
+  /// the bytes to each run itself.
+  void ReleaseBudgetCharge() { arena_reservation_.Reset(); }
+
   /// Chunk-at-a-time low-memory build: one sequential pass streams the
   /// columns in fixed row chunks through the SIMD hash fold, assigns
   /// first-occurrence group ranks in a growing (hash, gid) probe table of

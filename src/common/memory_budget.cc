@@ -34,15 +34,15 @@ void MemoryBudget::Release(std::uint64_t bytes) {
   used_.fetch_sub(bytes, std::memory_order_relaxed);
 }
 
-MemoryReservation::MemoryReservation(MemoryBudget* budget, std::uint64_t bytes)
-    : budget_(budget), bytes_(bytes) {
+MemoryReservation::MemoryReservation(std::shared_ptr<MemoryBudget> budget, std::uint64_t bytes)
+    : budget_(std::move(budget)), bytes_(bytes) {
   if (budget_ != nullptr) budget_->Charge(bytes_);
 }
 
 MemoryReservation::~MemoryReservation() { Reset(); }
 
 MemoryReservation::MemoryReservation(MemoryReservation&& other) noexcept
-    : budget_(other.budget_), bytes_(other.bytes_) {
+    : budget_(std::move(other.budget_)), bytes_(other.bytes_) {
   other.budget_ = nullptr;
   other.bytes_ = 0;
 }
@@ -50,7 +50,7 @@ MemoryReservation::MemoryReservation(MemoryReservation&& other) noexcept
 MemoryReservation& MemoryReservation::operator=(MemoryReservation&& other) noexcept {
   if (this != &other) {
     Reset();
-    budget_ = other.budget_;
+    budget_ = std::move(other.budget_);
     bytes_ = other.bytes_;
     other.budget_ = nullptr;
     other.bytes_ = 0;
@@ -74,13 +74,15 @@ void MemoryReservation::Reset() {
 namespace {
 
 std::mutex g_budget_mutex;
-std::unique_ptr<MemoryBudget> g_budget;  // null until first use (= unlimited)
+std::shared_ptr<MemoryBudget> g_budget;  // null until first use (= unlimited)
 
 }  // namespace
 
 void SetMemoryBudget(std::uint64_t total_bytes) {
   std::lock_guard<std::mutex> lock(g_budget_mutex);
-  g_budget = std::make_unique<MemoryBudget>(total_bytes);
+  // Starts a new epoch; holders of the old shared_ptr keep it alive and
+  // release their charges into it, so its accounting stays balanced.
+  g_budget = std::make_shared<MemoryBudget>(total_bytes);
 }
 
 std::uint64_t MemoryBudgetBytes() {
@@ -88,10 +90,12 @@ std::uint64_t MemoryBudgetBytes() {
   return g_budget == nullptr ? 0 : g_budget->total();
 }
 
-MemoryBudget& GlobalMemoryBudget() {
+MemoryBudget& GlobalMemoryBudget() { return *GlobalMemoryBudgetShared(); }
+
+std::shared_ptr<MemoryBudget> GlobalMemoryBudgetShared() {
   std::lock_guard<std::mutex> lock(g_budget_mutex);
-  if (g_budget == nullptr) g_budget = std::make_unique<MemoryBudget>(0);
-  return *g_budget;
+  if (g_budget == nullptr) g_budget = std::make_shared<MemoryBudget>(0);
+  return g_budget;
 }
 
 bool ParseByteSize(std::string_view text, std::uint64_t* bytes, std::string* error) {

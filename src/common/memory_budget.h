@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <string_view>
 
@@ -54,10 +55,14 @@ class MemoryBudget {
 
 /// RAII charge against a budget; `budget` may be null (no-op) so call
 /// sites stay unconditional. Movable so owners can store reservations.
+/// The reservation shares ownership of its budget, so a charge taken
+/// against one budget epoch (see SetMemoryBudget) releases against that
+/// same object even if the process has since moved to a new epoch --
+/// long-lived owners like a caller-held paged table never dangle.
 class MemoryReservation {
  public:
   MemoryReservation() = default;
-  MemoryReservation(MemoryBudget* budget, std::uint64_t bytes);
+  MemoryReservation(std::shared_ptr<MemoryBudget> budget, std::uint64_t bytes);
   ~MemoryReservation();
 
   MemoryReservation(MemoryReservation&& other) noexcept;
@@ -74,24 +79,32 @@ class MemoryReservation {
   void Reset();
 
  private:
-  MemoryBudget* budget_ = nullptr;
+  std::shared_ptr<MemoryBudget> budget_;
   std::uint64_t bytes_ = 0;
 };
 
 /// Process-wide memory budget, the memory twin of SetThreadBudget: one
 /// run of the engine (CLI invocation, test, bench iteration) sets it once
 /// and every budget-aware layer reads it. 0 means unlimited -- all paths
-/// take the exact in-RAM code they take today. Setting a new total resets
-/// the accounting (used and peak drop to 0).
+/// take the exact in-RAM code they take today. Setting a new total starts
+/// a fresh budget epoch (used and peak drop to 0); the previous epoch's
+/// object stays alive as long as any reservation or paged structure still
+/// shares ownership of it, so charges always release where they were
+/// taken.
 void SetMemoryBudget(std::uint64_t total_bytes);
 
 /// The configured total in bytes; 0 when unlimited.
 std::uint64_t MemoryBudgetBytes();
 
-/// The process-wide accounting object. Its total() matches
-/// MemoryBudgetBytes(); pass &GlobalMemoryBudget() to budget-aware
-/// components (or nullptr to opt a component out of global accounting).
+/// The process-wide accounting object for transient reads (WouldFit,
+/// remaining) within a run. Its total() matches MemoryBudgetBytes().
 MemoryBudget& GlobalMemoryBudget();
+
+/// Shared ownership of the current budget epoch. Anything that holds a
+/// charge past the current engine run (reservations, page caches, spilled
+/// columns handed to a caller) must hold the budget through this so a
+/// later SetMemoryBudget cannot destroy the object it will release into.
+std::shared_ptr<MemoryBudget> GlobalMemoryBudgetShared();
 
 /// Parses a human byte size: a non-negative integer with an optional
 /// K/M/G/T suffix (binary multiples, case-insensitive, optional trailing

@@ -10,13 +10,14 @@
 
 namespace ldv {
 
-PagedColumn::PagedColumn(std::unique_ptr<SpillFile> file, PageCache* cache, MemoryBudget* budget)
+PagedColumn::PagedColumn(std::unique_ptr<SpillFile> file, PageCache* cache,
+                         std::shared_ptr<MemoryBudget> budget)
     : file_(std::move(file)), cache_(cache) {
   LDIV_CHECK(file_ != nullptr);
   LDIV_CHECK(cache_ != nullptr);
   LDIV_CHECK_EQ(page_bytes() % sizeof(std::uint32_t), 0u);
   staging_.reserve(values_per_page());
-  staging_reservation_ = MemoryReservation(budget, page_bytes());
+  staging_reservation_ = MemoryReservation(std::move(budget), page_bytes());
 }
 
 PagedColumn::~PagedColumn() {

@@ -31,7 +31,8 @@ class PagedColumn {
   /// `file` is the column's private spill file; `cache` serves unmapped
   /// reads and must outlive the column. `page_bytes` must match the
   /// cache's page size and be a multiple of sizeof(u32).
-  PagedColumn(std::unique_ptr<SpillFile> file, PageCache* cache, MemoryBudget* budget);
+  PagedColumn(std::unique_ptr<SpillFile> file, PageCache* cache,
+              std::shared_ptr<MemoryBudget> budget);
 
   ~PagedColumn();
   PagedColumn(const PagedColumn&) = delete;
@@ -159,8 +160,10 @@ class PagedTableBuilder {
   struct Options {
     std::size_t page_bytes = kDefaultPageBytes;
     std::size_t cache_frames = 64;
-    MemoryBudget* budget = nullptr;  // e.g. &GlobalMemoryBudget(); may be null
-    bool map_on_seal = true;         // tests disable to force cache reads
+    // e.g. GlobalMemoryBudgetShared(); may be null. Shared so the built
+    // table can outlive the budget epoch it was ingested under.
+    std::shared_ptr<MemoryBudget> budget;
+    bool map_on_seal = true;  // tests disable to force cache reads
   };
 
   /// Creates the spill files; null + `error` when temp space is missing.

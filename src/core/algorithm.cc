@@ -46,6 +46,14 @@ const char* MethodologyName(Methodology methodology) {
   return "";
 }
 
+bool AlgorithmUsesGroupedArtifact(Algorithm algorithm) {
+  return algorithm == Algorithm::kTp || algorithm == Algorithm::kTpPlus;
+}
+
+bool AlgorithmUsesHilbertOrderArtifact(Algorithm algorithm) {
+  return algorithm == Algorithm::kHilbert;
+}
+
 AnonymizationOutcome Anonymizer::Run(const Table& table, std::uint32_t l) const {
   Workspace workspace;
   return Run(table, l, &workspace);
@@ -53,11 +61,16 @@ AnonymizationOutcome Anonymizer::Run(const Table& table, std::uint32_t l) const 
 
 AnonymizationOutcome Anonymizer::Run(const Table& table, std::uint32_t l,
                                      Workspace* workspace) const {
+  return Run(table, l, workspace, nullptr);
+}
+
+AnonymizationOutcome Anonymizer::Run(const Table& table, std::uint32_t l, Workspace* workspace,
+                                     const TableArtifacts* artifacts) const {
   LDIV_CHECK(workspace != nullptr);
   AnonymizationOutcome outcome;
   outcome.algorithm = id_;
   outcome.methodology = methodology_;
-  if (!RunRaw(table, l, workspace, &outcome)) return outcome;
+  if (!RunRaw(table, l, workspace, artifacts, &outcome)) return outcome;
   outcome.feasible = true;
   LDIV_DCHECK(outcome.partition.CoversExactly(table));
   LDIV_DCHECK(IsLDiverse(table, outcome.partition, l));
@@ -98,8 +111,10 @@ class TpAnonymizer final : public Anonymizer {
       : Anonymizer(Algorithm::kTp, Methodology::kSuppression, options) {}
 
   bool RunRaw(const Table& table, std::uint32_t l, Workspace* workspace,
-              AnonymizationOutcome* out) const override {
-    TpResult r = RunTp(table, l, workspace);
+              const TableArtifacts* artifacts, AnonymizationOutcome* out) const override {
+    TpResult r = (artifacts != nullptr && artifacts->grouped != nullptr)
+                     ? RunTp(*artifacts->grouped, l)
+                     : RunTp(table, l, workspace);
     if (!r.feasible) return false;
     out->partition = r.ToPartition();
     out->seconds = r.seconds;
@@ -114,8 +129,10 @@ class TpPlusAnonymizer final : public Anonymizer {
       : Anonymizer(Algorithm::kTpPlus, Methodology::kSuppression, options) {}
 
   bool RunRaw(const Table& table, std::uint32_t l, Workspace* workspace,
-              AnonymizationOutcome* out) const override {
-    TpPlusResult r = RunTpPlus(table, l, options().hilbert, workspace);
+              const TableArtifacts* artifacts, AnonymizationOutcome* out) const override {
+    const GroupedTable* grouped =
+        artifacts != nullptr ? artifacts->grouped.get() : nullptr;
+    TpPlusResult r = RunTpPlus(table, l, options().hilbert, workspace, grouped);
     if (!r.feasible) return false;
     out->partition = std::move(r.partition);
     out->seconds = r.seconds();
@@ -130,8 +147,10 @@ class HilbertAnonymizer final : public Anonymizer {
       : Anonymizer(Algorithm::kHilbert, Methodology::kSuppression, options) {}
 
   bool RunRaw(const Table& table, std::uint32_t l, Workspace* workspace,
-              AnonymizationOutcome* out) const override {
-    HilbertResult r = HilbertAnonymize(table, l, options().hilbert, workspace);
+              const TableArtifacts* artifacts, AnonymizationOutcome* out) const override {
+    const std::vector<RowId>* order =
+        artifacts != nullptr ? artifacts->hilbert_order.get() : nullptr;
+    HilbertResult r = HilbertAnonymize(table, l, options().hilbert, workspace, order);
     if (!r.feasible) return false;
     out->partition = std::move(r.partition);
     out->seconds = r.seconds;
@@ -145,7 +164,7 @@ class MondrianAnonymizer final : public Anonymizer {
       : Anonymizer(Algorithm::kMondrian, Methodology::kMultiDimensional, options) {}
 
   bool RunRaw(const Table& table, std::uint32_t l, Workspace* workspace,
-              AnonymizationOutcome* out) const override {
+              const TableArtifacts* /*artifacts*/, AnonymizationOutcome* out) const override {
     MondrianResult r = MondrianAnonymize(table, l, workspace);
     if (!r.feasible) return false;
     out->partition = std::move(r.partition);
@@ -161,7 +180,7 @@ class AnatomyAnonymizer final : public Anonymizer {
       : Anonymizer(Algorithm::kAnatomy, Methodology::kBucketization, options) {}
 
   bool RunRaw(const Table& table, std::uint32_t l, Workspace* workspace,
-              AnonymizationOutcome* out) const override {
+              const TableArtifacts* /*artifacts*/, AnonymizationOutcome* out) const override {
     (void)workspace;  // Anatomy's random-shuffle bucketization has no hot scratch.
     AnatomyResult r = AnatomyAnonymize(table, l);
     if (!r.feasible) return false;
@@ -177,7 +196,7 @@ class TdsAnonymizer final : public Anonymizer {
       : Anonymizer(Algorithm::kTds, Methodology::kSingleDimensional, options) {}
 
   bool RunRaw(const Table& table, std::uint32_t l, Workspace* workspace,
-              AnonymizationOutcome* out) const override {
+              const TableArtifacts* /*artifacts*/, AnonymizationOutcome* out) const override {
     (void)workspace;  // TDS is dominated by its taxonomy walks, not scratch churn.
     TdsResult r = RunTds(table, l);
     if (!r.feasible) return false;

@@ -12,6 +12,7 @@
 #include "anonymity/partition.h"
 #include "common/table.h"
 #include "common/workspace.h"
+#include "core/artifacts.h"
 #include "core/tp.h"
 #include "hilbert/hilbert_partitioner.h"
 #include "metrics/group_stats.h"
@@ -40,6 +41,14 @@ inline constexpr std::array<Algorithm, kAlgorithmCount> kAllAlgorithms = {
 /// Canonical display name. Exhaustive over the enum; aborts on a value
 /// outside it (a corrupted enum is a programmer error, never user input).
 const char* AlgorithmName(Algorithm algorithm);
+
+/// True iff `algorithm` consumes the shared GroupedTable artifact (TP and
+/// TP+ start from the exact-signature grouping).
+bool AlgorithmUsesGroupedArtifact(Algorithm algorithm);
+
+/// True iff `algorithm` consumes the shared full-table Hilbert row order
+/// (the Hilbert baseline only; TP+'s refinement sorts a sub-table).
+bool AlgorithmUsesHilbertOrderArtifact(Algorithm algorithm);
 
 /// The anonymization methodology taxonomy of Section 2, which determines
 /// what a release publishes and therefore which KL-divergence estimator
@@ -131,15 +140,24 @@ class Anonymizer {
   /// without a workspace, and across reuses of one.
   AnonymizationOutcome Run(const Table& table, std::uint32_t l, Workspace* workspace) const;
 
+  /// Same, additionally consuming pre-resolved dataset artifacts. When
+  /// `artifacts` supplies the GroupedTable or Hilbert order for `table`,
+  /// the solve skips rebuilding it; any field may be null, in which case
+  /// the algorithm derives the input itself. Artifacts MUST have been
+  /// built from exactly this table -- outcomes are byte-identical with and
+  /// without them.
+  AnonymizationOutcome Run(const Table& table, std::uint32_t l, Workspace* workspace,
+                           const TableArtifacts* artifacts) const;
+
  protected:
   Anonymizer(Algorithm id, Methodology methodology, AnonymizerOptions options)
       : id_(id), methodology_(methodology), options_(options) {}
 
   /// The algorithm-specific solve. Fills partition, seconds and the
   /// methodology artifacts; returns false iff infeasible. `workspace` is
-  /// never null.
+  /// never null; `artifacts` may be (no pre-resolved inputs).
   virtual bool RunRaw(const Table& table, std::uint32_t l, Workspace* workspace,
-                      AnonymizationOutcome* out) const = 0;
+                      const TableArtifacts* artifacts, AnonymizationOutcome* out) const = 0;
 
  private:
   Algorithm id_;

@@ -16,7 +16,7 @@ AnonymizationOutcome RunJob(const BatchJob& job, Workspace* workspace) {
   LDIV_CHECK(job.table != nullptr) << "BatchJob with null table";
   return AlgorithmRegistry::Global()
       .Create(job.algorithm, job.options)
-      ->Run(*job.table, job.l, workspace);
+      ->Run(*job.table, job.l, workspace, job.artifacts);
 }
 
 }  // namespace

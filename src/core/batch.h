@@ -16,6 +16,11 @@ struct BatchJob {
   std::uint32_t l = 2;
   Algorithm algorithm = Algorithm::kTp;
   AnonymizerOptions options;
+  /// Optional pre-resolved dataset artifacts for `*table` (borrowed, must
+  /// outlive the batch). The engine resolves these once per distinct table
+  /// of a sweep; null jobs derive their own inputs. Outcomes are identical
+  /// either way.
+  const TableArtifacts* artifacts = nullptr;
 };
 
 struct BatchOptions {

@@ -30,7 +30,10 @@ std::vector<RunSpec> ExpandRunGrid(std::span<const Algorithm> algorithms,
 }
 
 std::vector<BatchJob> ToBatchJobs(std::span<const RunSpec> specs,
-                                  std::span<const Table* const> tables) {
+                                  std::span<const Table* const> tables,
+                                  std::span<const TableArtifacts> artifacts) {
+  LDIV_CHECK(artifacts.empty() || artifacts.size() == tables.size())
+      << "artifacts must parallel tables";
   std::vector<BatchJob> jobs;
   jobs.reserve(specs.size());
   for (const RunSpec& spec : specs) {
@@ -40,6 +43,9 @@ std::vector<BatchJob> ToBatchJobs(std::span<const RunSpec> specs,
     job.l = spec.l;
     job.algorithm = spec.algorithm;
     job.options = spec.options;
+    if (!artifacts.empty() && !artifacts[spec.table_index].empty()) {
+      job.artifacts = &artifacts[spec.table_index];
+    }
     jobs.push_back(job);
   }
   return jobs;

@@ -34,9 +34,13 @@ std::vector<RunSpec> ExpandRunGrid(std::span<const Algorithm> algorithms,
 
 /// Converts specs to AnonymizeBatch jobs against `tables`. Each spec's
 /// table_index must be < tables.size(); the tables are borrowed and must
-/// outlive the batch run.
+/// outlive the batch run. When `artifacts` is non-empty it must parallel
+/// `tables` (artifacts[i] pre-resolved from *tables[i]); each job then
+/// borrows its table's artifacts so TP / TP+ / Hilbert skip rebuilding the
+/// grouping or order per job.
 std::vector<BatchJob> ToBatchJobs(std::span<const RunSpec> specs,
-                                  std::span<const Table* const> tables);
+                                  std::span<const Table* const> tables,
+                                  std::span<const TableArtifacts> artifacts = {});
 
 /// Parses a comma-separated list of registry names ("tp,mondrian"), or
 /// "all" for every registered algorithm in enum order. Returns false with

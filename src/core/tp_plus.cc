@@ -7,9 +7,10 @@
 namespace ldv {
 
 TpPlusResult RunTpPlus(const Table& table, std::uint32_t l,
-                       const HilbertOptions& hilbert_options, Workspace* workspace) {
+                       const HilbertOptions& hilbert_options, Workspace* workspace,
+                       const GroupedTable* grouped) {
   TpPlusResult result;
-  TpResult tp = RunTp(table, l, workspace);
+  TpResult tp = grouped != nullptr ? RunTp(*grouped, l) : RunTp(table, l, workspace);
   if (!tp.feasible) return result;
   result.feasible = true;
   result.tp_stats = tp.stats;

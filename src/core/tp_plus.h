@@ -32,10 +32,14 @@ struct TpPlusResult {
 /// Because R is l-eligible whenever TP succeeds, the refinement always
 /// applies, and by the discussion in Section 5.6 TP+ inherits the O(l * d)
 /// approximation guarantee of TP. Both stages draw their scratch from
-/// `workspace` when one is supplied.
+/// `workspace` when one is supplied. When `grouped` is non-null it must be
+/// the exact-signature grouping of `table`; the TP stage consumes it
+/// instead of rebuilding (the Hilbert refinement always re-sorts the
+/// residue sub-table, which no full-table artifact can stand in for).
 TpPlusResult RunTpPlus(const Table& table, std::uint32_t l,
                        const HilbertOptions& hilbert_options = {},
-                       Workspace* workspace = nullptr);
+                       Workspace* workspace = nullptr,
+                       const GroupedTable* grouped = nullptr);
 
 }  // namespace ldv
 

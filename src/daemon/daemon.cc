@@ -40,8 +40,21 @@ Frame ErrorFrame(const PipelineError& error) {
 
 }  // namespace
 
+namespace {
+
+EngineOptions MakeEngineOptions(const DaemonOptions& options) {
+  EngineOptions engine_options;
+  engine_options.cache_bytes = options.cache_bytes;
+  if (options.artifact_cache_bytes != kArtifactCacheAuto) {
+    engine_options.artifact_cache_bytes = options.artifact_cache_bytes;
+  }
+  return engine_options;
+}
+
+}  // namespace
+
 Daemon::Daemon(DaemonOptions options)
-    : options_(std::move(options)), engine_(EngineOptions{.cache_bytes = options_.cache_bytes}) {}
+    : options_(std::move(options)), engine_(MakeEngineOptions(options_)) {}
 
 Daemon::~Daemon() {
   Stop();
@@ -193,6 +206,9 @@ void Daemon::HandleConnection(int fd) {
     kv["max-queue-depth"] = std::to_string(s.max_queue_depth);
     kv["cache-hits"] = std::to_string(s.cache_hits);
     kv["cache-misses"] = std::to_string(s.cache_misses);
+    kv["bypassed-paged"] = std::to_string(s.bypassed_paged);
+    kv["artifact-hits"] = std::to_string(s.artifact_hits);
+    kv["artifact-misses"] = std::to_string(s.artifact_misses);
     kv["queue-depth"] = std::to_string(options_.queue_depth);
     kv["workers"] = std::to_string(std::max<std::size_t>(options_.workers, 1));
     ReplyBestEffort(fd, Frame{"ok", EncodeKvPayload(kv)});
@@ -330,6 +346,8 @@ void Daemon::RunJob(PendingJob job) {
   kv["threads"] = std::to_string(summary->threads);
   kv["cache-hits"] = std::to_string(summary->cache_hits);
   kv["cache-misses"] = std::to_string(summary->cache_misses);
+  kv["artifact-hits"] = std::to_string(summary->artifact_hits);
+  kv["artifact-misses"] = std::to_string(summary->artifact_misses);
   kv["completed-seq"] = std::to_string(completed_seq);
   kv["out"] = job.spec.out;
   std::size_t notice_index = 0;
@@ -351,12 +369,16 @@ Daemon::Stats Daemon::stats() const {
     std::lock_guard<std::mutex> lock(mutex_);
     copy = stats_;
   }
-  // The DatasetCache counts are authoritative from the engine (they also
-  // cover lookups from jobs still in flight).
-  const DatasetCache::Stats cache =
-      const_cast<Daemon*>(this)->engine_.dataset_cache().stats();
+  // The cache counts are authoritative from the engine (they also cover
+  // lookups from jobs still in flight).
+  Engine& engine = const_cast<Daemon*>(this)->engine_;
+  const DatasetCache::Stats cache = engine.dataset_cache().stats();
   copy.cache_hits = cache.hits;
   copy.cache_misses = cache.misses;
+  copy.bypassed_paged = cache.bypassed_paged;
+  const ArtifactCache::Stats artifacts = engine.artifact_cache().stats();
+  copy.artifact_hits = artifacts.hits;
+  copy.artifact_misses = artifacts.misses;
   return copy;
 }
 

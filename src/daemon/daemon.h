@@ -29,6 +29,10 @@ struct DaemonOptions {
   std::size_t workers = 1;
   /// DatasetCache capacity for the daemon's engine.
   std::uint64_t cache_bytes = 256u << 20;
+  /// ArtifactCache capacity (memoized GroupedTable builds + Hilbert row
+  /// orders shared across requests). kArtifactCacheAuto = engine default;
+  /// 0 disables cross-request artifact reuse.
+  std::uint64_t artifact_cache_bytes = kArtifactCacheAuto;
   /// The retry hint carried in `busy` replies.
   std::uint32_t retry_after_ms = 100;
 };
@@ -77,6 +81,9 @@ class Daemon {
     std::uint64_t max_queue_depth = 0;  // high-water mark of waiting jobs
     std::uint64_t cache_hits = 0;       // DatasetCache hits across jobs
     std::uint64_t cache_misses = 0;
+    std::uint64_t bypassed_paged = 0;   // DatasetCache bypasses (paged loads)
+    std::uint64_t artifact_hits = 0;    // ArtifactCache hits across jobs
+    std::uint64_t artifact_misses = 0;
   };
   Stats stats() const;
 

@@ -58,6 +58,11 @@ DatasetCache::Stats DatasetCache::stats() const {
   return snapshot;
 }
 
+void DatasetCache::RecordPagedBypass() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++stats_.bypassed_paged;
+}
+
 void DatasetCache::Clear() {
   std::lock_guard<std::mutex> lock(mutex_);
   lru_.clear();

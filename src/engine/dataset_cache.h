@@ -22,10 +22,12 @@ struct EngineTable;
 /// EngineTables up to a byte capacity. Eviction drops the cache's
 /// reference only -- jobs still holding the table keep it alive.
 ///
-/// Only unbudgeted in-RAM tables are cached: a --memory-budget run's
-/// paged tables hold reservations against the process-global budget of
-/// *that* run, which the next SetMemoryBudget replaces, so they must not
-/// outlive their run (see Engine::Run).
+/// Only in-RAM tables are cached: a --memory-budget run that pages its
+/// table holds page-cache and staging reservations against the budget
+/// epoch of *that* run, and serving it to later runs would pin spill files
+/// and misattribute its resident bytes, so paged tables are rebuilt per
+/// run (the bypass is counted in Stats::bypassed_paged). Budgeted runs
+/// whose table fits in RAM cache normally.
 class DatasetCache {
  public:
   struct Stats {
@@ -35,6 +37,9 @@ class DatasetCache {
     std::uint64_t evictions = 0;
     std::uint64_t resident_bytes = 0;
     std::uint64_t entries = 0;
+    /// Materializations that skipped the cache because the table was truly
+    /// paged (see RecordPagedBypass); the only remaining bypass reason.
+    std::uint64_t bypassed_paged = 0;
   };
 
   /// `capacity_bytes` == 0 disables caching (every Lookup misses).
@@ -53,6 +58,10 @@ class DatasetCache {
   Stats stats() const;
   std::uint64_t capacity_bytes() const { return capacity_; }
   void Clear();
+
+  /// Records a materialization that bypassed the cache because the table
+  /// came up paged (paged tables are rebuilt per run; see the class note).
+  void RecordPagedBypass();
 
   /// Content-identity key of a CSV input: format + schema + the file's
   /// path, mtime and size, so an edited or replaced file misses instead of

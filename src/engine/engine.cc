@@ -1,5 +1,7 @@
 #include "engine/engine.h"
 
+#include <sys/stat.h>
+
 #include <algorithm>
 #include <cstdlib>
 #include <optional>
@@ -23,7 +25,7 @@ namespace {
 // memory-capped leg set it tiny to force heavy eviction on small inputs).
 PagedTableBuilder::Options PagedOptionsFromBudget() {
   PagedTableBuilder::Options paged;
-  paged.budget = &GlobalMemoryBudget();
+  paged.budget = GlobalMemoryBudgetShared();
   if (const char* env = std::getenv("LDIV_PAGE_BYTES")) {
     char* end = nullptr;
     const unsigned long long bytes = std::strtoull(env, &end, 10);
@@ -48,9 +50,32 @@ std::uint64_t EstimateTableBytes(const Table& table) {
          4096;
 }
 
+// A budgeted run pages its input only when the in-RAM estimate would eat
+// more than a quarter of the budget; smaller inputs load resident and
+// cache normally (the bypass only ever protected paged tables' budget
+// reservations from outliving their run). The pre-load estimates err
+// high: 2x the CSV file size, or the synthetic grid's columnar bytes.
+bool ShouldPage(std::uint64_t estimated_bytes) {
+  const std::uint64_t budget = MemoryBudgetBytes();
+  return budget == 0 || estimated_bytes > budget / 4;
+}
+
+std::uint64_t EstimateCsvBytes(const std::string& path) {
+  struct ::stat st{};
+  if (::stat(path.c_str(), &st) != 0) return ~std::uint64_t{0} / 8;  // unstatable: stay paged
+  return 2 * static_cast<std::uint64_t>(st.st_size) + 4096;
+}
+
+std::uint64_t EstimateSyntheticBytes(const DatasetSpec& cell) {
+  return static_cast<std::uint64_t>(cell.n) * (cell.d + 1) * sizeof(std::uint32_t) + 4096;
+}
+
 }  // namespace
 
-Engine::Engine(EngineOptions options) : cache_(options.cache_bytes) {}
+Engine::Engine(EngineOptions options)
+    : options_(options),
+      cache_(options.cache_bytes),
+      artifact_cache_(options.artifact_cache_bytes) {}
 
 Expected<bool, PipelineError> Engine::MaterializeTables(const ResolvedJobSpec& resolved,
                                                         JobResult* result) {
@@ -62,10 +87,12 @@ Expected<bool, PipelineError> Engine::MaterializeTables(const ResolvedJobSpec& r
     const Schema* schema = resolved.schema.has_value() ? &*resolved.schema : nullptr;
     const std::string source =
         (resolved.format == CsvFormat::kRaw ? "csv-raw:" : "csv:") + spec.input;
-    if (paged) {
-      // Budgeted runs bypass the cache: their paged tables hold
-      // reservations against this run's process-global budget, which the
-      // next SetMemoryBudget replaces.
+    if (paged && ShouldPage(EstimateCsvBytes(spec.input))) {
+      // Truly paged tables bypass the cache: they hold reservations
+      // against this run's process-global budget, which the next
+      // SetMemoryBudget replaces. Budgeted inputs that fit in RAM fall
+      // through to the normal cached load below.
+      cache_.RecordPagedBypass();
       std::unique_ptr<PagedTable> table =
           LoadTableCsvPaged(spec.input, resolved.format, schema, paged_options, &error);
       if (table == nullptr) return IoError(error);
@@ -89,6 +116,7 @@ Expected<bool, PipelineError> Engine::MaterializeTables(const ResolvedJobSpec& r
     if (table->empty()) return IoError("'" + spec.input + "' holds no data rows");
     auto entry = std::make_shared<EngineTable>(std::move(*table));
     entry->source = source;
+    entry->cache_key = key;
     if (!key.empty()) cache_.Insert(key, entry, EstimateTableBytes(entry->table));
     result->tables.push_back(std::move(entry));
     return true;
@@ -101,7 +129,8 @@ Expected<bool, PipelineError> Engine::MaterializeTables(const ResolvedJobSpec& r
       DatasetSpec cell = spec.dataset;
       cell.n = static_cast<std::size_t>(n);
       cell.d = static_cast<std::size_t>(d);
-      if (paged) {
+      if (paged && ShouldPage(EstimateSyntheticBytes(cell))) {
+        cache_.RecordPagedBypass();
         std::unique_ptr<PagedTable> table = GenerateDatasetPaged(cell, paged_options, &error);
         if (table == nullptr) return IoError(error);
         auto entry = std::make_shared<EngineTable>(std::move(table));
@@ -120,11 +149,82 @@ Expected<bool, PipelineError> Engine::MaterializeTables(const ResolvedJobSpec& r
       if (!table) return IoError(error);
       auto entry = std::make_shared<EngineTable>(std::move(*table));
       entry->source = DatasetLabel(cell);
+      entry->cache_key = key;
       cache_.Insert(key, entry, EstimateTableBytes(entry->table));
       result->tables.push_back(std::move(entry));
     }
   }
   return true;
+}
+
+std::uint64_t Engine::ResolveArtifacts(std::span<const RunSpec> specs, JobResult* result) {
+  result->artifacts.assign(result->tables.size(), TableArtifacts{});
+  std::vector<char> need_grouped(result->tables.size(), 0);
+  std::vector<char> need_order(result->tables.size(), 0);
+  for (const RunSpec& spec : specs) {
+    if (AlgorithmUsesGroupedArtifact(spec.algorithm)) need_grouped[spec.table_index] = 1;
+    if (AlgorithmUsesHilbertOrderArtifact(spec.algorithm)) need_order[spec.table_index] = 1;
+  }
+
+  std::uint64_t resident_bytes = 0;
+  Workspace workspace;
+  for (std::size_t i = 0; i < result->tables.size(); ++i) {
+    if (need_grouped[i] == 0 && need_order[i] == 0) continue;
+    const EngineTable& input = *result->tables[i];
+    // Cross-run caching needs a content-identity key and an in-RAM table
+    // (a paged table's artifacts are rebuilt per run like the table
+    // itself); ineligible tables still resolve once per run, so every job
+    // of a sweep shares the build either way.
+    const bool eligible = !input.cache_key.empty() && input.paged == nullptr;
+    TableArtifacts& artifacts = result->artifacts[i];
+
+    if (need_grouped[i] != 0) {
+      const std::string key =
+          eligible ? ArtifactCache::GroupedKey(input.cache_key, input.table) : std::string();
+      if (eligible) {
+        artifacts.grouped = artifact_cache_.LookupGrouped(key);
+        if (artifacts.grouped != nullptr) {
+          ++result->artifact_hits;
+        } else {
+          ++result->artifact_misses;
+        }
+      }
+      if (artifacts.grouped == nullptr) {
+        auto grouped = std::make_shared<GroupedTable>(input.table, &workspace);
+        // The build may have charged its arenas to THIS run's memory
+        // budget; a cached artifact must never carry that reservation
+        // into the next budget epoch. RunLocked re-charges the resident
+        // bytes with a run-scoped reservation instead.
+        grouped->ReleaseBudgetCharge();
+        if (eligible) artifact_cache_.InsertGrouped(key, grouped, grouped->ApproxBytes());
+        artifacts.grouped = std::move(grouped);
+      }
+      resident_bytes += artifacts.grouped->ApproxBytes();
+    }
+
+    if (need_order[i] != 0) {
+      const std::string key =
+          eligible ? ArtifactCache::OrderKey(input.cache_key, input.table) : std::string();
+      if (eligible) {
+        artifacts.hilbert_order = artifact_cache_.LookupOrder(key);
+        if (artifacts.hilbert_order != nullptr) {
+          ++result->artifact_hits;
+        } else {
+          ++result->artifact_misses;
+        }
+      }
+      if (artifacts.hilbert_order == nullptr) {
+        auto order = std::make_shared<std::vector<RowId>>();
+        HilbertComputeOrder(input.table, &workspace, order.get());
+        if (eligible) {
+          artifact_cache_.InsertOrder(key, order, order->size() * sizeof(RowId));
+        }
+        artifacts.hilbert_order = std::move(order);
+      }
+      resident_bytes += artifacts.hilbert_order->size() * sizeof(RowId);
+    }
+  }
+  return resident_bytes;
 }
 
 Expected<JobResult, PipelineError> Engine::RunLocked(const ResolvedJobSpec& resolved) {
@@ -149,15 +249,40 @@ Expected<JobResult, PipelineError> Engine::RunLocked(const ResolvedJobSpec& reso
       ExpandRunGrid(spec.algorithms, spec.ls, result.tables.size(), algo_options);
   result.jobs.reserve(specs.size());
 
+  // Per-run ArtifactCache capacity: an explicit --artifact-cache wins;
+  // otherwise a budgeted run clamps the engine default to a quarter of
+  // its memory budget so cached artifacts stay within the headroom the
+  // run's own working set leaves. Runs serialize on run_mutex_, so the
+  // retune (and any eviction it forces) is race-free.
+  std::uint64_t artifact_capacity = options_.artifact_cache_bytes;
+  if (spec.artifact_cache != kArtifactCacheAuto) {
+    artifact_capacity = spec.artifact_cache;
+  } else if (spec.memory_budget != 0) {
+    artifact_capacity = std::min(artifact_capacity, spec.memory_budget / 4);
+  }
+  artifact_cache_.SetCapacity(artifact_capacity);
+
+  // Resolve the GroupedTable / Hilbert order once per distinct table --
+  // the sweep's jobs share them -- and charge a budgeted run for the
+  // bytes it now pins (cached artifacts carry no reservation of their
+  // own; see GroupedTable::ReleaseBudgetCharge).
+  const std::uint64_t artifact_bytes = ResolveArtifacts(specs, &result);
+  MemoryReservation artifacts_reservation;
+  if (MemoryBudgetBytes() != 0 && artifact_bytes != 0) {
+    artifacts_reservation = MemoryReservation(GlobalMemoryBudgetShared(), artifact_bytes);
+  }
+
   if (specs.size() == 1 && !spec.sweep) {
     // Single invocation: run inline so errors and timings stay on the
     // calling thread.
     const RunSpec& run = specs.front();
     Workspace workspace;
+    const TableArtifacts& artifacts = result.artifacts[run.table_index];
     AnonymizationOutcome outcome =
         AlgorithmRegistry::Global()
             .Create(run.algorithm, run.options)
-            ->Run(result.tables[run.table_index]->table, run.l, &workspace);
+            ->Run(result.tables[run.table_index]->table, run.l, &workspace,
+                  artifacts.empty() ? nullptr : &artifacts);
     result.jobs.push_back({run, std::move(outcome)});
     return result;
   }
@@ -169,7 +294,8 @@ Expected<JobResult, PipelineError> Engine::RunLocked(const ResolvedJobSpec& reso
   }
   // BatchOptions::threads stays 0: the driver follows the budget set
   // above, splitting it between job-level workers and inner kernels.
-  std::vector<AnonymizationOutcome> outcomes = AnonymizeBatch(ToBatchJobs(specs, tables));
+  std::vector<AnonymizationOutcome> outcomes =
+      AnonymizeBatch(ToBatchJobs(specs, tables, result.artifacts));
   for (std::size_t i = 0; i < specs.size(); ++i) {
     result.jobs.push_back({specs[i], std::move(outcomes[i])});
   }
@@ -187,8 +313,9 @@ Expected<ExecuteSummary, PipelineError> Engine::Execute(const JobSpec& spec,
                                                         std::string* notices) {
   Expected<ResolvedJobSpec, PipelineError> resolved = ResolveJobSpec(spec);
   if (!resolved.ok()) return resolved.error();
-  // Hold the run lock through output writing and JobResult destruction:
-  // no paged table (and its budget reservation) outlives its run epoch.
+  // Hold the run lock through output writing so paged reads never race a
+  // following run. (Lifetimes need no lock: a paged table shares ownership
+  // of the budget epoch it charged, so it may safely outlive the run.)
   std::lock_guard<std::mutex> lock(run_mutex_);
   Expected<JobResult, PipelineError> result = RunLocked(*resolved);
   if (!result.ok()) return result.error();
@@ -203,6 +330,8 @@ Expected<ExecuteSummary, PipelineError> Engine::Execute(const JobSpec& spec,
   summary.threads = result->threads;
   summary.cache_hits = result->cache_hits;
   summary.cache_misses = result->cache_misses;
+  summary.artifact_hits = result->artifact_hits;
+  summary.artifact_misses = result->artifact_misses;
   // A sweep treats infeasible cells as data; a single run fails loudly.
   summary.exit_code = (summary.job_count == 1 && summary.infeasible > 0)
                           ? ExitCodeFor(PipelineErrorCode::kInfeasible)

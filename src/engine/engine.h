@@ -4,13 +4,16 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "common/expected.h"
 #include "common/paged_column.h"
 #include "common/table.h"
+#include "core/artifacts.h"
 #include "core/run_spec.h"
+#include "engine/artifact_cache.h"
 #include "engine/dataset_cache.h"
 #include "engine/error.h"
 #include "engine/job_spec.h"
@@ -29,6 +32,10 @@ struct EngineTable {
   std::unique_ptr<PagedTable> paged;
   /// Provenance label, e.g. "csv:micro.csv" or "sal(n=10000, seed=1, d=3)".
   std::string source;
+  /// The DatasetCache content-identity key this table was materialized
+  /// under; "" when uncacheable (unstatable CSV) or paged. Derived
+  /// artifacts reuse it as the dataset half of their ArtifactCache key.
+  std::string cache_key;
 
   explicit EngineTable(Table t) : table(std::move(t)) {}
   explicit EngineTable(std::unique_ptr<PagedTable> p)
@@ -46,15 +53,25 @@ struct EngineJob {
 /// shared with the DatasetCache; entries may alias across JobResults.
 struct JobResult {
   std::vector<std::shared_ptr<const EngineTable>> tables;
+  /// Pre-resolved solver artifacts, parallel to `tables` (empty structs
+  /// for tables whose jobs consume none). Shared with the ArtifactCache;
+  /// holding them here keeps every artifact alive for the whole run even
+  /// if the cache evicts it mid-flight.
+  std::vector<TableArtifacts> artifacts;
   std::vector<EngineJob> jobs;
   /// The resolved thread budget the run executed under. An execution
   /// detail like wall-clock: reports include it only alongside timings,
   /// so --no-timings output stays byte-identical across budgets.
   unsigned threads = 1;
-  /// DatasetCache traffic of this run's input materialization (0/0 for
-  /// budgeted runs, which bypass the cache).
+  /// DatasetCache traffic of this run's input materialization (0/0 when
+  /// every table came up paged and bypassed the cache).
   std::uint64_t cache_hits = 0;
   std::uint64_t cache_misses = 0;
+  /// ArtifactCache traffic of this run's GroupedTable / Hilbert-order
+  /// resolution (0/0 when no job consumes artifacts or the tables were
+  /// cache-ineligible).
+  std::uint64_t artifact_hits = 0;
+  std::uint64_t artifact_misses = 0;
 };
 
 /// Byte-compare-friendly summary of an Execute call, the payload a daemon
@@ -65,6 +82,8 @@ struct ExecuteSummary {
   unsigned threads = 1;
   std::uint64_t cache_hits = 0;
   std::uint64_t cache_misses = 0;
+  std::uint64_t artifact_hits = 0;
+  std::uint64_t artifact_misses = 0;
   /// The one-shot CLI's exit status for this run (0 ok, 2 when a
   /// single-job run was infeasible) -- `ldiv submit` exits with it so a
   /// scripted submit is a drop-in for a one-shot invocation.
@@ -74,6 +93,11 @@ struct ExecuteSummary {
 struct EngineOptions {
   /// DatasetCache capacity; 0 disables cross-job input caching.
   std::uint64_t cache_bytes = 256u << 20;
+  /// ArtifactCache capacity (GroupedTable + Hilbert-order memoization);
+  /// 0 disables cross-job artifact caching. A job can override per run
+  /// with JobSpec::artifact_cache; budgeted jobs without an override are
+  /// clamped to a quarter of their memory budget.
+  std::uint64_t artifact_cache_bytes = 256u << 20;
 };
 
 /// The reusable anonymization engine behind every front-end: one object
@@ -111,14 +135,23 @@ class Engine {
                                                   std::string* notices = nullptr);
 
   DatasetCache& dataset_cache() { return cache_; }
+  ArtifactCache& artifact_cache() { return artifact_cache_; }
 
  private:
   Expected<JobResult, PipelineError> RunLocked(const ResolvedJobSpec& resolved);
   Expected<bool, PipelineError> MaterializeTables(const ResolvedJobSpec& resolved,
                                                   JobResult* result);
+  /// Resolves the GroupedTable / Hilbert-order artifacts each distinct
+  /// table's jobs consume -- once per table, through the ArtifactCache
+  /// when the table is cache-eligible (non-empty cache_key, not paged).
+  /// Returns the total resident bytes of the artifacts now pinned by
+  /// `result`, so RunLocked can charge them to a budgeted run.
+  std::uint64_t ResolveArtifacts(std::span<const RunSpec> specs, JobResult* result);
 
   std::mutex run_mutex_;
+  EngineOptions options_;
   DatasetCache cache_;
+  ArtifactCache artifact_cache_;
 };
 
 }  // namespace ldv

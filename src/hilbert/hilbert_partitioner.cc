@@ -103,7 +103,8 @@ void ComputeOrderExternal(const Table& table, Workspace& ws, std::vector<RowId>*
   std::uint32_t shift = bits_needed - bits;
   HilbertCurve curve(d, bits);
 
-  MemoryBudget* budget = MemoryBudgetBytes() != 0 ? &GlobalMemoryBudget() : nullptr;
+  std::shared_ptr<MemoryBudget> budget =
+      MemoryBudgetBytes() != 0 ? GlobalMemoryBudgetShared() : nullptr;
   const std::uint64_t spend = budget != nullptr ? budget->remaining() / 4 : 64ull << 20;
   const std::size_t buffer_records = static_cast<std::size_t>(
       std::clamp<std::uint64_t>(spend / sizeof(SortRecord), 1u << 16, 4u << 20));
@@ -389,8 +390,15 @@ HilbertResult HilbertAnonymizeWithSpec(const Table& table, const DiversitySpec& 
   return result;
 }
 
+void HilbertComputeOrder(const Table& table, Workspace* workspace, std::vector<RowId>* order) {
+  Workspace local;
+  Workspace& ws = workspace != nullptr ? *workspace : local;
+  ComputeOrder(table, ws, order);
+}
+
 HilbertResult HilbertAnonymize(const Table& table, std::uint32_t l,
-                               const HilbertOptions& options, Workspace* workspace) {
+                               const HilbertOptions& options, Workspace* workspace,
+                               const std::vector<RowId>* precomputed_order) {
   HilbertResult result;
   if (table.empty() || !IsTableEligible(table, l)) {
     result.feasible = table.empty();
@@ -401,8 +409,14 @@ HilbertResult HilbertAnonymize(const Table& table, std::uint32_t l,
   Workspace local;
   Workspace& ws = workspace != nullptr ? *workspace : local;
   auto order_s = ws.U32();
-  std::vector<RowId>& order = *order_s;
-  ComputeOrder(table, ws, &order);
+  const std::vector<RowId>* order_ptr;
+  if (precomputed_order != nullptr) {
+    order_ptr = precomputed_order;
+  } else {
+    ComputeOrder(table, ws, &*order_s);
+    order_ptr = &*order_s;
+  }
+  const std::vector<RowId>& order = *order_ptr;
 
   auto starts_s = ws.U32();
   std::vector<std::uint32_t>& starts = *starts_s;

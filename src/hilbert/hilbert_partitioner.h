@@ -2,10 +2,12 @@
 #define LDIV_HILBERT_HILBERT_PARTITIONER_H_
 
 #include <cstdint>
+#include <vector>
 
 #include "anonymity/diversity.h"
 #include "anonymity/partition.h"
 #include "common/table.h"
+#include "common/types.h"
 #include "common/workspace.h"
 
 namespace ldv {
@@ -42,10 +44,22 @@ struct HilbertResult {
 /// l-eligible QI-groups. Locality of the curve keeps tuples with similar QI
 /// values in the same group, which keeps the Definition-1 star count low.
 /// The code, order and split-offset buffers come from `workspace` when one
-/// is supplied, so repeated solves reuse their scratch memory.
+/// is supplied, so repeated solves reuse their scratch memory. When
+/// `precomputed_order` is non-null it must be the exact row order
+/// HilbertComputeOrder produces for `table`; the encode + sort step is
+/// skipped and the splitter consumes the given order (the engine's
+/// artifact cache uses this to amortize the sort across a sweep).
 HilbertResult HilbertAnonymize(const Table& table, std::uint32_t l,
                                const HilbertOptions& options = {},
-                               Workspace* workspace = nullptr);
+                               Workspace* workspace = nullptr,
+                               const std::vector<RowId>* precomputed_order = nullptr);
+
+/// The sorted Hilbert row order of `table` -- the dataset-dependent,
+/// l-independent half of HilbertAnonymize, exposed so callers can compute
+/// it once per dataset and replay it across solves. Byte-identical to the
+/// order HilbertAnonymize derives internally (including the external-sort
+/// path under a memory budget).
+void HilbertComputeOrder(const Table& table, Workspace* workspace, std::vector<RowId>* order);
 
 /// Generic-predicate variant for the alternative l-diversity
 /// instantiations of [31] (entropy, recursive (c,l)): same Hilbert sort and

@@ -397,7 +397,7 @@ MondrianResult MondrianAnonymize(const Table& table, std::uint32_t l, Workspace*
   // peak() reflects the solve (the passes themselves already run
   // chunk-at-a-time over columns or in-place over these buffers).
   MemoryReservation budget_charge(
-      MemoryBudgetBytes() != 0 ? &GlobalMemoryBudget() : nullptr,
+      MemoryBudgetBytes() != 0 ? GlobalMemoryBudgetShared() : nullptr,
       2ull * shared.n * sizeof(std::uint32_t));
 
   // The shared row-id and SA buffers every walker indexes into.

@@ -1,8 +1,9 @@
 // Engine-layer tests: the Expected error channel and its exit-code table,
 // the JobSpec wire round trip and rejection rules, the single semantic
 // validation pass (ResolveJobSpec), the DatasetCache LRU behavior, and
-// the Engine itself -- cache hits on repeat traffic, budgeted-run cache
-// bypass, and equality with the CLI adapter path.
+// the Engine itself -- cache hits on repeat traffic, paged-run cache
+// bypass, cross-run artifact memoization, and equality with the CLI
+// adapter path.
 
 #include "engine/engine.h"
 
@@ -234,7 +235,7 @@ TEST(Engine, RepeatRunsHitTheDatasetCache) {
   SetThreadBudget(0);
 }
 
-TEST(Engine, BudgetedRunsBypassTheCacheButMatchByteForByte) {
+TEST(Engine, BudgetedInRamRunsCacheNormallyAndMatchByteForByte) {
   Engine engine;
   JobSpec spec = SyntheticSpec();
   spec.algorithms = {Algorithm::kMondrian};
@@ -243,19 +244,113 @@ TEST(Engine, BudgetedRunsBypassTheCacheButMatchByteForByte) {
   Expected<JobResult, PipelineError> plain = engine.Run(spec);
   ASSERT_TRUE(plain.ok()) << plain.error().message;
 
+  // 900 rows fit comfortably inside a 64M budget, so ingestion stays
+  // in-RAM and the DatasetCache serves the budgeted run like any other.
   JobSpec budgeted = spec;
   budgeted.memory_budget = 64u << 20;
+  Expected<JobResult, PipelineError> cached = engine.Run(budgeted);
+  ASSERT_TRUE(cached.ok()) << cached.error().message;
+  EXPECT_EQ(cached->cache_hits, 1u);
+  EXPECT_EQ(cached->cache_misses, 0u);
+  EXPECT_EQ(cached->tables[0]->paged, nullptr);
+  EXPECT_EQ(engine.dataset_cache().stats().bypassed_paged, 0u);
+
+  ReportOptions options;
+  options.include_seconds = false;
+  EXPECT_EQ(RenderJsonReport(plain.value(), options), RenderJsonReport(cached.value(), options));
+  EXPECT_EQ(RenderMetricsCsv(plain.value(), options), RenderMetricsCsv(cached.value(), options));
+  SetMemoryBudget(0);
+  SetThreadBudget(0);
+}
+
+TEST(Engine, PagedRunsBypassTheCacheButMatchByteForByte) {
+  Engine engine;
+  JobSpec spec = SyntheticSpec();
+  spec.ns = {200000};
+  spec.algorithms = {Algorithm::kMondrian};
+  spec.timings = false;
+
+  Expected<JobResult, PipelineError> plain = engine.Run(spec);
+  ASSERT_TRUE(plain.ok()) << plain.error().message;
+  EXPECT_EQ(plain->cache_misses, 1u);
+
+  // Under the 8M floor budget the estimated table footprint (~3.2M)
+  // exceeds a quarter of the budget, so ingestion takes the paged path
+  // and bypasses the cache -- recorded, not silently skipped.
+  JobSpec budgeted = spec;
+  budgeted.memory_budget = 8u << 20;
   Expected<JobResult, PipelineError> paged = engine.Run(budgeted);
   ASSERT_TRUE(paged.ok()) << paged.error().message;
   EXPECT_EQ(paged->cache_hits, 0u);
   EXPECT_EQ(paged->cache_misses, 0u);
   EXPECT_NE(paged->tables[0]->paged, nullptr);
+  EXPECT_EQ(engine.dataset_cache().stats().bypassed_paged, 1u);
 
   ReportOptions options;
   options.include_seconds = false;
   EXPECT_EQ(RenderJsonReport(plain.value(), options), RenderJsonReport(paged.value(), options));
   EXPECT_EQ(RenderMetricsCsv(plain.value(), options), RenderMetricsCsv(paged.value(), options));
   SetMemoryBudget(0);
+  SetThreadBudget(0);
+}
+
+TEST(Engine, SweepResolvesArtifactsOnceAndRepeatRunsHitTheArtifactCache) {
+  Engine engine;
+  JobSpec spec = SyntheticSpec();
+  spec.algorithms = {Algorithm::kTp, Algorithm::kTpPlus, Algorithm::kHilbert,
+                     Algorithm::kMondrian};
+  spec.ls = {2, 4, 6};
+  spec.timings = false;
+
+  Expected<JobResult, PipelineError> first = engine.Run(spec);
+  ASSERT_TRUE(first.ok()) << first.error().message;
+  ASSERT_EQ(first->jobs.size(), 12u);
+  EXPECT_EQ(first->artifact_hits, 0u);
+  EXPECT_EQ(first->artifact_misses, 2u)
+      << "one GroupedTable build and one Hilbert order for the whole sweep";
+
+  Expected<JobResult, PipelineError> second = engine.Run(spec);
+  ASSERT_TRUE(second.ok()) << second.error().message;
+  EXPECT_EQ(second->artifact_hits, 2u);
+  EXPECT_EQ(second->artifact_misses, 0u);
+
+  const ArtifactCache::Stats stats = engine.artifact_cache().stats();
+  EXPECT_EQ(stats.insertions, 2u);
+  EXPECT_EQ(stats.entries, 2u);
+  EXPECT_GT(stats.resident_bytes, 0u);
+
+  ReportOptions options;
+  options.include_seconds = false;
+  EXPECT_EQ(RenderJsonReport(first.value(), options), RenderJsonReport(second.value(), options));
+  EXPECT_EQ(RenderMetricsCsv(first.value(), options),
+            RenderMetricsCsv(second.value(), options));
+  SetThreadBudget(0);
+}
+
+TEST(Engine, DisabledArtifactCacheMatchesTheHitPathByteForByte) {
+  JobSpec spec = SyntheticSpec();
+  spec.algorithms = {Algorithm::kTp, Algorithm::kTpPlus, Algorithm::kHilbert};
+  spec.ls = {2, 4};
+  spec.timings = false;
+
+  Engine warm_engine;
+  ASSERT_TRUE(warm_engine.Run(spec).ok());
+  Expected<JobResult, PipelineError> warm = warm_engine.Run(spec);
+  ASSERT_TRUE(warm.ok()) << warm.error().message;
+  EXPECT_EQ(warm->artifact_hits, 2u);
+
+  Engine cold_engine;
+  JobSpec disabled = spec;
+  disabled.artifact_cache = 0;
+  Expected<JobResult, PipelineError> cold = cold_engine.Run(disabled);
+  ASSERT_TRUE(cold.ok()) << cold.error().message;
+  EXPECT_EQ(cold_engine.artifact_cache().stats().insertions, 0u)
+      << "--artifact-cache=0 disables memoization entirely";
+
+  ReportOptions options;
+  options.include_seconds = false;
+  EXPECT_EQ(RenderJsonReport(warm.value(), options), RenderJsonReport(cold.value(), options));
+  EXPECT_EQ(RenderMetricsCsv(warm.value(), options), RenderMetricsCsv(cold.value(), options));
   SetThreadBudget(0);
 }
 

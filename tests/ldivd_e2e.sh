@@ -8,6 +8,7 @@
 # `ldiv ctl`, and requires: byte-identical outputs versus the one-shot
 # CLI (including under --memory-budget and --threads), a DatasetCache hit
 # on a repeated submission (observable in the reply and in ctl stats),
+# ArtifactCache hits on a repeated sweep with byte-identical outputs,
 # explicit busy backpressure under a submit flood (exit 4, never a hang
 # or a drop), and a graceful drain on shutdown.
 set -euo pipefail
@@ -62,7 +63,10 @@ for k in $(seq 0 11); do
     { echo "FAIL: sweep release job$k differs between one-shot and daemon"; exit 1; }
 done
 run_pair threads --algo=mondrian --l=2 --n=20000 --d=3 --threads=2
-run_pair budget --algo=hilbert --l=2 --n=50000 --d=3 --memory-budget=8M
+# 150k rows estimate past a quarter of the 8M budget, so ingestion
+# genuinely takes the out-of-core paged path (smaller tables now stay
+# in-RAM and cache normally under a budget).
+run_pair budget --algo=hilbert --l=2 --n=150000 --d=3 --memory-budget=8M
 
 echo "== repeat submission hits the DatasetCache =="
 # daemon_csv ran the micro CSV once already; the same input again must be
@@ -74,6 +78,31 @@ grep -q "cache-hits = 1" "$TMP/repeat.out" ||
 "$BIN" ctl --socket="$SOCK" stats > "$TMP/stats.out"
 grep -q "cache-hits = [1-9]" "$TMP/stats.out" ||
   { echo "FAIL: ctl stats reports no cache hits"; cat "$TMP/stats.out"; exit 1; }
+
+echo "== repeat sweep hits the ArtifactCache =="
+# A fresh (n, d) cell, so the first sweep builds its GroupedTable and
+# Hilbert order cold; the repeat resolves both from the ArtifactCache
+# (visible in the reply and in ctl stats) and every output must stay
+# byte-identical to the cold run.
+"$BIN" submit --socket="$SOCK" --algo=tp,tp+,hilbert --l=2,4 --n=5000 --d=3 --sweep \
+  --write-releases --no-timings --out="$TMP/art_cold" > "$TMP/art_cold.out"
+grep -q "artifact-misses = 2" "$TMP/art_cold.out" ||
+  { echo "FAIL: cold sweep did not build both artifacts"; cat "$TMP/art_cold.out"; exit 1; }
+"$BIN" submit --socket="$SOCK" --algo=tp,tp+,hilbert --l=2,4 --n=5000 --d=3 --sweep \
+  --write-releases --no-timings --out="$TMP/art_hot" > "$TMP/art_hot.out"
+grep -q "artifact-hits = 2" "$TMP/art_hot.out" ||
+  { echo "FAIL: repeated sweep missed the ArtifactCache"; cat "$TMP/art_hot.out"; exit 1; }
+cmp "$TMP/art_cold.json" "$TMP/art_hot.json" ||
+  { echo "FAIL: artifact hit path changed the JSON report"; exit 1; }
+cmp "$TMP/art_cold_metrics.csv" "$TMP/art_hot_metrics.csv" ||
+  { echo "FAIL: artifact hit path changed the metrics"; exit 1; }
+for k in $(seq 0 5); do
+  cmp "$TMP/art_cold.job$k.csv" "$TMP/art_hot.job$k.csv" ||
+    { echo "FAIL: artifact hit path changed release job$k"; exit 1; }
+done
+"$BIN" ctl --socket="$SOCK" stats > "$TMP/stats_art.out"
+grep -q "artifact-hits = [1-9]" "$TMP/stats_art.out" ||
+  { echo "FAIL: ctl stats reports no artifact hits"; cat "$TMP/stats_art.out"; exit 1; }
 
 echo "== spec errors reply with exit codes, not hangs =="
 expect_exit() {

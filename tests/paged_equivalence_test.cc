@@ -40,7 +40,7 @@ PagedTableBuilder::Options TinyPages() {
   PagedTableBuilder::Options options;
   options.page_bytes = 4096;
   options.cache_frames = 8;
-  options.budget = &GlobalMemoryBudget();
+  options.budget = GlobalMemoryBudgetShared();
   return options;
 }
 

@@ -8,6 +8,7 @@
 
 #include <algorithm>
 #include <cstring>
+#include <memory>
 #include <numeric>
 #include <vector>
 
@@ -102,19 +103,19 @@ TEST(MemoryBudget, UnlimitedBudgetAlwaysFits) {
 }
 
 TEST(MemoryReservation, RaiiAndMoveSemantics) {
-  MemoryBudget budget(1 << 20);
+  auto budget = std::make_shared<MemoryBudget>(1 << 20);
   {
-    MemoryReservation r(&budget, 1000);
-    EXPECT_EQ(budget.used(), 1000u);
+    MemoryReservation r(budget, 1000);
+    EXPECT_EQ(budget->used(), 1000u);
     r.Resize(400);
-    EXPECT_EQ(budget.used(), 400u);
+    EXPECT_EQ(budget->used(), 400u);
     r.Resize(800);
-    EXPECT_EQ(budget.used(), 800u);
+    EXPECT_EQ(budget->used(), 800u);
     MemoryReservation moved = std::move(r);
     EXPECT_EQ(moved.bytes(), 800u);
-    EXPECT_EQ(budget.used(), 800u);  // a move transfers, never double-counts
+    EXPECT_EQ(budget->used(), 800u);  // a move transfers, never double-counts
   }
-  EXPECT_EQ(budget.used(), 0u);
+  EXPECT_EQ(budget->used(), 0u);
   // Null budget: every operation is a no-op.
   MemoryReservation null_res(nullptr, 1 << 30);
   null_res.Resize(1);
@@ -170,9 +171,9 @@ std::unique_ptr<SpillFile> MakePagedFile(std::size_t pages, std::size_t page_byt
 TEST(PageCache, PinsHitAndMiss) {
   constexpr std::size_t kPageBytes = 64;
   std::unique_ptr<SpillFile> file = MakePagedFile(4, kPageBytes);
-  MemoryBudget budget(1 << 20);
-  PageCache cache({kPageBytes, 4, &budget});
-  EXPECT_EQ(budget.used(), 4 * kPageBytes);  // frames charged up front
+  auto budget = std::make_shared<MemoryBudget>(1 << 20);
+  PageCache cache({kPageBytes, 4, budget});
+  EXPECT_EQ(budget->used(), 4 * kPageBytes);  // frames charged up front
 
   const std::byte* p0 = cache.Pin(*file, 0, kPageBytes);
   std::uint32_t value = 0;
@@ -237,13 +238,13 @@ TEST(PageCache, EvictsUnpinnedFramesAndCountsRefaults) {
 
 TEST(PagedColumn, AppendsAcrossPageBoundariesAndServesCursorSpans) {
   constexpr std::size_t kPageBytes = 64;  // 16 values per page
-  MemoryBudget budget(1 << 20);
-  PageCache cache({kPageBytes, 2, &budget});
+  auto budget = std::make_shared<MemoryBudget>(1 << 20);
+  PageCache cache({kPageBytes, 2, budget});
   std::string error;
   std::unique_ptr<SpillFile> file = SpillFile::Create(&error);
   ASSERT_NE(file, nullptr) << error;
 
-  PagedColumn column(std::move(file), &cache, &budget);
+  PagedColumn column(std::move(file), &cache, budget);
   // 41 values: two full pages plus a 9-value tail, fed in ragged chunks.
   std::vector<std::uint32_t> values(41);
   for (std::size_t i = 0; i < values.size(); ++i) values[i] = static_cast<std::uint32_t>(i * 3);
@@ -375,8 +376,8 @@ TEST(ExternalSorter, MultiRunMergePreservesTotalOrder) {
   ExternalSorter::Options options;
   options.buffer_records = 128;        // force many spilled runs
   options.merge_buffer_records = 16;   // and many refills per run
-  MemoryBudget budget(1 << 20);
-  options.budget = &budget;
+  auto budget = std::make_shared<MemoryBudget>(1 << 20);
+  options.budget = budget;
   std::string error;
   {
     std::unique_ptr<ExternalSorter> sorter = ExternalSorter::Create(options, &error);
@@ -402,8 +403,8 @@ TEST(ExternalSorter, MultiRunMergePreservesTotalOrder) {
   }
   // Every charge (run buffer, merge buffers) was returned at destruction,
   // and the high-water mark proves the charges happened at all.
-  EXPECT_EQ(budget.used(), 0u);
-  EXPECT_GT(budget.peak(), 0u);
+  EXPECT_EQ(budget->used(), 0u);
+  EXPECT_GT(budget->peak(), 0u);
 }
 
 TEST(ExternalSorter, EmptyInputDrainsImmediately) {

@@ -121,18 +121,20 @@ int ServeMain(int argc, char** argv) {
 
   FlagSet flags;
   std::string error;
-  constexpr std::array<std::string_view, 5> kServeFlags = {
-      "socket", "queue-depth", "workers", "cache-bytes", "retry-after-ms"};
+  constexpr std::array<std::string_view, 6> kServeFlags = {
+      "socket", "queue-depth", "workers", "cache-bytes", "artifact-cache", "retry-after-ms"};
   DaemonOptions options;
   std::uint64_t queue_depth = 16;
   std::uint64_t workers = 1;
   std::string cache_text;
+  std::string artifact_text;
   std::uint64_t retry_after_ms = 100;
   bool parsed = flags.ParseArgs(argc, argv, &error) &&
                 flags.GetString("socket", "", &options.socket_path, &error) &&
                 flags.GetUint64("queue-depth", 16, &queue_depth, &error) &&
                 flags.GetUint64("workers", 1, &workers, &error) &&
                 flags.GetString("cache-bytes", "256M", &cache_text, &error) &&
+                flags.GetString("artifact-cache", "", &artifact_text, &error) &&
                 flags.GetUint64("retry-after-ms", 100, &retry_after_ms, &error);
   if (parsed) {
     std::vector<std::string> unknown =
@@ -149,6 +151,11 @@ int ServeMain(int argc, char** argv) {
   if (parsed && !ParseByteSize(cache_text, &options.cache_bytes, &error)) {
     parsed = false;
     error = "--cache-bytes: " + error;
+  }
+  if (parsed && !artifact_text.empty() &&
+      !ParseByteSize(artifact_text, &options.artifact_cache_bytes, &error)) {
+    parsed = false;
+    error = "--artifact-cache: " + error;
   }
   if (parsed && queue_depth == 0) {
     parsed = false;
