@@ -3,11 +3,14 @@
 #include <fstream>
 
 #include "common/csv.h"
+#include "common/failpoint.h"
 
 namespace ldv {
 
 bool WriteReleaseCsv(const Table& table, const GeneralizedTable& generalized,
                      const std::string& path) {
+  failpoint::Injection injection;
+  if (failpoint::Check(failpoint::Site::kReleaseWrite, &injection)) return false;
   std::ofstream out(path);
   if (!out) return false;
   const Schema& schema = table.schema();
@@ -28,7 +31,10 @@ bool WriteReleaseCsv(const Table& table, const GeneralizedTable& generalized,
       out << DecodeCsvValue(schema.sensitive(), table.sa(r)) << "\n";
     }
   }
-  return static_cast<bool>(out);
+  // Close before checking: a full disk behind the buffered stream only
+  // surfaces at flush/close time.
+  out.close();
+  return !out.fail();
 }
 
 namespace {

@@ -235,7 +235,8 @@ std::string CliUsage(std::string_view program) {
   usage += "subcommands (see README for the daemon protocol):\n";
   usage += "  serve   run the ldivd anonymization daemon on a unix socket\n";
   usage += "  submit  send one job (the flags above, plus --socket/--priority/\n";
-  usage += "          --deadline-ms) to a running daemon\n";
+  usage += "          --deadline-ms/--retry=N, which retries busy replies with\n";
+  usage += "          jittered exponential backoff) to a running daemon\n";
   usage += "  ctl     daemon control: ldiv ctl --socket=PATH stats|ping|shutdown\n";
   usage += "\n";
   usage += "exit codes: 0 ok, 1 usage error, 2 infeasible instance, 3 I/O error,\n";

@@ -1,7 +1,11 @@
 #include "common/csv.h"
 
+#include <cerrno>
+#include <cstring>
 #include <fstream>
 #include <limits>
+
+#include "common/failpoint.h"
 
 namespace ldv {
 
@@ -199,6 +203,12 @@ bool StreamCodedCsv(const Schema& schema, const std::string& path, CsvError* err
   std::size_t line_number = 1;
   while (std::getline(in, line)) {
     ++line_number;
+    failpoint::Injection injection;
+    if (failpoint::Check(failpoint::Site::kCsvRead, &injection)) {
+      SetError(error, path, line_number, 0,
+               failpoint::Describe(failpoint::Site::kCsvRead, injection, "read failed"));
+      return false;
+    }
     if (IsBlankCsvLine(line)) continue;
     if (!SplitRecordChecked(line, line_number, path, &cells, error)) return false;
     if (cells.size() != d + 1) {
@@ -231,6 +241,13 @@ bool StreamCodedCsv(const Schema& schema, const std::string& path, CsvError* err
       }
     }
     row_fn(std::span<const Value>(qi), sa);
+  }
+  if (in.bad()) {
+    // getline's eof and a mid-file read error look identical without this
+    // check: a truncated table would silently pass as a complete one.
+    SetError(error, path, line_number, 0,
+             std::string("read failed: ") + std::strerror(errno));
+    return false;
   }
   return true;
 }
@@ -287,6 +304,12 @@ bool StreamRawCsv(const std::string& path, CsvError* error, const HeaderFn& on_h
   std::size_t rows = 0;
   while (std::getline(in, line)) {
     ++line_number;
+    failpoint::Injection injection;
+    if (failpoint::Check(failpoint::Site::kCsvRead, &injection)) {
+      SetError(error, path, line_number, 0,
+               failpoint::Describe(failpoint::Site::kCsvRead, injection, "read failed"));
+      return false;
+    }
     if (IsBlankCsvLine(line)) continue;
     if (!SplitRecordChecked(line, line_number, path, &cells, error)) return false;
     if (cells.size() != d + 1) {
@@ -316,6 +339,11 @@ bool StreamRawCsv(const std::string& path, CsvError* error, const HeaderFn& on_h
     }
     row_fn(std::span<const Value>(qi), sa);
     ++rows;
+  }
+  if (in.bad()) {
+    SetError(error, path, line_number, 0,
+             std::string("read failed: ") + std::strerror(errno));
+    return false;
   }
   if (rows == 0) {
     SetError(error, path, line_number, 0, "no data rows after the header");

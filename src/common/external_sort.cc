@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.h"
+#include "common/failpoint.h"
 #include "common/parallel.h"
 #include "common/workspace.h"
 
@@ -68,6 +69,11 @@ void ExternalSorter::SortBuffer() {
 void ExternalSorter::SpillRun() {
   if (buffer_.empty()) return;
   SortBuffer();
+  failpoint::Injection injection;
+  if (failpoint::Check(failpoint::Site::kExtSortSpill, &injection)) {
+    throw IoFailure(failpoint::Describe(failpoint::Site::kExtSortSpill, injection,
+                                        "external sort run spill failed"));
+  }
   const std::uint64_t bytes = buffer_.size() * kRecordBytes;
   const std::uint64_t offset = file_->Allocate(bytes);
   file_->Write(offset, buffer_.data(), static_cast<std::size_t>(bytes));
@@ -113,6 +119,11 @@ bool ExternalSorter::RefillSource(MergeSource& source) {
   const std::size_t take =
       static_cast<std::size_t>(std::min<std::uint64_t>(remaining, options_.merge_buffer_records));
   source.buffer.resize(take);
+  failpoint::Injection injection;
+  if (failpoint::Check(failpoint::Site::kExtSortMerge, &injection)) {
+    throw IoFailure(failpoint::Describe(failpoint::Site::kExtSortMerge, injection,
+                                        "external sort merge read failed"));
+  }
   file_->Read(run.offset + source.next_record * kRecordBytes, source.buffer.data(),
               take * kRecordBytes);
   source.next_record += take;

@@ -4,6 +4,7 @@
 
 #include "common/check.h"
 #include "common/external_sort.h"
+#include "common/failpoint.h"
 #include "common/flat_map.h"
 #include "common/memory_budget.h"
 #include "common/parallel.h"
@@ -370,7 +371,9 @@ void GroupedTable::BuildChunkedImpl(const Table& table, Workspace* workspace,
   std::unique_ptr<ExternalSorter> sorter = ExternalSorter::Create(
       ExternalSorter::Options{.buffer_records = sort_buffer_records, .budget = budget},
       &sort_error);
-  LDIV_CHECK(sorter != nullptr) << "external sort unavailable: " << sort_error;
+  // No temp space mid-build is recoverable: the engine boundary turns
+  // this into a typed I/O error, never an abort.
+  if (sorter == nullptr) throw IoFailure("external sort unavailable: " + sort_error);
 
   // Single sequential pass in fixed row chunks: hash the chunk with the
   // SIMD column fold, then resolve each row's signature in a growing

@@ -9,6 +9,7 @@
 #include <cstring>
 
 #include "common/check.h"
+#include "common/failpoint.h"
 
 namespace ldv {
 
@@ -18,6 +19,10 @@ std::uint32_t NextSpillId() {
   static std::atomic<std::uint32_t> counter{0};
   return counter.fetch_add(1, std::memory_order_relaxed);
 }
+
+// Leak probe: every live SpillFile counts itself here, so tests can
+// assert that an unwound failure released all spill storage.
+std::atomic<std::uint64_t> g_live_spill_files{0};
 
 struct SpillDirectoryResolution {
   bool ok = false;
@@ -69,6 +74,14 @@ bool ResolveSpillDirectory(std::string* directory, std::string* error) {
 std::unique_ptr<SpillFile> SpillFile::Create(std::string* error) {
   std::string directory;
   if (!ResolveSpillDirectory(&directory, error)) return nullptr;
+  failpoint::Injection injection;
+  if (failpoint::Check(failpoint::Site::kSpillCreate, &injection)) {
+    if (error != nullptr) {
+      *error = failpoint::Describe(failpoint::Site::kSpillCreate, injection,
+                                   "cannot create spill file in '" + directory + "'");
+    }
+    return nullptr;
+  }
   std::string pattern = directory + "/ldiv-spill-XXXXXX";
   const int fd = ::mkstemp(pattern.data());
   if (fd < 0) {
@@ -80,11 +93,17 @@ std::unique_ptr<SpillFile> SpillFile::Create(std::string* error) {
   // Unlink immediately: the fd keeps the storage alive, and the OS
   // reclaims it when the fd closes -- even if the process crashes.
   ::unlink(pattern.c_str());
+  g_live_spill_files.fetch_add(1, std::memory_order_relaxed);
   return std::unique_ptr<SpillFile>(new SpillFile(fd, NextSpillId(), directory));
+}
+
+std::uint64_t SpillFile::LiveCount() {
+  return g_live_spill_files.load(std::memory_order_relaxed);
 }
 
 SpillFile::~SpillFile() {
   if (fd_ >= 0) ::close(fd_);
+  g_live_spill_files.fetch_sub(1, std::memory_order_relaxed);
 }
 
 std::uint64_t SpillFile::Allocate(std::uint64_t bytes) {
@@ -95,10 +114,23 @@ std::uint64_t SpillFile::Allocate(std::uint64_t bytes) {
 
 void SpillFile::Write(std::uint64_t offset, const void* data, std::size_t bytes) const {
   const char* src = static_cast<const char*>(data);
+  failpoint::Injection injection;
+  if (failpoint::Check(failpoint::Site::kSpillWrite, &injection)) {
+    if (injection.short_write && bytes > 1) {
+      // Land half the bytes for real before failing, so the unwind path
+      // is exercised against a genuinely torn page.
+      (void)::pwrite(fd_, src, bytes / 2, static_cast<off_t>(offset));
+    }
+    throw IoFailure(
+        failpoint::Describe(failpoint::Site::kSpillWrite, injection, "spill write failed"));
+  }
   while (bytes > 0) {
     const ssize_t n = ::pwrite(fd_, src, bytes, static_cast<off_t>(offset));
     if (n < 0 && errno == EINTR) continue;
-    LDIV_CHECK_GT(n, 0) << "spill write failed: " << std::strerror(errno);
+    if (n <= 0) {
+      throw IoFailure(std::string("spill write failed: ") +
+                      std::strerror(n < 0 ? errno : EIO));
+    }
     src += n;
     offset += static_cast<std::uint64_t>(n);
     bytes -= static_cast<std::size_t>(n);
@@ -107,10 +139,19 @@ void SpillFile::Write(std::uint64_t offset, const void* data, std::size_t bytes)
 
 void SpillFile::Read(std::uint64_t offset, void* data, std::size_t bytes) const {
   char* dst = static_cast<char*>(data);
+  failpoint::Injection injection;
+  if (failpoint::Check(failpoint::Site::kSpillRead, &injection)) {
+    throw IoFailure(
+        failpoint::Describe(failpoint::Site::kSpillRead, injection, "spill read failed"));
+  }
   while (bytes > 0) {
     const ssize_t n = ::pread(fd_, dst, bytes, static_cast<off_t>(offset));
     if (n < 0 && errno == EINTR) continue;
-    LDIV_CHECK_GT(n, 0) << "spill read failed: " << std::strerror(errno);
+    if (n <= 0) {
+      // n == 0 is a short file -- truncated behind our back; surface it
+      // as an I/O failure, not an abort.
+      throw IoFailure(std::string("spill read failed: ") + std::strerror(n < 0 ? errno : EIO));
+    }
     dst += n;
     offset += static_cast<std::uint64_t>(n);
     bytes -= static_cast<std::size_t>(n);
@@ -185,6 +226,13 @@ const std::byte* PageCache::Pin(const SpillFile& file, std::uint64_t page,
   const std::size_t index = EvictFrame();
   Frame& frame = frames_[index];
   std::byte* data = storage_.data() + index * options_.page_bytes;
+  failpoint::Injection injection;
+  if (failpoint::Check(failpoint::Site::kPageCacheRead, &injection)) {
+    // The frame stays invalid (and unindexed), so the cache is intact
+    // after the unwind.
+    throw IoFailure(failpoint::Describe(failpoint::Site::kPageCacheRead, injection,
+                                        "page cache read failed"));
+  }
   file.Read(page * options_.page_bytes, data, valid_bytes);
   frame.key = key;
   frame.pins = 1;

@@ -36,12 +36,19 @@ bool ResolveSpillDirectory(std::string* directory, std::string* error);
 ///
 /// Creation returns an error (no temp space is a user-environment
 /// problem surfaced at ingestion start); I/O failures after that --
-/// disk full mid-spill, revoked fd -- are fatal LDIV_CHECKs, the same
-/// policy a write-ahead log applies.
+/// disk full mid-spill, revoked fd -- throw IoFailure, which the engine
+/// boundary converts to a typed PipelineError{kIo} (and the daemon to an
+/// `error` reply). The unlink-at-create design is what makes the unwind
+/// safe: a half-written spill file needs no cleanup beyond its dtor.
 class SpillFile {
  public:
   /// Creates an unlinked temp file; null + `error` on failure.
   static std::unique_ptr<SpillFile> Create(std::string* error);
+
+  /// Number of SpillFile objects currently alive in the process -- the
+  /// leak probe fault-injection tests assert returns to its baseline
+  /// after every injected failure.
+  static std::uint64_t LiveCount();
 
   ~SpillFile();
   SpillFile(const SpillFile&) = delete;
@@ -59,6 +66,8 @@ class SpillFile {
   /// Reserves `bytes` at the end of the file; returns their offset.
   std::uint64_t Allocate(std::uint64_t bytes);
 
+  /// Positioned write/read of exactly `bytes`; both throw IoFailure on a
+  /// syscall failure (ENOSPC, EIO, short read) or an armed failpoint.
   void Write(std::uint64_t offset, const void* data, std::size_t bytes) const;
   void Read(std::uint64_t offset, void* data, std::size_t bytes) const;
 
@@ -117,8 +126,10 @@ class PageCache {
   /// Pins page `page` of `file` (bytes [page * page_bytes, ... + valid_bytes))
   /// into a frame, reading from the spill file on a miss, and returns the
   /// frame's data. The frame cannot be evicted until the matching Unpin.
-  /// Pins nest (a page may be pinned more than once). It is a fatal error
-  /// to pin when every frame is pinned (callers hold O(1) pins).
+  /// Pins nest (a page may be pinned more than once). A failed miss read
+  /// throws IoFailure with the frame left invalid (the cache stays
+  /// usable). It is a fatal error to pin when every frame is pinned
+  /// (callers hold O(1) pins).
   const std::byte* Pin(const SpillFile& file, std::uint64_t page, std::size_t valid_bytes);
 
   /// Releases one pin of `page`; sets the frame's reference bit so CLOCK

@@ -7,6 +7,7 @@
 #include <cstring>
 
 #include "common/check.h"
+#include "common/failpoint.h"
 
 namespace ldv {
 
@@ -34,6 +35,11 @@ void PagedColumn::Append(const std::uint32_t* values, std::size_t count) {
     count -= take;
     size_ += take;
     if (staging_.size() == per_page) {
+      failpoint::Injection injection;
+      if (failpoint::Check(failpoint::Site::kPagedAppend, &injection)) {
+        throw IoFailure(failpoint::Describe(failpoint::Site::kPagedAppend, injection,
+                                            "paged column append failed"));
+      }
       file_->Write(file_->Allocate(page_bytes()), staging_.data(), page_bytes());
       staging_.clear();
     }
@@ -43,6 +49,11 @@ void PagedColumn::Append(const std::uint32_t* values, std::size_t count) {
 bool PagedColumn::Seal(bool map, std::string* error) {
   LDIV_CHECK(!sealed_) << "double seal of a paged column";
   if (!staging_.empty()) {
+    failpoint::Injection injection;
+    if (failpoint::Check(failpoint::Site::kPagedSeal, &injection)) {
+      throw IoFailure(failpoint::Describe(failpoint::Site::kPagedSeal, injection,
+                                          "paged column seal failed"));
+    }
     const std::size_t tail_bytes = staging_.size() * sizeof(std::uint32_t);
     file_->Write(file_->Allocate(tail_bytes), staging_.data(), tail_bytes);
     staging_.clear();
@@ -58,6 +69,14 @@ bool PagedColumn::Seal(bool map, std::string* error) {
 bool PagedColumn::Map(std::string* error) {
   LDIV_CHECK(sealed_) << "map of an unsealed column";
   if (mapped() || size_ == 0) return true;
+  failpoint::Injection injection;
+  if (failpoint::Check(failpoint::Site::kPagedMap, &injection)) {
+    if (error != nullptr) {
+      *error = failpoint::Describe(failpoint::Site::kPagedMap, injection,
+                                   "cannot map spill file");
+    }
+    return false;
+  }
   map_bytes_ = static_cast<std::size_t>(file_->size());
   void* addr = ::mmap(nullptr, map_bytes_, PROT_READ, MAP_SHARED, file_->fd(), 0);
   if (addr == MAP_FAILED) {

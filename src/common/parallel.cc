@@ -54,9 +54,19 @@ class ThreadPool {
     t_in_parallel_region = true;
     RunChunks(caller_ws);
     t_in_parallel_region = false;
-    std::unique_lock<std::mutex> lock(mutex_);
-    done_cv_.wait(lock, [this] { return pending_ == 0; });
-    task_fn_ = nullptr;
+    std::exception_ptr error;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      done_cv_.wait(lock, [this] { return pending_ == 0; });
+      task_fn_ = nullptr;
+      error = task_error_;
+      task_error_ = nullptr;
+    }
+    // A chunk that threw (on any thread) rethrows HERE, on the calling
+    // thread, after every worker has left the region -- a deep I/O
+    // failure inside a parallel kernel surfaces to the engine boundary
+    // instead of terminating the process from a pool thread.
+    if (error) std::rethrow_exception(error);
   }
 
   ~ThreadPool() {
@@ -90,7 +100,17 @@ class ThreadPool {
       if (chunk >= task_chunks_) return;
       std::size_t begin = chunk * task_grain_;
       std::size_t end = std::min(task_n_, begin + task_grain_);
-      (*task_fn_)(begin, end, ws);
+      try {
+        (*task_fn_)(begin, end, ws);
+      } catch (...) {
+        {
+          std::lock_guard<std::mutex> lock(mutex_);
+          if (!task_error_) task_error_ = std::current_exception();
+        }
+        // Skip the remaining chunks so every thread leaves the region
+        // promptly; Run() rethrows on the calling thread.
+        next_chunk_.store(task_chunks_, std::memory_order_relaxed);
+      }
     }
   }
 
@@ -120,6 +140,7 @@ class ThreadPool {
   std::condition_variable done_cv_;
   std::vector<std::unique_ptr<Worker>> workers_;
   const ParallelChunkFn* task_fn_ = nullptr;
+  std::exception_ptr task_error_;  // first chunk exception of the region
   std::size_t task_n_ = 0;
   std::size_t task_grain_ = 1;
   std::size_t task_chunks_ = 0;

@@ -62,6 +62,11 @@ using ParallelChunkFn =
 /// per-chunk slots) and may read any shared state that no chunk writes.
 /// Chunks claimed by the pool run concurrently; a chunk is never split.
 /// Calls from inside a pool worker run inline (no nested fan-out).
+///
+/// A chunk that throws -- on any thread -- skips the region's remaining
+/// chunks and rethrows the first exception on the calling thread once
+/// every worker has left the region, so I/O failures inside parallel
+/// kernels reach the engine boundary instead of std::terminate.
 void ParallelFor(std::size_t n, std::size_t grain, Workspace& ws, const ParallelChunkFn& fn);
 
 /// ParallelFor with an explicit thread count instead of InnerThreads().

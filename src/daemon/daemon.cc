@@ -2,14 +2,18 @@
 
 #include <poll.h>
 #include <sys/socket.h>
+#include <sys/stat.h>
 #include <sys/un.h>
 #include <unistd.h>
 
 #include <algorithm>
 #include <cerrno>
 #include <chrono>
+#include <csignal>
 #include <cstring>
+#include <exception>
 
+#include "common/failpoint.h"
 #include "daemon/protocol.h"
 #include "engine/error.h"
 
@@ -25,9 +29,23 @@ std::int64_t MonotonicMs() {
       .count();
 }
 
-void ReplyBestEffort(int fd, const Frame& frame) {
+void ReplyBestEffort(int fd, const Frame& frame, int deadline_ms) {
   std::string ignored;
-  WriteFrame(fd, frame, &ignored);
+  WriteFrame(fd, frame, &ignored, deadline_ms);
+}
+
+// True when a live daemon answers on `path` -- distinguishes a stale
+// socket file (crashed daemon; safe to replace) from an active one.
+bool SocketAnswers(const std::string& path) {
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return false;
+  struct sockaddr_un addr = {};
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  const bool answered =
+      ::connect(fd, reinterpret_cast<const struct sockaddr*>(&addr), sizeof(addr)) == 0;
+  ::close(fd);
+  return answered;
 }
 
 Frame ErrorFrame(const PipelineError& error) {
@@ -69,6 +87,27 @@ bool Daemon::Start(std::string* error) {
              " bytes, got " + std::to_string(options_.socket_path.size());
     return false;
   }
+  // A vanished peer mid-write must surface as EPIPE from send(), never
+  // kill the process; WriteFrame already sends MSG_NOSIGNAL, this covers
+  // any other fd the process writes.
+  std::signal(SIGPIPE, SIG_IGN);
+
+  // A leftover socket file fails the bind, but blind unlinking would
+  // hijack a RUNNING daemon's socket. Probe first: only a dead file
+  // (crashed daemon) is replaced.
+  struct stat existing = {};
+  if (::lstat(options_.socket_path.c_str(), &existing) == 0) {
+    if (!S_ISSOCK(existing.st_mode)) {
+      *error = "'" + options_.socket_path + "' exists and is not a socket; refusing to replace it";
+      return false;
+    }
+    if (SocketAnswers(options_.socket_path)) {
+      *error = "a daemon is already listening on '" + options_.socket_path + "'";
+      return false;
+    }
+    ::unlink(options_.socket_path.c_str());
+  }
+
   listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
   if (listen_fd_ < 0) {
     *error = std::string("socket: ") + std::strerror(errno);
@@ -76,11 +115,6 @@ bool Daemon::Start(std::string* error) {
   }
   addr.sun_family = AF_UNIX;
   std::memcpy(addr.sun_path, options_.socket_path.c_str(), options_.socket_path.size() + 1);
-  // A stale socket file from a crashed daemon would fail the bind; a
-  // LIVE daemon also loses its file to this unlink, so running two
-  // daemons on one path is on the operator (same policy as every
-  // pid-file-less daemon).
-  ::unlink(options_.socket_path.c_str());
   if (::bind(listen_fd_, reinterpret_cast<const struct sockaddr*>(&addr), sizeof(addr)) != 0) {
     *error = "cannot bind '" + options_.socket_path + "': " + std::strerror(errno);
     ::close(listen_fd_);
@@ -151,6 +185,15 @@ void Daemon::AcceptLoop() {
       break;
     }
     if (ready == 0) continue;
+    failpoint::Injection injection;
+    if (failpoint::Check(failpoint::Site::kDaemonAccept, &injection)) {
+      // Model a transient accept() failure (EMFILE, ECONNABORTED): this
+      // connection is lost but the loop keeps serving. Drain the pending
+      // connection so poll() does not re-report it forever.
+      const int dropped = ::accept(listen_fd_, nullptr, nullptr);
+      if (dropped >= 0) ::close(dropped);
+      continue;
+    }
     const int fd = ::accept(listen_fd_, nullptr, nullptr);
     if (fd < 0) continue;
     std::size_t live = 0;
@@ -180,10 +223,11 @@ void Daemon::ReapHandlers(bool all) {
 }
 
 void Daemon::HandleConnection(int fd) {
+  const int deadline_ms = static_cast<int>(options_.io_timeout_ms);
   Frame request;
   std::string error;
-  if (!ReadFrame(fd, &request, &error, &stopping_)) {
-    ReplyBestEffort(fd, ErrorFrame({PipelineErrorCode::kUsage, "", error}));
+  if (!ReadFrame(fd, &request, &error, &stopping_, deadline_ms)) {
+    ReplyBestEffort(fd, ErrorFrame({PipelineErrorCode::kUsage, "", error}), deadline_ms);
     std::lock_guard<std::mutex> lock(mutex_);
     ++stats_.rejected_error;
     ::close(fd);
@@ -191,7 +235,7 @@ void Daemon::HandleConnection(int fd) {
   }
 
   if (request.verb == "ping") {
-    ReplyBestEffort(fd, Frame{"ok", EncodeKvPayload({{"status", "ok"}})});
+    ReplyBestEffort(fd, Frame{"ok", EncodeKvPayload({{"status", "ok"}})}, deadline_ms);
     ::close(fd);
     return;
   }
@@ -203,6 +247,7 @@ void Daemon::HandleConnection(int fd) {
     kv["rejected-busy"] = std::to_string(s.rejected_busy);
     kv["rejected-error"] = std::to_string(s.rejected_error);
     kv["expired"] = std::to_string(s.expired);
+    kv["failed"] = std::to_string(s.failed);
     kv["max-queue-depth"] = std::to_string(s.max_queue_depth);
     kv["cache-hits"] = std::to_string(s.cache_hits);
     kv["cache-misses"] = std::to_string(s.cache_misses);
@@ -211,19 +256,20 @@ void Daemon::HandleConnection(int fd) {
     kv["artifact-misses"] = std::to_string(s.artifact_misses);
     kv["queue-depth"] = std::to_string(options_.queue_depth);
     kv["workers"] = std::to_string(std::max<std::size_t>(options_.workers, 1));
-    ReplyBestEffort(fd, Frame{"ok", EncodeKvPayload(kv)});
+    ReplyBestEffort(fd, Frame{"ok", EncodeKvPayload(kv)}, deadline_ms);
     ::close(fd);
     return;
   }
   if (request.verb == "shutdown") {
     // Reply before stopping so the client sees an ack, not a reset.
-    ReplyBestEffort(fd, Frame{"ok", EncodeKvPayload({{"status", "stopping"}})});
+    ReplyBestEffort(fd, Frame{"ok", EncodeKvPayload({{"status", "stopping"}})}, deadline_ms);
     ::close(fd);
     Stop();
     return;
   }
   if (request.verb != "job") {
-    ReplyBestEffort(fd, ErrorFrame(UsageError("", "unknown request verb '" + request.verb + "'")));
+    ReplyBestEffort(fd, ErrorFrame(UsageError("", "unknown request verb '" + request.verb + "'")),
+                    deadline_ms);
     std::lock_guard<std::mutex> lock(mutex_);
     ++stats_.rejected_error;
     ::close(fd);
@@ -238,7 +284,7 @@ void Daemon::HandleConnection(int fd) {
     if (!resolved.ok()) spec = resolved.error();
   }
   if (!spec.ok()) {
-    ReplyBestEffort(fd, ErrorFrame(spec.error()));
+    ReplyBestEffort(fd, ErrorFrame(spec.error()), deadline_ms);
     std::lock_guard<std::mutex> lock(mutex_);
     ++stats_.rejected_error;
     ::close(fd);
@@ -249,7 +295,8 @@ void Daemon::HandleConnection(int fd) {
     std::lock_guard<std::mutex> lock(mutex_);
     if (stopping_.load(std::memory_order_relaxed)) {
       ReplyBestEffort(
-          fd, ErrorFrame({PipelineErrorCode::kUnavailable, "", "daemon is shutting down"}));
+          fd, ErrorFrame({PipelineErrorCode::kUnavailable, "", "daemon is shutting down"}),
+          deadline_ms);
       ++stats_.rejected_error;
       ::close(fd);
       return;
@@ -262,7 +309,7 @@ void Daemon::HandleConnection(int fd) {
           "admission queue is full (" + std::to_string(queue_.size()) + " jobs waiting)";
       kv["retry-after-ms"] = std::to_string(options_.retry_after_ms);
       kv["exit-code"] = std::to_string(ExitCodeFor(PipelineErrorCode::kUnavailable));
-      ReplyBestEffort(fd, Frame{"busy", EncodeKvPayload(kv)});
+      ReplyBestEffort(fd, Frame{"busy", EncodeKvPayload(kv)}, deadline_ms);
       ++stats_.rejected_busy;
       ::close(fd);
       return;
@@ -315,21 +362,36 @@ void Daemon::WorkerLoop() {
 }
 
 void Daemon::RunJob(PendingJob job) {
+  const int deadline_ms = static_cast<int>(options_.io_timeout_ms);
   if (job.deadline_at_ms != 0 && MonotonicMs() > job.deadline_at_ms) {
     ReplyBestEffort(job.fd, ErrorFrame({PipelineErrorCode::kUnavailable, "deadline-ms",
-                                        "deadline expired before the job was scheduled"}));
+                                        "deadline expired before the job was scheduled"}),
+                    deadline_ms);
     std::lock_guard<std::mutex> lock(mutex_);
     ++stats_.expired;
     ::close(job.fd);
     return;
   }
 
+  // Worker isolation boundary: whatever one job does -- a typed engine
+  // error, an IoFailure that slipped past the engine's catch, any other
+  // exception -- becomes an error REPLY on this job's connection, and the
+  // worker goes back to the queue. One poisoned job must never take the
+  // daemon down.
   std::string notices;
-  Expected<ExecuteSummary, PipelineError> summary = engine_.Execute(job.spec, &notices);
+  Expected<ExecuteSummary, PipelineError> summary = [&]() -> Expected<ExecuteSummary, PipelineError> {
+    try {
+      return engine_.Execute(job.spec, &notices);
+    } catch (const std::exception& failure) {
+      return IoError(failure.what());
+    } catch (...) {
+      return IoError("job failed with an unknown error");
+    }
+  }();
   if (!summary.ok()) {
-    ReplyBestEffort(job.fd, ErrorFrame(summary.error()));
+    ReplyBestEffort(job.fd, ErrorFrame(summary.error()), deadline_ms);
     std::lock_guard<std::mutex> lock(mutex_);
-    ++stats_.rejected_error;
+    ++stats_.failed;
     ::close(job.fd);
     return;
   }
@@ -359,7 +421,7 @@ void Daemon::RunJob(PendingJob job) {
     if (line.empty()) continue;
     kv["notice-" + std::to_string(notice_index++)] = std::string(line);
   }
-  ReplyBestEffort(job.fd, Frame{"ok", EncodeKvPayload(kv)});
+  ReplyBestEffort(job.fd, Frame{"ok", EncodeKvPayload(kv)}, deadline_ms);
   ::close(job.fd);
 }
 

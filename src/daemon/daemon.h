@@ -16,8 +16,10 @@
 namespace ldv {
 
 struct DaemonOptions {
-  /// Unix-domain socket path; the daemon unlinks a stale file at start
-  /// and removes its own at shutdown.
+  /// Unix-domain socket path. Start probes an existing socket file with a
+  /// connect: a stale one (crashed daemon) is unlinked and replaced, a
+  /// live one is a startup error -- never silently hijacked. The daemon
+  /// removes its own file at shutdown.
   std::string socket_path;
   /// Admission-queue depth. A job arriving when `queue_depth` jobs are
   /// already waiting gets a `busy` reply (with retry-after-ms) instead of
@@ -35,6 +37,11 @@ struct DaemonOptions {
   std::uint64_t artifact_cache_bytes = kArtifactCacheAuto;
   /// The retry hint carried in `busy` replies.
   std::uint32_t retry_after_ms = 100;
+  /// Per-connection I/O patience: how long a peer may send nothing while
+  /// the daemon waits on its frame (ReadFrame's silence budget) and how
+  /// long a reply write may stall on a peer that stops draining its
+  /// socket. 0 = unbounded (tests of slow paths set it small).
+  std::uint32_t io_timeout_ms = 10000;
 };
 
 /// The `ldivd` anonymization daemon: accepts serialized JobSpecs over a
@@ -78,6 +85,7 @@ class Daemon {
     std::uint64_t rejected_busy = 0;    // busy replies (queue full)
     std::uint64_t rejected_error = 0;   // malformed requests
     std::uint64_t expired = 0;          // deadline passed before dequeue
+    std::uint64_t failed = 0;           // accepted jobs that ran to an error reply
     std::uint64_t max_queue_depth = 0;  // high-water mark of waiting jobs
     std::uint64_t cache_hits = 0;       // DatasetCache hits across jobs
     std::uint64_t cache_misses = 0;

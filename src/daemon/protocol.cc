@@ -7,6 +7,8 @@
 #include <charconv>
 #include <cstring>
 
+#include "common/failpoint.h"
+
 namespace ldv {
 
 namespace {
@@ -72,6 +74,11 @@ bool ReadExact(int fd, char* data, std::size_t bytes, std::string* error,
 
 bool ReadFrame(int fd, Frame* frame, std::string* error, const std::atomic<bool>* cancel,
                int silence_budget_ms) {
+  failpoint::Injection injection;
+  if (failpoint::Check(failpoint::Site::kDaemonRead, &injection)) {
+    *error = failpoint::Describe(failpoint::Site::kDaemonRead, injection, "recv");
+    return false;
+  }
   // Header: read byte-by-byte to the newline. Headers are tiny
   // ("ldiv1 job 123\n"), so the per-byte reads are noise next to the
   // payload read that follows.
@@ -122,22 +129,55 @@ bool ReadFrame(int fd, Frame* frame, std::string* error, const std::atomic<bool>
          ReadExact(fd, frame->payload.data(), payload_bytes, error, cancel, silence_budget_ms);
 }
 
-bool WriteFrame(int fd, const Frame& frame, std::string* error) {
+bool WriteFrame(int fd, const Frame& frame, std::string* error, int deadline_ms) {
+  failpoint::Injection injection;
+  if (failpoint::Check(failpoint::Site::kDaemonWrite, &injection)) {
+    if (error != nullptr) {
+      *error = failpoint::Describe(failpoint::Site::kDaemonWrite, injection, "send");
+    }
+    return false;
+  }
   std::string wire = std::string(kProtocolMagic) + " " + frame.verb + " " +
                      std::to_string(frame.payload.size()) + "\n" + frame.payload;
   const char* data = wire.data();
   std::size_t bytes = wire.size();
+  int waited_ms = 0;
   while (bytes > 0) {
+    if (deadline_ms > 0) {
+      // Bounded mode: wait for writability in slices so a peer that stops
+      // draining its socket (full buffer, suspended process) cannot pin
+      // this thread past the deadline.
+      struct pollfd pfd = {};
+      pfd.fd = fd;
+      pfd.events = POLLOUT;
+      const int ready = ::poll(&pfd, 1, kPollSliceMs);
+      if (ready < 0) {
+        if (errno == EINTR) continue;
+        if (error != nullptr) *error = std::string("poll: ") + std::strerror(errno);
+        return false;
+      }
+      if (ready == 0) {
+        waited_ms += kPollSliceMs;
+        if (waited_ms >= deadline_ms) {
+          if (error != nullptr) *error = "timed out writing frame";
+          return false;
+        }
+        continue;
+      }
+    }
     // MSG_NOSIGNAL: a client that disconnected before its reply must
     // surface as EPIPE, not kill the daemon with SIGPIPE.
-    const ssize_t sent = ::send(fd, data, bytes, MSG_NOSIGNAL);
+    const ssize_t sent =
+        ::send(fd, data, bytes, MSG_NOSIGNAL | (deadline_ms > 0 ? MSG_DONTWAIT : 0));
     if (sent < 0) {
       if (errno == EINTR) continue;
+      if (deadline_ms > 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) continue;
       if (error != nullptr) *error = std::string("send: ") + std::strerror(errno);
       return false;
     }
     data += sent;
     bytes -= static_cast<std::size_t>(sent);
+    waited_ms = 0;
   }
   return true;
 }
@@ -152,19 +192,50 @@ std::string EncodeKvPayload(const std::map<std::string, std::string>& pairs) {
 
 bool ParseKvPayload(std::string_view payload, std::map<std::string, std::string>* pairs,
                     std::string* error) {
+  if (payload.find('\0') != std::string_view::npos) {
+    // A NUL would survive into C-string-shaped sinks (paths, error
+    // messages) and silently truncate there; no legitimate payload
+    // carries one.
+    if (error != nullptr) *error = "payload contains a NUL byte";
+    return false;
+  }
+  std::size_t line_number = 0;
   while (!payload.empty()) {
     const std::size_t eol = payload.find('\n');
     std::string_view line = payload.substr(0, eol);
     payload.remove_prefix(eol == std::string_view::npos ? payload.size() : eol + 1);
+    ++line_number;
     if (TrimView(line).empty()) continue;
     const std::size_t eq = line.find('=');
     if (eq == std::string_view::npos) {
-      if (error != nullptr) *error = "payload line without '=': '" + std::string(line) + "'";
+      if (error != nullptr) {
+        *error = "payload line " + std::to_string(line_number) + " without '=': '" +
+                 std::string(line) + "'";
+      }
       return false;
     }
     std::string key(TrimView(line.substr(0, eq)));
+    if (key.empty()) {
+      if (error != nullptr) {
+        *error = "payload line " + std::to_string(line_number) + " has an empty key";
+      }
+      return false;
+    }
+    if (key.size() > kMaxPayloadKeyBytes) {
+      if (error != nullptr) {
+        *error = "payload line " + std::to_string(line_number) + " key of " +
+                 std::to_string(key.size()) + " bytes exceeds the " +
+                 std::to_string(kMaxPayloadKeyBytes) + "-byte limit";
+      }
+      return false;
+    }
     std::string value(TrimView(line.substr(eq + 1)));
-    (*pairs)[std::move(key)] = std::move(value);
+    if (!pairs->emplace(std::move(key), std::move(value)).second) {
+      if (error != nullptr) {
+        *error = "payload line " + std::to_string(line_number) + " repeats an earlier key";
+      }
+      return false;
+    }
   }
   return true;
 }

@@ -34,6 +34,11 @@ inline constexpr std::string_view kProtocolMagic = "ldiv1";
 /// what a client can make the daemon buffer.
 inline constexpr std::size_t kMaxFramePayload = 1u << 20;
 
+/// Upper bound on one key in a kv payload. Engine flag names are a dozen
+/// characters; 256 bounds the per-key allocations a hostile payload can
+/// force while leaving room for namespaced client keys.
+inline constexpr std::size_t kMaxPayloadKeyBytes = 256;
+
 struct Frame {
   std::string verb;
   std::string payload;
@@ -52,8 +57,11 @@ bool ReadFrame(int fd, Frame* frame, std::string* error,
                const std::atomic<bool>* cancel = nullptr, int silence_budget_ms = 10000);
 
 /// Writes one frame to `fd` (MSG_NOSIGNAL -- a vanished client must not
-/// SIGPIPE the daemon). Returns false on any short write or error.
-bool WriteFrame(int fd, const Frame& frame, std::string* error);
+/// SIGPIPE the daemon). `deadline_ms > 0` bounds how long a peer that
+/// stops draining its socket may stall the write (polled in slices, like
+/// ReadFrame's silence budget); 0 blocks until the kernel accepts the
+/// bytes. Returns false on any short write, error, or expired deadline.
+bool WriteFrame(int fd, const Frame& frame, std::string* error, int deadline_ms = 0);
 
 /// Renders `pairs` as the protocol's `key = value\n` payload lines.
 /// Values must be single-line; keys are emitted in map order so payloads
@@ -63,7 +71,11 @@ std::string EncodeKvPayload(const std::map<std::string, std::string>& pairs);
 /// Parses a reply payload's `key = value` lines. Stricter than the
 /// FlagSet config parser on purpose: no comments, no continuation -- a
 /// value is everything after the first '=' (trimmed), so error messages
-/// survive the round trip verbatim. Returns false on a line with no '='.
+/// survive the round trip verbatim. Returns false, with a line-numbered
+/// reason, on a NUL byte anywhere in the payload, a line with no '=', an
+/// empty key, a key over kMaxPayloadKeyBytes, or a duplicate key (silent
+/// last-wins would let a smuggled second `out = ...` redirect a job's
+/// outputs).
 bool ParseKvPayload(std::string_view payload, std::map<std::string, std::string>* pairs,
                     std::string* error);
 

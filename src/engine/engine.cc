@@ -7,6 +7,7 @@
 #include <optional>
 #include <utility>
 
+#include "common/failpoint.h"
 #include "common/memory_budget.h"
 #include "common/parallel.h"
 #include "common/workspace.h"
@@ -306,7 +307,16 @@ Expected<JobResult, PipelineError> Engine::Run(const JobSpec& spec) {
   Expected<ResolvedJobSpec, PipelineError> resolved = ResolveJobSpec(spec);
   if (!resolved.ok()) return resolved.error();
   std::lock_guard<std::mutex> lock(run_mutex_);
-  return RunLocked(*resolved);
+  // This is the I/O unwind boundary: a spill, page, sort, or ingestion
+  // syscall failure anywhere below (including inside parallel kernels)
+  // throws IoFailure, RAII reclaims the spill files and budget
+  // reservations on the way up, and the caller sees a typed io error --
+  // never an abort.
+  try {
+    return RunLocked(*resolved);
+  } catch (const IoFailure& failure) {
+    return IoError(failure.what());
+  }
 }
 
 Expected<ExecuteSummary, PipelineError> Engine::Execute(const JobSpec& spec,
@@ -317,7 +327,14 @@ Expected<ExecuteSummary, PipelineError> Engine::Execute(const JobSpec& spec,
   // following run. (Lifetimes need no lock: a paged table shares ownership
   // of the budget epoch it charged, so it may safely outlive the run.)
   std::lock_guard<std::mutex> lock(run_mutex_);
-  Expected<JobResult, PipelineError> result = RunLocked(*resolved);
+  Expected<JobResult, PipelineError> result = [&]() -> Expected<JobResult, PipelineError> {
+    // Same unwind boundary as Run(): typed io error instead of an abort.
+    try {
+      return RunLocked(*resolved);
+    } catch (const IoFailure& failure) {
+      return IoError(failure.what());
+    }
+  }();
   if (!result.ok()) return result.error();
   std::optional<PipelineError> write_error = WriteJobOutputs(resolved->spec, *result, notices);
   if (write_error.has_value()) return *write_error;

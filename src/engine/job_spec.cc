@@ -1,6 +1,7 @@
 #include "engine/job_spec.h"
 
 #include <array>
+#include <optional>
 #include <utility>
 
 #include "common/flags.h"
@@ -31,6 +32,60 @@ std::string JoinList(const std::vector<T>& values) {
 
 void AppendKey(std::string_view key, std::string_view value, std::string* out) {
   *out += std::string(key) + " = " + std::string(value) + "\n";
+}
+
+std::string_view TrimSpecView(std::string_view text) {
+  while (!text.empty() && (text.front() == ' ' || text.front() == '\t')) text.remove_prefix(1);
+  while (!text.empty() && (text.back() == ' ' || text.back() == '\t' || text.back() == '\r')) {
+    text.remove_suffix(1);
+  }
+  return text;
+}
+
+/// The longest key in kJobSpecKeys is 14 bytes; 128 bounds what a hostile
+/// payload can make the parser buffer per key while staying far above any
+/// legitimate spec.
+constexpr std::size_t kMaxJobSpecKeyBytes = 128;
+
+// Strict pre-pass over a serialized spec, ahead of the lenient
+// ParseConfigText. The config parser tolerates what a hand-edited file
+// needs (first-occurrence-wins duplicates, arbitrary value bytes); a spec
+// that crossed a socket gets no such benefit of the doubt -- a NUL would
+// truncate inside C-string sinks, and a silently dropped duplicate `out`
+// would hide where a job writes. Lines are numbered the way
+// ParseConfigText numbers them, so errors position the same way.
+std::optional<PipelineError> CheckJobSpecText(std::string_view text) {
+  if (text.find('\0') != std::string_view::npos) {
+    return UsageError("", "jobspec: payload contains a NUL byte");
+  }
+  std::vector<std::string> seen;
+  std::size_t line_number = 0;
+  while (!text.empty()) {
+    const std::size_t eol = text.find('\n');
+    std::string_view line = text.substr(0, eol);
+    text.remove_prefix(eol == std::string_view::npos ? text.size() : eol + 1);
+    ++line_number;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string_view::npos) line = line.substr(0, hash);
+    line = TrimSpecView(line);
+    if (line.empty()) continue;
+    const std::size_t eq = line.find('=');
+    if (eq == std::string_view::npos) continue;  // ParseConfigText positions this error
+    const std::string key(TrimSpecView(line.substr(0, eq)));
+    if (key.size() > kMaxJobSpecKeyBytes) {
+      return UsageError("", "jobspec:" + std::to_string(line_number) + ": key of " +
+                                std::to_string(key.size()) + " bytes exceeds the " +
+                                std::to_string(kMaxJobSpecKeyBytes) + "-byte limit");
+    }
+    for (const std::string& earlier : seen) {
+      if (earlier == key) {
+        return UsageError(key, "jobspec:" + std::to_string(line_number) + ": duplicate key '" +
+                                   key + "' (the second value would be silently ignored)");
+      }
+    }
+    seen.push_back(key);
+  }
+  return std::nullopt;
 }
 
 }  // namespace
@@ -77,6 +132,7 @@ std::string SerializeJobSpec(const JobSpec& spec) {
 }
 
 Expected<JobSpec, PipelineError> ParseJobSpec(std::string_view text) {
+  if (std::optional<PipelineError> strict = CheckJobSpecText(text)) return *strict;
   FlagSet keys;
   std::string error;
   if (!keys.ParseConfigText(text, "jobspec", &error)) return UsageError("", error);

@@ -5,6 +5,7 @@
 
 #include "anonymity/release.h"
 #include "common/csv.h"
+#include "common/failpoint.h"
 
 namespace ldv {
 
@@ -62,6 +63,12 @@ std::string CsvQuote(const std::string& text) {
 }
 
 bool WriteFile(const std::string& content, const std::string& path, std::string* error) {
+  failpoint::Injection injection;
+  if (failpoint::Check(failpoint::Site::kReportWrite, &injection)) {
+    *error = failpoint::Describe(failpoint::Site::kReportWrite, injection,
+                                 "cannot write '" + path + "'");
+    return false;
+  }
   std::ofstream out(path);
   if (out) out << content;
   // Close before checking: some failures (e.g. a full disk behind a

@@ -10,6 +10,7 @@
 #include "anonymity/eligibility.h"
 #include "common/check.h"
 #include "common/external_sort.h"
+#include "common/failpoint.h"
 #include "common/memory_budget.h"
 #include "common/parallel.h"
 #include "common/workspace.h"
@@ -111,7 +112,9 @@ void ComputeOrderExternal(const Table& table, Workspace& ws, std::vector<RowId>*
   std::string sort_error;
   std::unique_ptr<ExternalSorter> sorter = ExternalSorter::Create(
       ExternalSorter::Options{.buffer_records = buffer_records, .budget = budget}, &sort_error);
-  LDIV_CHECK(sorter != nullptr) << "external sort unavailable: " << sort_error;
+  // Recoverable: the engine boundary converts the throw to a typed I/O
+  // error instead of aborting the process mid-sort.
+  if (sorter == nullptr) throw IoFailure("external sort unavailable: " + sort_error);
 
   std::vector<const Value*> cols(d);
   for (AttrId a = 0; a < d; ++a) cols[a] = table.column(a).data();

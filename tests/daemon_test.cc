@@ -8,9 +8,15 @@
 
 #include <gtest/gtest.h>
 
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <cstring>
+#include <fstream>
 #include <map>
 #include <string>
 #include <thread>
@@ -322,6 +328,208 @@ TEST_F(DaemonTest, ShutdownDrainsEveryAcceptedJob) {
   Daemon::Stats stats = daemon.stats();
   EXPECT_EQ(stats.completed, answered);
   EXPECT_EQ(stats.accepted, stats.completed) << "graceful shutdown must drain the queue";
+}
+
+int RawConnect(const std::string& path) {
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  struct sockaddr_un addr = {};
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  if (::connect(fd, reinterpret_cast<const struct sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+void SendAll(int fd, const std::string& bytes) {
+  const char* data = bytes.data();
+  std::size_t left = bytes.size();
+  while (left > 0) {
+    const ssize_t sent = ::send(fd, data, left, MSG_NOSIGNAL);
+    if (sent <= 0) return;
+    data += sent;
+    left -= static_cast<std::size_t>(sent);
+  }
+}
+
+void ExpectAlive(const std::string& socket_path) {
+  Frame reply;
+  std::map<std::string, std::string> kv;
+  std::string error;
+  ASSERT_TRUE(DaemonRequest(socket_path, Frame{"ping", ""}, &reply, &kv, &error)) << error;
+  EXPECT_EQ(reply.verb, "ok");
+}
+
+TEST_F(DaemonTest, StartRefusesALiveSocketAndReplacesAStaleOne) {
+  DaemonOptions options;
+  options.socket_path = SocketPath("ldivd_stale.sock");
+  Daemon first(options);
+  std::string error;
+  ASSERT_TRUE(first.Start(&error)) << error;
+
+  // A second daemon on the same path must refuse, not hijack.
+  Daemon contender(options);
+  EXPECT_FALSE(contender.Start(&error));
+  EXPECT_NE(error.find("already listening"), std::string::npos) << error;
+  ExpectAlive(options.socket_path);  // the first daemon was not disturbed
+
+  first.Stop();
+  first.WaitForShutdown();
+
+  // Fake a crashed daemon: a bound-then-abandoned socket file with
+  // nothing listening behind it.
+  const int stale = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  ASSERT_GE(stale, 0);
+  struct sockaddr_un addr = {};
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, options.socket_path.c_str(), options.socket_path.size() + 1);
+  ASSERT_EQ(::bind(stale, reinterpret_cast<const struct sockaddr*>(&addr), sizeof(addr)), 0);
+  ::close(stale);  // the file outlives the socket -- the classic stale sock
+
+  Daemon replacement(options);
+  ASSERT_TRUE(replacement.Start(&error)) << "a dead socket file must be replaced: " << error;
+  ExpectAlive(options.socket_path);
+  replacement.Stop();
+  replacement.WaitForShutdown();
+
+  // A non-socket file at the path is never touched.
+  {
+    std::ofstream plain(options.socket_path);
+    plain << "precious";
+  }
+  Daemon refused(options);
+  EXPECT_FALSE(refused.Start(&error));
+  EXPECT_NE(error.find("not a socket"), std::string::npos) << error;
+  std::string content;
+  {
+    std::ifstream in(options.socket_path);
+    std::getline(in, content);
+  }
+  EXPECT_EQ(content, "precious") << "refusing must leave the file intact";
+  std::remove(options.socket_path.c_str());
+}
+
+TEST_F(DaemonTest, ClientVanishingBeforeItsReplyDoesNotKillTheDaemon) {
+  DaemonOptions options;
+  options.socket_path = SocketPath("ldivd_sigpipe.sock");
+  options.io_timeout_ms = 500;
+  Daemon daemon(options);
+  std::string error;
+  ASSERT_TRUE(daemon.Start(&error)) << error;
+
+  // Send a complete request, then close without reading the reply: the
+  // daemon's write lands on a dead peer (EPIPE territory). Repeat a few
+  // times so at least one write truly races the close.
+  for (int i = 0; i < 5; ++i) {
+    const int fd = RawConnect(options.socket_path);
+    ASSERT_GE(fd, 0);
+    SendAll(fd, "ldiv1 ping 0\n");
+    ::close(fd);
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  ExpectAlive(options.socket_path);  // SIGPIPE would have killed the process
+
+  daemon.Stop();
+  daemon.WaitForShutdown();
+}
+
+TEST_F(DaemonTest, TruncatedLyingAndOversizedFramesDropOnlyTheirConnection) {
+  DaemonOptions options;
+  options.socket_path = SocketPath("ldivd_frames.sock");
+  options.io_timeout_ms = 300;  // a stalled hostile client is cut loose fast
+  Daemon daemon(options);
+  std::string error;
+  ASSERT_TRUE(daemon.Start(&error)) << error;
+
+  // Partial header, then silence: the silence budget must cut the
+  // connection loose instead of pinning a handler forever.
+  const int partial = RawConnect(options.socket_path);
+  ASSERT_GE(partial, 0);
+  SendAll(partial, "ldiv1 jo");
+
+  // A concurrent well-formed client must be unaffected while the hostile
+  // one is still stalling.
+  ExpectAlive(options.socket_path);
+
+  // A header lying about its payload size: 100 promised, 10 sent.
+  const int liar = RawConnect(options.socket_path);
+  ASSERT_GE(liar, 0);
+  SendAll(liar, "ldiv1 job 100\nten bytes!");
+  ExpectAlive(options.socket_path);
+
+  // An oversized frame is refused up front with a typed error reply.
+  const int huge = RawConnect(options.socket_path);
+  ASSERT_GE(huge, 0);
+  SendAll(huge, "ldiv1 job " + std::to_string(kMaxFramePayload + 1) + "\n");
+  Frame reply;
+  std::string read_error;
+  ASSERT_TRUE(ReadFrame(huge, &reply, &read_error, nullptr, 2000)) << read_error;
+  EXPECT_EQ(reply.verb, "error");
+  EXPECT_NE(reply.payload.find("exceeds"), std::string::npos) << reply.payload;
+  ::close(huge);
+
+  // Garbage magic: typed error, connection dropped.
+  const int garbage = RawConnect(options.socket_path);
+  ASSERT_GE(garbage, 0);
+  SendAll(garbage, "not a frame at all\n");
+  ASSERT_TRUE(ReadFrame(garbage, &reply, &read_error, nullptr, 2000)) << read_error;
+  EXPECT_EQ(reply.verb, "error");
+  EXPECT_NE(reply.payload.find("bad frame magic"), std::string::npos) << reply.payload;
+  ::close(garbage);
+
+  // Wait out the stalled connections' silence budget; the daemon must
+  // still be serving afterwards.
+  std::this_thread::sleep_for(std::chrono::milliseconds(600));
+  ::close(partial);
+  ::close(liar);
+  ExpectAlive(options.socket_path);
+
+  daemon.Stop();
+  daemon.WaitForShutdown();
+  EXPECT_GE(daemon.stats().rejected_error, 3u) << "hostile frames must be counted";
+}
+
+TEST_F(DaemonTest, PayloadValidationRejectsNulsDuplicatesAndOversizedKeys) {
+  std::map<std::string, std::string> pairs;
+  std::string error;
+
+  std::string with_nul = "a = 1\n";
+  with_nul.push_back('\0');
+  EXPECT_FALSE(ParseKvPayload(with_nul, &pairs, &error));
+  EXPECT_NE(error.find("NUL"), std::string::npos) << error;
+
+  pairs.clear();
+  EXPECT_FALSE(ParseKvPayload("a = 1\nb = 2\na = 3\n", &pairs, &error));
+  EXPECT_NE(error.find("line 3"), std::string::npos) << error;
+  EXPECT_NE(error.find("repeats"), std::string::npos) << error;
+
+  pairs.clear();
+  EXPECT_FALSE(ParseKvPayload(" = naked value\n", &pairs, &error));
+  EXPECT_NE(error.find("empty key"), std::string::npos) << error;
+
+  pairs.clear();
+  const std::string long_key(kMaxPayloadKeyBytes + 1, 'k');
+  EXPECT_FALSE(ParseKvPayload(long_key + " = v\n", &pairs, &error));
+  EXPECT_NE(error.find("exceeds"), std::string::npos) << error;
+
+  // The daemon rejects a job spec smuggling a duplicate key (a silently
+  // dropped second `out` would hide where the job writes).
+  DaemonOptions options;
+  options.socket_path = SocketPath("ldivd_dupkey.sock");
+  Daemon daemon(options);
+  ASSERT_TRUE(daemon.Start(&error)) << error;
+  Frame reply;
+  std::map<std::string, std::string> kv;
+  ASSERT_TRUE(DaemonRequest(options.socket_path,
+                            Frame{"job", "version = 1\nout = a\nout = b\n"}, &reply, &kv, &error))
+      << error;
+  EXPECT_EQ(reply.verb, "error");
+  EXPECT_NE(kv["error"].find("duplicate key 'out'"), std::string::npos) << kv["error"];
+  EXPECT_EQ(kv["exit-code"], "1");
+  daemon.Stop();
+  daemon.WaitForShutdown();
 }
 
 }  // namespace

@@ -117,6 +117,35 @@ TEST(JobSpecWire, RejectsUnknownKeysAndBadVersions) {
   EXPECT_NE(future.error().message.find("unsupported job spec version"), std::string::npos);
 }
 
+TEST(JobSpecWire, RejectsDuplicateKeysNulBytesAndOversizedKeys) {
+  // Silent last-wins on a duplicate key would let a smuggled second line
+  // quietly override the first; the parser refuses with the line number.
+  Expected<JobSpec, PipelineError> dup = ParseJobSpec("version = 1\nl = 2\nl = 4\n");
+  ASSERT_FALSE(dup.ok());
+  EXPECT_EQ(dup.error().code, PipelineErrorCode::kUsage);
+  EXPECT_EQ(dup.error().field, "l");
+  EXPECT_NE(dup.error().message.find("duplicate key"), std::string::npos) << dup.error().message;
+  EXPECT_NE(dup.error().message.find("jobspec:3"), std::string::npos) << dup.error().message;
+
+  std::string with_nul = "version = 1\nout = x";
+  with_nul.push_back('\0');
+  with_nul += "y\n";
+  Expected<JobSpec, PipelineError> nul = ParseJobSpec(with_nul);
+  ASSERT_FALSE(nul.ok());
+  EXPECT_EQ(nul.error().code, PipelineErrorCode::kUsage);
+  EXPECT_NE(nul.error().message.find("NUL"), std::string::npos) << nul.error().message;
+
+  const std::string long_key(200, 'k');
+  Expected<JobSpec, PipelineError> oversized =
+      ParseJobSpec("version = 1\n" + long_key + " = v\n");
+  ASSERT_FALSE(oversized.ok());
+  EXPECT_EQ(oversized.error().code, PipelineErrorCode::kUsage);
+  EXPECT_NE(oversized.error().message.find("128-byte limit"), std::string::npos)
+      << oversized.error().message;
+  EXPECT_NE(oversized.error().message.find("jobspec:2"), std::string::npos)
+      << oversized.error().message;
+}
+
 TEST(ResolveJobSpec, ValidationErrorsNameTheOffendingField) {
   JobSpec zero_l = SyntheticSpec();
   zero_l.ls = {0};

@@ -25,6 +25,7 @@
 #include <csignal>
 #include <cstdio>
 #include <cstring>
+#include <random>
 #include <string>
 #include <thread>
 #include <vector>
@@ -121,21 +122,24 @@ int ServeMain(int argc, char** argv) {
 
   FlagSet flags;
   std::string error;
-  constexpr std::array<std::string_view, 6> kServeFlags = {
-      "socket", "queue-depth", "workers", "cache-bytes", "artifact-cache", "retry-after-ms"};
+  constexpr std::array<std::string_view, 7> kServeFlags = {
+      "socket",         "queue-depth",    "workers",      "cache-bytes",
+      "artifact-cache", "retry-after-ms", "io-timeout-ms"};
   DaemonOptions options;
   std::uint64_t queue_depth = 16;
   std::uint64_t workers = 1;
   std::string cache_text;
   std::string artifact_text;
   std::uint64_t retry_after_ms = 100;
+  std::uint64_t io_timeout_ms = 10000;
   bool parsed = flags.ParseArgs(argc, argv, &error) &&
                 flags.GetString("socket", "", &options.socket_path, &error) &&
                 flags.GetUint64("queue-depth", 16, &queue_depth, &error) &&
                 flags.GetUint64("workers", 1, &workers, &error) &&
                 flags.GetString("cache-bytes", "256M", &cache_text, &error) &&
                 flags.GetString("artifact-cache", "", &artifact_text, &error) &&
-                flags.GetUint64("retry-after-ms", 100, &retry_after_ms, &error);
+                flags.GetUint64("retry-after-ms", 100, &retry_after_ms, &error) &&
+                flags.GetUint64("io-timeout-ms", 10000, &io_timeout_ms, &error);
   if (parsed) {
     std::vector<std::string> unknown =
         flags.UnknownKeys(std::span<const std::string_view>(kServeFlags));
@@ -168,10 +172,18 @@ int ServeMain(int argc, char** argv) {
   options.queue_depth = static_cast<std::size_t>(queue_depth);
   options.workers = static_cast<std::size_t>(workers);
   options.retry_after_ms = static_cast<std::uint32_t>(retry_after_ms);
+  options.io_timeout_ms = static_cast<std::uint32_t>(io_timeout_ms);
+
+  // Daemon::Start ignores SIGPIPE too, but do it before Start so even the
+  // startup error paths cannot die to a racing peer.
+  std::signal(SIGPIPE, SIG_IGN);
 
   Daemon daemon(options);
   if (!daemon.Start(&error)) {
     std::fprintf(stderr, "ldiv serve: %s\n", error.c_str());
+    // Colliding with a live daemon is an operator mistake, not an I/O
+    // fault -- exit 1 so scripts can tell the two apart.
+    if (error.find("already listening") != std::string::npos) return kExitUsage;
     return ExitCodeFor(PipelineErrorCode::kIo);
   }
   std::fprintf(stderr, "ldivd listening on %s (queue %zu, %zu worker%s)\n",
@@ -198,7 +210,8 @@ int ServeMain(int argc, char** argv) {
 int SubmitMain(int argc, char** argv) {
   using namespace ldv;
 
-  constexpr std::array<std::string_view, 3> kSubmitFlags = {"socket", "priority", "deadline-ms"};
+  constexpr std::array<std::string_view, 4> kSubmitFlags = {"socket", "priority", "deadline-ms",
+                                                            "retry"};
   CliOptions options;
   FlagSet raw_flags;
   std::string error;
@@ -215,9 +228,11 @@ int SubmitMain(int argc, char** argv) {
   std::string socket_path;
   std::uint32_t priority = 0;
   std::uint64_t deadline_ms = 0;
+  std::uint64_t retries = 0;
   if (!raw_flags.GetString("socket", "", &socket_path, &error) ||
       !raw_flags.GetUint32("priority", 0, &priority, &error) ||
-      !raw_flags.GetUint64("deadline-ms", 0, &deadline_ms, &error)) {
+      !raw_flags.GetUint64("deadline-ms", 0, &deadline_ms, &error) ||
+      !raw_flags.GetUint64("retry", 0, &retries, &error)) {
     std::fprintf(stderr, "ldiv submit: %s\n", error.c_str());
     return kExitUsage;
   }
@@ -233,17 +248,38 @@ int SubmitMain(int argc, char** argv) {
   spec.priority = priority;
   spec.deadline_ms = deadline_ms;
 
+  // Jittered exponential backoff against `busy` backpressure: the daemon's
+  // retry-after-ms hint is the base, doubled per attempt (capped at 10s),
+  // and the actual sleep is uniform in [base/2, base] so a flood of
+  // rejected clients does not re-arrive in lockstep.
+  std::mt19937 jitter(static_cast<std::uint32_t>(::getpid()) ^
+                      static_cast<std::uint32_t>(
+                          std::chrono::steady_clock::now().time_since_epoch().count()));
   Frame reply;
   std::map<std::string, std::string> kv;
-  if (!DaemonRequest(socket_path, Frame{"job", SerializeJobSpec(spec)}, &reply, &kv, &error)) {
-    std::fprintf(stderr, "ldiv submit: %s\n", error.c_str());
-    return kExitUnavailable;
-  }
-
-  if (reply.verb == "busy") {
-    std::fprintf(stderr, "ldiv submit: %s (retry after %s ms)\n", kv["error"].c_str(),
-                 kv["retry-after-ms"].c_str());
-    return kExitUnavailable;
+  for (std::uint64_t attempt = 0;; ++attempt) {
+    kv.clear();
+    if (!DaemonRequest(socket_path, Frame{"job", SerializeJobSpec(spec)}, &reply, &kv, &error)) {
+      std::fprintf(stderr, "ldiv submit: %s\n", error.c_str());
+      return kExitUnavailable;
+    }
+    if (reply.verb != "busy") break;
+    if (attempt >= retries) {
+      std::fprintf(stderr, "ldiv submit: %s (retry after %s ms)\n", kv["error"].c_str(),
+                   kv["retry-after-ms"].c_str());
+      return kExitUnavailable;
+    }
+    std::uint64_t hint_ms = 100;
+    ParseUint64(kv["retry-after-ms"], &hint_ms);
+    if (hint_ms == 0) hint_ms = 1;
+    const std::uint64_t shift = attempt < 16 ? attempt : 16;
+    const std::uint64_t base = std::min<std::uint64_t>(10000, hint_ms << shift);
+    const std::uint64_t delay = base / 2 + jitter() % (base / 2 + 1);
+    std::fprintf(stderr, "ldiv submit: daemon busy, retrying in %llu ms (%llu of %llu)\n",
+                 static_cast<unsigned long long>(delay),
+                 static_cast<unsigned long long>(attempt + 1),
+                 static_cast<unsigned long long>(retries));
+    std::this_thread::sleep_for(std::chrono::milliseconds(delay));
   }
   if (reply.verb != "ok") {
     std::fprintf(stderr, "ldiv submit: %s\n", kv["error"].c_str());
